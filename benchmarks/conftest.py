@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper table/figure via its experiment
+module, prints the reproduced rows (run pytest with ``-s`` to see them),
+and asserts the paper's qualitative shape.  Experiments are deterministic
+and expensive, so each runs exactly once per benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def _run(fn, **kwargs):
+        return run_experiment(benchmark, fn, **kwargs)
+
+    return _run

@@ -1,0 +1,13 @@
+"""Bench: design-choice ablations (beyond the paper's Fig. 12)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(experiment):
+    res = experiment(ablations.run)
+    s = res.summary
+    assert s["phase_aware_gain"] >= 1.0  # phase awareness never hurts
+    assert s["free_microbatch_gain"] >= 1.0  # eta != xi never hurts
+    assert s["verify_gain"] >= 0.99  # dry-run verification is a safety net
+    assert s["kv_planning_gain"] >= 1.0  # KV planning never hurts
+    assert s["mean_estimator_ok"] == 1.0

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 1 (fleet distribution and utilization)."""
+
+from repro.experiments import fig01_fleet
+
+
+def test_fig01_fleet(experiment):
+    res = experiment(fig01_fleet.run)
+    # Paper's shape: small A100 share, big utilization gap to the tail.
+    assert res.summary["a100_share"] < 0.15
+    assert res.summary["util_gap_x"] > 1.5

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 3 (phase time decomposition)."""
+
+from repro.experiments import fig03_phase_decomposition
+
+
+def test_fig03_phase_decomposition(experiment):
+    res = experiment(fig03_phase_decomposition.run)
+    # Paper: P100/V100 = 14.53x prefill vs 7.29x decode.
+    assert 13 < res.summary["opt-13b_prefill_ratio"] < 16
+    assert 6 < res.summary["opt-13b_decode_ratio"] < 8.5
+    assert res.summary["opt13b_long_prompt_prefill_share"] >= 0.36

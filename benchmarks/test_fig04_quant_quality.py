@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 4 (PPL/accuracy across quantization schemes)."""
+
+from repro.experiments import fig04_quant_quality
+
+
+def test_fig04_quant_quality(experiment):
+    res = experiment(fig04_quant_quality.run)
+    s = res.summary
+    for model in ("bloom-3b", "opt-1.3b"):
+        assert s[f"{model}_int8_ppl"] < s[f"{model}_int4_ppl"]
+        assert s[f"{model}_mixed4-8_ppl"] <= s[f"{model}_int4_ppl"]
+        assert s[f"{model}_mixed3-4_ppl"] <= s[f"{model}_int3_ppl"]
+    assert s["tinylm_int8_ppl"] < s["tinylm_int3_ppl"]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 5 (kernel latency vs precision and batch)."""
+
+from repro.experiments import fig05_kernel_latency
+
+
+def test_fig05_kernel_latency(experiment):
+    res = experiment(fig05_kernel_latency.run)
+    s = res.summary
+    assert s["v100_prefill_fp16_over_4bit"] <= 1.0
+    assert s["v100_decode_fp16_over_4bit"] > 1.5
+    assert s["t4_prefill_fp16_over_int8"] > 1.2
+    assert s["v100_prefill_fp16_over_int8"] < 1.0

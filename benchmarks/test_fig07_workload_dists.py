@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 7 (workload length distributions)."""
+
+from repro.experiments import fig07_workload_dists
+
+
+def test_fig07_workload_dists(experiment):
+    res = experiment(fig07_workload_dists.run)
+    s = res.summary
+    assert 80_000 < s["loogle_mean_in"] < 115_000  # paper: ~97k
+    assert 50 < s["loogle_mean_out"] < 80  # paper: ~63
+    assert 270 < s["cnn_dailymail_mean_out"] < 330  # paper: ~299

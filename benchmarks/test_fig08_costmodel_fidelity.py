@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 8 (cost model fidelity)."""
+
+from repro.experiments import fig08_costmodel_fidelity
+
+
+def test_fig08_costmodel_fidelity(experiment):
+    res = experiment(fig08_costmodel_fidelity.run)
+    assert res.summary["memory_mean_err"] < 0.01  # "almost negligible"
+    assert res.summary["latency_mean_err"] < 0.06  # "< 6%"

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 11 (theta sensitivity)."""
+
+from repro.experiments import fig11_theta_sensitivity
+
+
+def test_fig11_theta_sensitivity(experiment):
+    res = experiment(fig11_theta_sensitivity.run)
+    # Paper: larger theta -> lower throughput, better (lower) perplexity.
+    for model in ("opt-66b", "opt-30b"):
+        assert res.summary[f"{model}_tput_monotone"] == 1.0
+        assert res.summary[f"{model}_ppl_monotone"] == 1.0

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 12 (ablation vs pure adaptive quantization)."""
+
+from repro.experiments import fig12_adabits_ablation
+
+
+def test_fig12_adabits_ablation(experiment):
+    res = experiment(fig12_adabits_ablation.run)
+    # Paper: joint optimization wins in all selected cases.
+    assert res.summary["splitquant_wins_all"] == 1.0
+    for row in res.rows:
+        assert row[4] > 1.0 or row[2] == 0  # speedup vs adabits

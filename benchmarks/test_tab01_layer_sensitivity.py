@@ -1,0 +1,10 @@
+"""Bench: regenerate Table I (quality vs quantized layer range)."""
+
+from repro.experiments import tab01_layer_sensitivity
+
+
+def test_tab01_layer_sensitivity(experiment):
+    res = experiment(tab01_layer_sensitivity.run)
+    assert res.summary["opt-1.3b_early_best"] == 1.0
+    assert res.summary["bloom-3b_early_best"] == 1.0
+    assert res.summary["tinylm_prop1_rank_corr"] > 0.8

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table IV (homogeneous clusters, TP/PP topologies)."""
+
+from repro.experiments import tab04_homogeneous
+
+
+def test_tab04_homogeneous(experiment):
+    res = experiment(tab04_homogeneous.run)
+    # Paper: SplitQuant matches-or-beats the best baseline topology.
+    for key in ("cluster1_speedup", "cluster9_speedup", "cluster10_speedup"):
+        assert res.summary[key] >= 0.97
+    # Topology choice matters: PP4 is never the best Uniform config.
+    uniform = [r for r in res.rows if r[2] == "Uniform" and r[0] != "cluster-1"]
+    for cluster in ("cluster-9", "cluster-10"):
+        rows = [r for r in uniform if r[0] == cluster]
+        best = max(rows, key=lambda r: r[4])
+        assert best[3] != "PP4"

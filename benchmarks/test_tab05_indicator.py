@@ -1,0 +1,14 @@
+"""Bench: regenerate Table V (variance indicator vs Random / Hessian)."""
+
+from repro.experiments import tab05_indicator
+
+
+def test_tab05_indicator(experiment):
+    res = experiment(tab05_indicator.run)
+    s = res.summary
+    for model in ("opt-66b", "opt-30b"):
+        # PPL no worse than Random and on par with Hessian...
+        assert s[f"{model}_vs_random_dppl"] <= 0.005
+        assert abs(s[f"{model}_vs_hessian_dppl"]) < 0.05
+        # ...at tens-of-x lower overhead (paper: 58-73x).
+        assert s[f"{model}_speedup_vs_hessian"] > 20

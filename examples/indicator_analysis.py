@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Quantization sensitivity analysis on a real model.
+
+A deep dive into the machinery behind SplitQuant's bitwidth choices:
+
+1. GPTQ vs round-to-nearest: layerwise loss and end-to-end perplexity,
+2. Theorem 1 in practice: the variance bound versus measured output
+   variance per operator,
+3. Proposition 1 as a ranking: the variance indicator versus the measured
+   per-layer perturbation, and versus the (much slower) Hessian route.
+
+Run:  python examples/indicator_analysis.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.quality import TinyLM, TinyLMConfig, build_calibration_tokens, build_eval_corpora
+from repro.quant import (
+    QuantConfig,
+    empirical_quant_variance,
+    gptq_quantize,
+    hessian_sensitivity,
+    layer_indicator,
+    theorem1_variance_bound,
+)
+
+
+def main() -> None:
+    model = TinyLM(
+        TinyLMConfig(vocab=160, layers=6, hidden=64, ffn=192, heads=4,
+                     max_seq=192, seed=1)
+    )
+    corpora = build_eval_corpora(model, n_seqs=6, seq_len=96)
+    calib = build_calibration_tokens(model, n_seqs=4, seq_len=64)
+
+    # ------------------------------------------------------------------
+    print("== 1. GPTQ vs RTN (3-bit, all layers) ==")
+    captures = model.capture_layer_inputs(calib)
+    cfg = QuantConfig(bits=3, granularity="group", group_size=32)
+    losses = []
+    for i, (lw, cap) in enumerate(zip(model.layers, captures)):
+        res = gptq_quantize(lw.w1, cap["w1"], cfg)
+        losses.append((res.rtn_loss, res.loss))
+        print(f"  layer {i} w1: rtn loss {res.rtn_loss:8.4f} -> "
+              f"gptq {res.loss:8.4f} ({res.loss / res.rtn_loss:.0%})")
+    ppl_rtn = model.quantized([3] * 6, method="rtn").perplexity(corpora["c4"])
+    ppl_gptq = model.quantized(
+        [3] * 6, method="gptq", calib_tokens=calib
+    ).perplexity(corpora["c4"])
+    print(f"  end-to-end PPL: rtn {ppl_rtn:.2f}  gptq {ppl_gptq:.2f}\n")
+
+    # ------------------------------------------------------------------
+    print("== 2. Theorem 1: bound vs measured output variance (4-bit) ==")
+    for i, (lw, cap) in enumerate(zip(model.layers, captures)):
+        w, x = lw.w1, cap["w1"]
+        bound = theorem1_variance_bound(w, x, 4, "deterministic")
+        measured = empirical_quant_variance(w, x, 4, "deterministic")
+        print(f"  layer {i} w1: measured {measured:9.5f} <= "
+              f"bound {bound:9.5f}  ({measured / bound:.0%} of bound)")
+    print()
+
+    # ------------------------------------------------------------------
+    print("== 3. Ranking layers: indicator vs measured vs Hessian ==")
+    stats = model.layer_operator_stats(calib)
+    omega = [layer_indicator(ops, 3) for ops in stats]
+    measured = []
+    for lw, cap in zip(model.layers, captures):
+        total = 0.0
+        tensor_cfg = QuantConfig(bits=3, granularity="tensor")
+        from repro.quant import quantize_dequantize
+
+        for name, x in cap.items():
+            w = lw.linear(name)
+            err = quantize_dequantize(w, tensor_cfg) - w
+            total += float(np.var(err @ x))
+        measured.append(total)
+
+    t0 = time.perf_counter()
+    hess = [
+        sum(
+            hessian_sensitivity(lw.linear(name), x, 3)
+            for name, x in cap.items()
+        )
+        for lw, cap in zip(model.layers, captures)
+    ]
+    t_hess = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _ = [layer_indicator(ops, 3) for ops in stats]
+    t_var = time.perf_counter() - t0
+
+    def ranks(v):
+        return np.argsort(np.argsort(v))
+
+    rho_var = np.corrcoef(ranks(omega), ranks(measured))[0, 1]
+    rho_hess = np.corrcoef(ranks(hess), ranks(measured))[0, 1]
+    print(f"  {'layer':>5} {'indicator':>11} {'measured':>11} {'hessian':>11}")
+    for i in range(len(omega)):
+        print(f"  {i:>5} {omega[i]:>11.4f} {measured[i]:>11.5f} "
+              f"{hess[i]:>11.4f}")
+    print(f"\n  rank corr vs measured: variance indicator {rho_var:.2f}, "
+          f"hessian {rho_hess:.2f}")
+    print(f"  compute time: variance {t_var * 1e3:.2f} ms vs hessian "
+          f"{t_hess * 1e3:.2f} ms ({t_hess / max(t_var, 1e-9):.0f}x)")
+    print("\nthe variance indicator ranks layers accurately at a tiny "
+          "fraction of the Hessian route's cost — the Table V trade-off "
+          "in miniature.")
+
+
+if __name__ == "__main__":
+    main()

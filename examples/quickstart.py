@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: plan and simulate OPT-30B serving on a mixed T4/V100 cluster.
+
+The smallest end-to-end tour of the public API:
+
+1. pick a model and a heterogeneous cluster (Table III cluster 5),
+2. let SplitQuant jointly choose per-layer bitwidths, the layer partition
+   and micro-batch sizes (constrained to at least uniform-quantization
+   quality),
+3. simulate the resulting plan and the Uniform baseline, and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BatchWorkload,
+    PlannerConfig,
+    SplitQuantPlanner,
+    get_model,
+    simulate_plan,
+    table_iii_cluster,
+)
+from repro.baselines import plan_uniform_baseline
+
+
+def main() -> None:
+    spec = get_model("opt-30b")
+    cluster = table_iii_cluster(5)  # 3x T4-16G + 1x V100-32G
+    workload = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+
+    print(f"model   : {spec.describe()}")
+    print(f"cluster : {cluster.describe()}")
+    print(f"workload: {workload.describe()}\n")
+
+    # --- SplitQuant -------------------------------------------------------
+    config = PlannerConfig(
+        group_size=2,
+        max_orderings=6,
+        microbatch_candidates=(8, 16, 32),
+        time_limit_s=20.0,
+    )
+    planner = SplitQuantPlanner(spec, cluster, config)
+    # Constrain quality to at least the best Uniform baseline (Sec. VI-C).
+    uniform = plan_uniform_baseline(spec, cluster, workload)
+    ref_bits = uniform.bits if uniform else min(config.bit_choices)
+    budget = planner.uniform_quality(ref_bits)
+    import dataclasses
+
+    planner = SplitQuantPlanner(
+        spec, cluster, dataclasses.replace(config, quality_budget=budget)
+    )
+    result = planner.plan(workload)
+    if result is None:
+        raise SystemExit("no feasible plan — model too large for cluster")
+
+    print("SplitQuant plan:")
+    print(f"  {result.plan.describe()}")
+    print(f"  planning time : {result.solve_time_s:.1f}s "
+          f"({result.candidates_tried} candidates)")
+
+    sim = simulate_plan(result.plan, cluster, spec, workload)
+    print(f"  throughput    : {sim.throughput_tokens_s:.1f} tokens/s")
+    print(f"  stage util    : "
+          + ", ".join(f"{u:.0%}" for u in sim.stage_utilization))
+
+    # --- Uniform baseline -------------------------------------------------
+    if uniform is None:
+        print("\nUniform baseline: OOM at every precision")
+        return
+    base = simulate_plan(uniform.plan, cluster, spec, workload)
+    print(f"\nUniform baseline ({uniform.bits}-bit, even partition):")
+    print(f"  throughput    : {base.throughput_tokens_s:.1f} tokens/s")
+    print(
+        f"\nSpeedup: {sim.throughput_tokens_s / base.throughput_tokens_s:.2f}x"
+        " at >= Uniform model quality"
+    )
+
+
+if __name__ == "__main__":
+    main()

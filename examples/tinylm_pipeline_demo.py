@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Run a real model through the distributed runtime — not a simulation.
+
+TinyLM is an actual numpy decoder-only transformer.  This demo:
+
+1. builds a mixed-precision pipeline plan by hand (two stages, different
+   bitwidths per stage, like a SplitQuant plan would assign),
+2. executes generation through the threaded master/worker runtime
+   (embedding and LM head on the master, decoder layers on stage workers,
+   KV caches held per stage),
+3. verifies the pipeline output is bit-exact against single-process
+   generation on the same quantized weights,
+4. measures the *real* quality cost of the quantization choice.
+
+Run:  python examples/tinylm_pipeline_demo.py
+"""
+
+import numpy as np
+
+from repro.plan import ExecutionPlan, StagePlan
+from repro.quality import (
+    TinyLM,
+    TinyLMConfig,
+    build_eval_corpora,
+)
+from repro.runtime import PipelineEngine, reference_generate
+
+
+def main() -> None:
+    model = TinyLM(
+        TinyLMConfig(vocab=160, layers=6, hidden=64, ffn=192, heads=4,
+                     max_seq=192, seed=0)
+    )
+    print(f"TinyLM: {model.config.layers} layers, hidden "
+          f"{model.config.hidden}, vocab {model.config.vocab}\n")
+
+    # A SplitQuant-style plan: the "small GPU" stage runs 4-bit, the
+    # "big GPU" stage keeps FP16 where memory would allow it.
+    plan = ExecutionPlan(
+        model_name="tinylm",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (4, 4, 8)),
+            StagePlan((1,), "V100-32G", 3, (16, 16, 16)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=2,
+    )
+    print("plan:", plan.describe(), "\n")
+
+    rng = np.random.default_rng(0)
+    prompts = rng.integers(0, model.config.vocab, size=(6, 16))
+
+    with PipelineEngine(model, plan) as engine:
+        result = engine.generate(prompts, n_tokens=12)
+
+    print(f"generated {result.tokens.shape[0]} x 12 tokens")
+    print(f"  prefill {result.prefill_time_s * 1e3:.1f} ms, "
+          f"decode {result.decode_time_s * 1e3:.1f} ms")
+    for j, busy in enumerate(result.stage_busy_s):
+        print(f"  stage {j} compute time: {busy * 1e3:.1f} ms")
+
+    # Bit-exact check against a single-process reference.
+    reference = reference_generate(
+        model.quantized(list(plan.bits_per_layer)), prompts, 12
+    )
+    exact = np.array_equal(result.tokens, reference)
+    print(f"\npipeline output == single-process reference: {exact}")
+    assert exact
+
+    # What did the quantization cost in quality, measured for real?
+    corpora = build_eval_corpora(model, n_seqs=6, seq_len=96)
+    ppl_fp16 = model.perplexity(corpora["wikitext2"])
+    ppl_plan = model.quantized(list(plan.bits_per_layer)).perplexity(
+        corpora["wikitext2"]
+    )
+    ppl_all3 = model.quantized([3] * 6).perplexity(corpora["wikitext2"])
+    print("\nmeasured perplexity (wikitext2-like corpus):")
+    print(f"  FP16            : {ppl_fp16:8.2f}")
+    print(f"  plan (4/4/8/16s): {ppl_plan:8.2f}")
+    print(f"  uniform 3-bit   : {ppl_all3:8.2f}")
+    print("\nmixed precision keeps quality near FP16 at a fraction of the "
+          "memory — the SplitQuant trade in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""SplitQuant reproduction: resource-efficient LLM offline serving on
+heterogeneous GPUs via phase-aware model partition and adaptive
+quantization (Zhao et al., CLUSTER 2025).
+
+Quickstart::
+
+    from repro import (
+        SplitQuantPlanner, PlannerConfig, BatchWorkload,
+        get_model, table_iii_cluster, simulate_plan,
+    )
+
+    spec = get_model("opt-30b")
+    cluster = table_iii_cluster(5)          # 3x T4 + 1x V100
+    wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+    planner = SplitQuantPlanner(spec, cluster, PlannerConfig())
+    result = planner.plan(wl)
+    sim = simulate_plan(result.plan, cluster, spec, wl)
+    print(result.plan.describe(), sim.throughput_tokens_s)
+
+Subpackages: ``hardware`` (GPUs/clusters), ``models`` (architectures),
+``simgpu`` (the simulated testbed), ``quant`` (quantization + indicators),
+``quality`` (TinyLM + perplexity), ``costmodel``, ``pipeline`` (DES),
+``workloads``, ``core`` (the planner), ``baselines``, ``runtime``
+(threaded execution), ``experiments`` (per-figure reproduction).
+"""
+
+from .core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from .hardware import (
+    ClusterSpec,
+    GPUSpec,
+    get_gpu,
+    make_cluster,
+    table_iii_cluster,
+)
+from .models import ModelSpec, get_model, list_models
+from .pipeline import (
+    PipelineSimResult,
+    render_gantt,
+    simulate_plan,
+    simulate_plan_variable,
+    trace_plan,
+)
+from .plan import ExecutionPlan, StagePlan, uniform_plan
+from .serialization import load_plan, save_plan
+from .workloads import (
+    BatchWorkload,
+    VariableBatchWorkload,
+    WorkloadConfig,
+    representative_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PlannerConfig",
+    "PlannerResult",
+    "SplitQuantPlanner",
+    "ClusterSpec",
+    "GPUSpec",
+    "get_gpu",
+    "make_cluster",
+    "table_iii_cluster",
+    "ModelSpec",
+    "get_model",
+    "list_models",
+    "PipelineSimResult",
+    "render_gantt",
+    "simulate_plan",
+    "simulate_plan_variable",
+    "trace_plan",
+    "load_plan",
+    "save_plan",
+    "ExecutionPlan",
+    "StagePlan",
+    "uniform_plan",
+    "BatchWorkload",
+    "VariableBatchWorkload",
+    "WorkloadConfig",
+    "representative_workload",
+    "__version__",
+]

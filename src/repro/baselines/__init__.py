@@ -1,0 +1,25 @@
+"""Comparison policies: Uniform, Het, and adabits (Sec. VI-A / VI-H)."""
+
+from .adabits import plan_adabits_baseline
+from .het import (
+    plan_het_baseline,
+    proportional_split,
+    repair_partition_for_memory,
+)
+from .uniform import (
+    BaselineResult,
+    default_microbatch,
+    default_stage_groups,
+    plan_uniform_baseline,
+)
+
+__all__ = [
+    "plan_adabits_baseline",
+    "plan_het_baseline",
+    "proportional_split",
+    "repair_partition_for_memory",
+    "BaselineResult",
+    "default_microbatch",
+    "default_stage_groups",
+    "plan_uniform_baseline",
+]

@@ -1,0 +1,63 @@
+"""The *adabits* baseline (Sec. VI-H): pure adaptive quantization.
+
+Adaptive per-layer bitwidths chosen for quality alone (the simplified ILP
+without latency terms), with a default device ordering and framework
+micro-batching — no partition / micro-batch co-design.  SplitQuant's gains
+over adabits isolate the value of joint optimization (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..plan import ExecutionPlan
+from ..quant.sensitivity import normalized_indicator_table
+from ..workloads.spec import BatchWorkload
+from ..core.costs import StageGroup, build_problem
+from ..core.ilp import solve_adabits
+from ..core.planner import solution_to_plan
+from .uniform import default_microbatch
+
+
+def plan_adabits_baseline(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    workload: BatchWorkload,
+    cost_model: LatencyCostModel,
+    bit_choices: Sequence[int] = (3, 4, 8, 16),
+    quality_budget: Optional[float] = None,
+    microbatch: Optional[int] = None,
+    group_size: int = 2,
+    time_limit_s: float = 60.0,
+    bit_kv: int = 16,
+) -> Optional[ExecutionPlan]:
+    """Quality-optimal bitwidths on the default topology; ``None`` if OOM."""
+    mb = microbatch or default_microbatch(workload.batch)
+    ordering = tuple(
+        StageGroup(device_ids=(d.device_id,), gpu=d.gpu) for d in cluster.devices
+    )
+    omega = normalized_indicator_table(spec, bit_choices)
+    problem = build_problem(
+        spec,
+        cluster,
+        ordering,
+        workload,
+        cost_model,
+        omega,
+        eta=mb,
+        xi=mb,
+        bit_choices=tuple(bit_choices),
+        group_size=group_size,
+        bit_kv=bit_kv,
+    )
+    sol = solve_adabits(
+        problem, quality_budget=quality_budget, time_limit_s=time_limit_s
+    )
+    if sol is None:
+        return None
+    return solution_to_plan(
+        spec, ordering, problem.group_sizes, sol, mb, mb, bit_kv
+    )

@@ -1,0 +1,181 @@
+"""The *Het* baseline (Sec. VI-A): heterogeneity-aware, quantization-naive.
+
+Following the heterogeneous-pipeline line of work (Hu et al. [12],
+HexGen [46]), Het enumerates parallelism schemes and balances the layer
+partition against per-device speed — but it is *phase-unaware* (it
+balances on single-pass/prefill cost, as encoder-oriented partitioners do)
+and applies one uniform precision, lowered from FP16 until the model fits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..pipeline.simulator import check_plan_memory
+from ..plan import ExecutionPlan, StagePlan
+from ..simgpu.memory import OutOfMemoryError
+from ..workloads.spec import BatchWorkload
+from ..core.costs import build_problem
+from ..core.enumeration import candidate_orderings
+from .uniform import BaselineResult, default_microbatch
+
+
+def proportional_split(
+    num_layers: int, speeds: Sequence[float]
+) -> List[int]:
+    """Layers per stage proportional to stage speed, all stages non-empty.
+
+    ``speeds`` are per-stage layers-per-second (higher = more layers).
+    """
+    n = len(speeds)
+    if num_layers < n:
+        raise ValueError("fewer layers than stages")
+    w = np.asarray(speeds, dtype=float)
+    w = np.maximum(w, 1e-12)
+    raw = w / w.sum() * num_layers
+    counts = np.maximum(np.floor(raw).astype(int), 1)
+    # Distribute the remainder to the largest fractional parts.
+    while counts.sum() < num_layers:
+        frac = raw - counts
+        counts[int(np.argmax(frac))] += 1
+    while counts.sum() > num_layers:
+        over = counts - 1
+        candidates = np.where(over > 0)[0]
+        frac = raw - counts
+        idx = candidates[int(np.argmin(frac[candidates]))]
+        counts[idx] -= 1
+    return counts.tolist()
+
+
+def repair_partition_for_memory(
+    counts: Sequence[int],
+    layer_bytes: int,
+    capacities: Sequence[float],
+    max_iters: int = 512,
+) -> Optional[List[int]]:
+    """Shift boundary layers off over-capacity stages (HexGen-style repair).
+
+    ``capacities`` are per-stage byte budgets net of non-layer overheads.
+    Returns ``None`` when no contiguous assignment can fit.
+    """
+    counts = list(counts)
+    caps = [int(c // layer_bytes) for c in capacities]  # max layers per stage
+    if sum(max(c, 0) for c in caps) < sum(counts):
+        return None
+    for _ in range(max_iters):
+        over = [j for j, c in enumerate(counts) if c > caps[j]]
+        if not over:
+            return counts
+        j = over[0]
+        # Push one boundary layer toward the side with more slack.
+        left_slack = caps[j - 1] - counts[j - 1] if j > 0 else -1
+        right_slack = (
+            caps[j + 1] - counts[j + 1] if j + 1 < len(counts) else -1
+        )
+        if left_slack <= 0 and right_slack <= 0:
+            # Neighbors full: cascade one layer outward anyway; it will be
+            # repaired (or declared impossible) on later iterations.
+            if j + 1 < len(counts):
+                counts[j] -= 1
+                counts[j + 1] += 1
+            elif j > 0:
+                counts[j] -= 1
+                counts[j - 1] += 1
+            else:
+                return None
+        elif right_slack >= left_slack:
+            counts[j] -= 1
+            counts[j + 1] += 1
+        else:
+            counts[j] -= 1
+            counts[j - 1] += 1
+        if min(counts) < 1:
+            return None
+    return None
+
+
+def plan_het_baseline(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    workload: BatchWorkload,
+    cost_model: LatencyCostModel,
+    bit_choices: Sequence[int] = (3, 4, 8, 16),
+    microbatch: Optional[int] = None,
+    max_orderings: int = 12,
+    enable_tp: bool = True,
+    bit_kv: int = 16,
+) -> Optional[BaselineResult]:
+    """Best workload-balanced uniform-precision plan across orderings."""
+    best: Optional[Tuple[float, ExecutionPlan, int]] = None
+    for ordering in candidate_orderings(
+        cluster, enable_tp=enable_tp, max_orderings=max_orderings
+    ):
+        mb = microbatch or default_microbatch(workload.batch, len(ordering))
+        for bits in sorted(bit_choices, reverse=True):
+            problem = build_problem(
+                spec,
+                cluster,
+                ordering,
+                workload,
+                cost_model,
+                omega_layers=np.zeros((spec.num_layers, len(bit_choices))),
+                eta=mb,
+                xi=mb,
+                bit_choices=tuple(sorted(bit_choices)),
+                group_size=1,
+                bit_kv=bit_kv,
+            )
+            k = tuple(sorted(bit_choices)).index(bits)
+            # Phase-unaware balancing: split on prefill speed only.
+            speeds = [1.0 / max(problem.l_pre[0, j, k], 1e-12) for j in
+                      range(problem.n_stages)]
+            try:
+                counts = proportional_split(spec.num_layers, speeds)
+            except ValueError:
+                continue
+            layer_bytes = problem.mem[0, k]
+            repaired = repair_partition_for_memory(
+                counts, int(layer_bytes), problem.capacity.tolist()
+            )
+            if repaired is None:
+                continue
+            counts = repaired
+            stages: List[StagePlan] = []
+            start = 0
+            for j, (sg, cnt) in enumerate(zip(ordering, counts)):
+                stages.append(
+                    StagePlan(
+                        device_ids=sg.device_ids,
+                        gpu_name=sg.gpu.name,
+                        layer_start=start,
+                        layer_bits=(bits,) * cnt,
+                    )
+                )
+                start += cnt
+            plan = ExecutionPlan(
+                model_name=spec.name,
+                stages=tuple(stages),
+                prefill_microbatch=mb,
+                decode_microbatch=mb,
+                bit_kv=bit_kv,
+            )
+            try:
+                check_plan_memory(plan, cluster, spec, workload)
+            except OutOfMemoryError:
+                continue
+            assign_stage = [j for j, c in enumerate(counts) for _ in range(c)]
+            latency = problem.latency_estimate(
+                assign_stage, [bits] * spec.num_layers
+            )
+            if best is None or latency < best[0]:
+                best = (latency, plan, bits)
+            break  # highest feasible precision found for this ordering
+    if best is None:
+        return None
+    _, plan, bits = best
+    return BaselineResult(plan=plan, bits=bits)

@@ -1,0 +1,83 @@
+"""The *Uniform* baseline (Sec. VI-A).
+
+What stock frameworks do: evenly partition decoder layers across pipeline
+stages and quantize every layer to the same precision, starting at FP16
+and lowering (16 -> 8 -> 4 -> 3) until the model fits on every device —
+or declaring OOM when nothing fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..pipeline.simulator import check_plan_memory
+from ..plan import ExecutionPlan, uniform_plan
+from ..simgpu.memory import OutOfMemoryError
+from ..workloads.spec import BatchWorkload
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A baseline plan plus the uniform precision it settled on."""
+
+    plan: ExecutionPlan
+    bits: int
+
+
+def default_stage_groups(
+    cluster: ClusterSpec, tp_degree: int = 1
+) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+    """Stages in device-id order, optionally TP-grouping within nodes."""
+    groups = []
+    for node_devices in cluster.nodes().values():
+        ids = [d.device_id for d in node_devices]
+        gpu = node_devices[0].gpu.name
+        step = tp_degree if tp_degree > 1 else 1
+        if len(ids) % step:
+            raise ValueError(
+                f"node with {len(ids)} GPUs cannot form TP{tp_degree} groups"
+            )
+        for i in range(0, len(ids), step):
+            groups.append((tuple(ids[i : i + step]), gpu))
+    return tuple(groups)
+
+
+def default_microbatch(batch: int, n_stages: int = 1) -> int:
+    """The framework-default micro-batch size baselines run with.
+
+    Pipeline-filling default: the full running batch divided across the
+    pipeline depth (vLLM decodes all running sequences together on a
+    single stage; PP engines split them to keep stages busy).
+    """
+    return max(batch // max(n_stages, 1), 1)
+
+
+def plan_uniform_baseline(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    workload: BatchWorkload,
+    bit_choices: Sequence[int] = (3, 4, 8, 16),
+    stage_groups: Optional[Sequence[Tuple[Tuple[int, ...], str]]] = None,
+    microbatch: Optional[int] = None,
+    bit_kv: int = 16,
+) -> Optional[BaselineResult]:
+    """Uniform partition + highest uniform precision that fits.
+
+    Returns ``None`` when even the lowest precision OOMs (the paper's
+    "0 indicates OOM" cases in Fig. 10).
+    """
+    groups = tuple(stage_groups) if stage_groups else default_stage_groups(cluster)
+    mb = microbatch or default_microbatch(workload.batch, len(groups))
+    for bits in sorted(bit_choices, reverse=True):
+        plan = uniform_plan(
+            spec.name, spec.num_layers, groups, bits, mb, mb, bit_kv=bit_kv
+        )
+        try:
+            check_plan_memory(plan, cluster, spec, workload)
+        except OutOfMemoryError:
+            continue
+        return BaselineResult(plan=plan, bits=bits)
+    return None

@@ -1,0 +1,38 @@
+"""SplitQuant's core: joint quantization / partition / micro-batch planning."""
+
+from .config import PlannerConfig
+from .costs import PlanningProblem, StageGroup, build_problem, group_layers
+from .enumeration import (
+    candidate_orderings,
+    microbatch_candidates,
+    node_tp_groupings,
+)
+from .exhaustive import brute_force_solve
+from .heuristic import bitwidth_transfer
+from .ilp import ILPSolution, solve_adabits, solve_partition_ilp
+from .planner import (
+    CandidateStat,
+    PlannerResult,
+    SplitQuantPlanner,
+    solution_to_plan,
+)
+
+__all__ = [
+    "PlannerConfig",
+    "PlanningProblem",
+    "StageGroup",
+    "build_problem",
+    "group_layers",
+    "candidate_orderings",
+    "microbatch_candidates",
+    "node_tp_groupings",
+    "brute_force_solve",
+    "bitwidth_transfer",
+    "ILPSolution",
+    "solve_adabits",
+    "solve_partition_ilp",
+    "CandidateStat",
+    "PlannerResult",
+    "SplitQuantPlanner",
+    "solution_to_plan",
+]

@@ -1,0 +1,118 @@
+"""Device-topology and micro-batch enumeration (Sec. IV-C).
+
+Candidate pipeline configurations are built by partitioning each node's
+GPUs into intra-node tensor-parallel groups (valid 2D meshes: TP sizes are
+powers of two and never cross node boundaries), then permuting the groups
+into a stage order.  Orderings are deduplicated on the (gpu model, TP
+degree) sequence — same-type devices are interchangeable — and ranked by
+a pruning score (fewer cross-node boundaries, roomiest device first for
+the embedding stage) before the cap is applied.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..hardware.cluster import ClusterSpec, Device
+from .costs import StageGroup
+
+_TP_SIZES = (8, 4, 2, 1)
+
+
+def _power_of_two_partitions(n: int) -> List[Tuple[int, ...]]:
+    """All multisets of powers of two summing to ``n`` (descending)."""
+    out: List[Tuple[int, ...]] = []
+
+    def rec(remaining: int, max_part: int, acc: List[int]) -> None:
+        if remaining == 0:
+            out.append(tuple(acc))
+            return
+        for p in _TP_SIZES:
+            if p <= max_part and p <= remaining:
+                acc.append(p)
+                rec(remaining - p, p, acc)
+                acc.pop()
+
+    rec(n, _TP_SIZES[0], [])
+    return out
+
+
+def node_tp_groupings(
+    devices: Sequence[Device], enable_tp: bool = True
+) -> List[List[StageGroup]]:
+    """Ways to split one node's same-type GPUs into TP stage groups."""
+    n = len(devices)
+    gpu = devices[0].gpu
+    ids = [d.device_id for d in devices]
+    partitions = _power_of_two_partitions(n) if enable_tp else [(1,) * n]
+    groupings: List[List[StageGroup]] = []
+    for part in partitions:
+        groups: List[StageGroup] = []
+        cursor = 0
+        for size in part:
+            groups.append(
+                StageGroup(device_ids=tuple(ids[cursor : cursor + size]), gpu=gpu)
+            )
+            cursor += size
+        groupings.append(groups)
+    return groupings
+
+
+def _ordering_score(
+    ordering: Sequence[StageGroup], node_of: Dict[int, int]
+) -> Tuple[int, float]:
+    """Pruning rank: (cross-node hops, -first-stage capacity)."""
+    hops = 0
+    for a, b in zip(ordering, ordering[1:]):
+        if node_of[a.device_ids[0]] != node_of[b.device_ids[0]]:
+            hops += 1
+    return (hops, -float(ordering[0].capacity_bytes))
+
+
+def candidate_orderings(
+    cluster: ClusterSpec,
+    enable_tp: bool = True,
+    max_orderings: int = 24,
+) -> List[Tuple[StageGroup, ...]]:
+    """Pruned, deduplicated stage orderings for a cluster."""
+    per_node = [
+        node_tp_groupings(devs, enable_tp) for devs in cluster.nodes().values()
+    ]
+    node_of = {d.device_id: d.node_id for d in cluster.devices}
+    seen: set = set()
+    scored: List[Tuple[Tuple[int, float], Tuple[StageGroup, ...]]] = []
+    for combo in itertools.product(*per_node):
+        groups: List[StageGroup] = [g for node_groups in combo for g in node_groups]
+        for perm in itertools.permutations(range(len(groups))):
+            ordering = tuple(groups[i] for i in perm)
+            key = tuple(sg.key() for sg in ordering)
+            if key in seen:
+                continue
+            seen.add(key)
+            scored.append((_ordering_score(ordering, node_of), ordering))
+    scored.sort(key=lambda t: t[0])
+    return [o for _, o in scored[:max_orderings]]
+
+
+def microbatch_candidates(
+    batch: int, given: Iterable[int] | None = None, max_candidates: int = 4
+) -> Tuple[int, ...]:
+    """Pruned micro-batch size set (powers of two dividing into B)."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    if given is not None:
+        vals = sorted({v for v in given if 1 <= v <= batch})
+        if not vals:
+            raise ValueError("no valid micro-batch candidate")
+        return tuple(vals)
+    cands: List[int] = []
+    v = 1
+    while v <= batch:
+        cands.append(v)
+        v *= 2
+    if cands[-1] != batch:
+        cands.append(batch)
+    # Keep the largest few: tiny micro-batches waste kernel efficiency in
+    # offline serving, and the set is pruned to bound enumeration.
+    return tuple(cands[-max_candidates:])

@@ -1,0 +1,339 @@
+"""The bitwidth-transfer heuristic (Sec. IV-C).
+
+Scales the assigner to configurations where the exact ILP is too slow:
+
+1. obtain a feasible quality-first start (a greedy *adabits* construction:
+   capacity-proportional contiguous split with per-group bit upgrades;
+   the exact adabits ILP is the fallback when the greedy fails);
+2. hill-climb with the paper's transformation family
+   ``C = (b_st, b_pi, num_s)`` — re-precision a group in place, or move
+   boundary groups between adjacent stages with an optional bitwidth
+   conversion — until no move improves the objective.
+
+The objective mirrors the ILP: analytic end-to-end latency plus
+``theta * sum(omega)``, under memory and (optional) quality-budget
+constraints.  Moves are evaluated incrementally against per-stage
+time/memory accumulators, so one evaluation costs O(stages) rather than
+O(layers), keeping the heuristic orders of magnitude cheaper than an
+exact solve at scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .costs import PlanningProblem
+from .ilp import ILPSolution, solve_adabits
+
+
+@dataclass
+class _State:
+    """Assignment plus incrementally-maintained per-stage aggregates."""
+
+    stage: List[int]
+    kidx: List[int]  # bit-choice index per group
+    t_pre: np.ndarray
+    t_dec: np.ndarray
+    mem: np.ndarray
+    quality: float
+
+    @classmethod
+    def build(
+        cls, problem: PlanningProblem, stage: Sequence[int], kidx: Sequence[int]
+    ) -> "_State":
+        t_pre = problem.const_pre.copy()
+        t_dec = problem.const_dec.copy()
+        mem = np.zeros(problem.n_stages)
+        quality = 0.0
+        for g, (j, k) in enumerate(zip(stage, kidx)):
+            t_pre[j] += problem.l_pre[g, j, k]
+            t_dec[j] += problem.l_dec[g, j, k]
+            mem[j] += problem.mem[g, k]
+            quality += problem.omega[g, k]
+        return cls(
+            stage=list(stage),
+            kidx=list(kidx),
+            t_pre=t_pre,
+            t_dec=t_dec,
+            mem=mem,
+            quality=quality,
+        )
+
+    def apply(
+        self, problem: PlanningProblem, changes: Sequence[Tuple[int, int, int]]
+    ) -> None:
+        """Apply ``(group, new_stage, new_kidx)`` changes in place."""
+        for g, nj, nk in changes:
+            oj, ok = self.stage[g], self.kidx[g]
+            self.t_pre[oj] -= problem.l_pre[g, oj, ok]
+            self.t_dec[oj] -= problem.l_dec[g, oj, ok]
+            self.mem[oj] -= problem.mem[g, ok]
+            self.quality -= problem.omega[g, ok]
+            self.t_pre[nj] += problem.l_pre[g, nj, nk]
+            self.t_dec[nj] += problem.l_dec[g, nj, nk]
+            self.mem[nj] += problem.mem[g, nk]
+            self.quality += problem.omega[g, nk]
+            self.stage[g] = nj
+            self.kidx[g] = nk
+
+    def revert(
+        self,
+        problem: PlanningProblem,
+        changes: Sequence[Tuple[int, int, int]],
+        saved: Sequence[Tuple[int, int]],
+    ) -> None:
+        undo = [
+            (g, oj, ok) for (g, _, _), (oj, ok) in zip(changes, saved)
+        ]
+        self.apply(problem, undo)
+
+
+def _objective_from_aggregates(
+    problem: PlanningProblem,
+    state: _State,
+    theta: float,
+    quality_budget: Optional[float],
+) -> float:
+    if quality_budget is not None and state.quality > quality_budget + 1e-12:
+        return float("inf")
+    if np.any(state.mem > problem.capacity + 1e-6):
+        return float("inf")
+    n = problem.workload.output_len
+    comm_pre_max = float(problem.comm_pre.max()) if problem.comm_pre.size else 0.0
+    comm_dec_max = float(problem.comm_dec.max()) if problem.comm_dec.size else 0.0
+    pre_bottleneck = max(float(state.t_pre.max()), comm_pre_max)
+    prefill_span = float(state.t_pre.sum() + problem.comm_pre.sum()) + (
+        problem.prefill_jobs - 1
+    ) * pre_bottleneck
+    dec_bottleneck = max(float(state.t_dec.max()), comm_dec_max)
+    round_trip = float(state.t_dec.sum() + problem.comm_dec.sum())
+    decode_span = (n - 1) * max(problem.mu_dec * dec_bottleneck, round_trip)
+    return prefill_span + decode_span + theta * state.quality
+
+
+def _boundaries(stage: Sequence[int], n_stages: int) -> List[Tuple[int, int, int]]:
+    """(stage, first_group, last_group) per non-empty stage."""
+    out = []
+    for j in range(n_stages):
+        gs = [g for g, s in enumerate(stage) if s == j]
+        if gs:
+            out.append((j, gs[0], gs[-1]))
+    return out
+
+
+def _candidate_changes(
+    problem: PlanningProblem, state: _State
+) -> List[List[Tuple[int, int, int]]]:
+    """Change-lists for every neighbor state.
+
+    (a) re-precision any group in place; (b) shift 1-2 boundary groups of
+    any stage to the adjacent stage, optionally converting their bits —
+    the paper's ``(b_st, b_pi, num_s)`` transformations.
+    """
+    moves: List[List[Tuple[int, int, int]]] = []
+    K = problem.n_bits
+    for g in range(problem.n_groups):
+        for k in range(K):
+            if k != state.kidx[g]:
+                moves.append([(g, state.stage[g], k)])
+    spans = _boundaries(state.stage, problem.n_stages)
+    for idx, (j, first, last) in enumerate(spans):
+        n_in_stage = last - first + 1
+        for num_s in (1, 2):
+            if n_in_stage <= num_s:
+                continue  # stages must stay non-empty
+            if idx + 1 < len(spans):
+                nxt = spans[idx + 1][0]
+                for k in range(K):
+                    moves.append(
+                        [
+                            (g, nxt, k)
+                            for g in range(last - num_s + 1, last + 1)
+                        ]
+                    )
+            if idx > 0:
+                prv = spans[idx - 1][0]
+                for k in range(K):
+                    moves.append(
+                        [(g, prv, k) for g in range(first, first + num_s)]
+                    )
+    return moves
+
+
+def greedy_adabits(
+    problem: PlanningProblem,
+    quality_budget: Optional[float] = None,
+) -> Optional[ILPSolution]:
+    """Greedy quality-first start: capacity-proportional contiguous split,
+    then per-group bit upgrades by best quality gain per stage.
+
+    A non-ILP stand-in for the *adabits* warm start so the heuristic path
+    never pays a branch-and-bound solve; the hill climb repairs any
+    latency slack it leaves.
+    """
+    G, N, K = problem.n_groups, problem.n_stages, problem.n_bits
+    cap = np.maximum(problem.capacity, 0.0)
+    if cap.sum() <= 0:
+        return None
+    mem_min = problem.mem[:, 0]
+    # Contiguous counts proportional to capacity, each stage non-empty.
+    raw = cap / cap.sum() * G
+    counts = np.maximum(np.floor(raw).astype(int), 1)
+    while counts.sum() > G:
+        j = int(np.argmax(counts))
+        if counts[j] <= 1:
+            return None
+        counts[j] -= 1
+    while counts.sum() < G:
+        counts[int(np.argmax(raw - counts))] += 1
+    # Repair min-bits overflows by shifting boundary groups outward.
+    worst_group = float(mem_min.max())
+    max_groups = np.floor(cap / max(worst_group, 1.0)).astype(int)
+    if max_groups.sum() < G:
+        return None
+    for _ in range(4 * G):
+        over = np.where(counts > max_groups)[0]
+        if over.size == 0:
+            break
+        j = int(over[0])
+        left = max_groups[j - 1] - counts[j - 1] if j > 0 else -1
+        right = max_groups[j + 1] - counts[j + 1] if j + 1 < N else -1
+        if right >= left and j + 1 < N:
+            counts[j] -= 1
+            counts[j + 1] += 1
+        elif j > 0:
+            counts[j] -= 1
+            counts[j - 1] += 1
+        else:
+            return None
+        if counts.min() < 1:
+            return None
+    else:
+        return None
+    if np.any(counts > max_groups):
+        return None
+
+    stage: List[int] = []
+    for j, c in enumerate(counts):
+        stage.extend([j] * int(c))
+    kidx = [0] * G
+    # Upgrade bits greedily per stage by quality gain, within memory.
+    for j in range(N):
+        gs = [g for g in range(G) if stage[g] == j]
+        slack = float(cap[j] - sum(problem.mem[g, 0] for g in gs))
+        while True:
+            best_g, best_gain, best_cost = -1, 0.0, 0.0
+            for g in gs:
+                k = kidx[g]
+                if k + 1 >= K:
+                    continue
+                cost = problem.mem[g, k + 1] - problem.mem[g, k]
+                if cost > slack:
+                    continue
+                gain = problem.omega[g, k] - problem.omega[g, k + 1]
+                if gain > best_gain:
+                    best_g, best_gain, best_cost = g, gain, cost
+            if best_g < 0:
+                break
+            kidx[best_g] += 1
+            slack -= best_cost
+    bits = tuple(problem.bit_choices[k] for k in kidx)
+    quality = problem.quality_sum(bits)
+    if quality_budget is not None and quality > quality_budget + 1e-12:
+        return None
+    return ILPSolution(
+        assign_stage=tuple(stage),
+        assign_bits=bits,
+        objective=quality,
+        latency_s=problem.latency_estimate(stage, bits),
+        quality=quality,
+        solve_time_s=0.0,
+        status="greedy-adabits",
+    )
+
+
+def bitwidth_transfer(
+    problem: PlanningProblem,
+    theta: float = 10.0,
+    quality_budget: Optional[float] = None,
+    time_limit_s: float = 60.0,
+    max_iters: int = 200,
+    start: Optional[ILPSolution] = None,
+) -> Optional[ILPSolution]:
+    """Heuristic solve of one planning subproblem; ``None`` if infeasible.
+
+    ``start`` lets the caller reuse one *adabits* warm start across many
+    (eta, xi) subproblems of the same ordering.
+    """
+    t0 = time.perf_counter()
+    bit_to_k = {b: k for k, b in enumerate(problem.bit_choices)}
+
+    def make_state(sol: ILPSolution) -> _State:
+        return _State.build(
+            problem,
+            sol.assign_stage,
+            [bit_to_k[b] for b in sol.assign_bits],
+        )
+
+    if start is None:
+        start = greedy_adabits(problem, quality_budget=quality_budget)
+    if start is None:
+        start = solve_adabits(
+            problem, quality_budget=quality_budget, time_limit_s=time_limit_s
+        )
+    if start is None:
+        return None
+    state = make_state(start)
+    best = _objective_from_aggregates(problem, state, theta, quality_budget)
+    if not np.isfinite(best):
+        # A reused warm start may violate this subproblem's constraints;
+        # fall back to a fresh greedy (then exact) adabits solve.
+        start = greedy_adabits(problem, quality_budget=quality_budget)
+        if start is None:
+            start = solve_adabits(
+                problem, quality_budget=quality_budget, time_limit_s=time_limit_s
+            )
+        if start is None:
+            return None
+        state = make_state(start)
+        best = _objective_from_aggregates(problem, state, theta, quality_budget)
+        if not np.isfinite(best):
+            return None
+
+    for _ in range(max_iters):
+        best_move: Optional[List[Tuple[int, int, int]]] = None
+        best_val = best
+        for changes in _candidate_changes(problem, state):
+            saved = [(state.stage[g], state.kidx[g]) for g, _, _ in changes]
+            state.apply(problem, changes)
+            val = _objective_from_aggregates(
+                problem, state, theta, quality_budget
+            )
+            state.revert(problem, changes, saved)
+            if val < best_val - 1e-9:
+                best_val = val
+                best_move = changes
+        if best_move is None:
+            break
+        state.apply(problem, best_move)
+        best = best_val
+        if time.perf_counter() - t0 > time_limit_s:
+            break
+
+    assign_stage = tuple(state.stage)
+    assign_bits = tuple(problem.bit_choices[k] for k in state.kidx)
+    latency = problem.latency_estimate(assign_stage, assign_bits)
+    quality = problem.quality_sum(assign_bits)
+    return ILPSolution(
+        assign_stage=assign_stage,
+        assign_bits=assign_bits,
+        objective=best,
+        latency_s=latency,
+        quality=quality,
+        solve_time_s=time.perf_counter() - t0,
+        status="heuristic",
+    )

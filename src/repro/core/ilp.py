@@ -1,0 +1,255 @@
+"""The joint partition + bitwidth ILP (objective (4), constraints (5)-(16)).
+
+Decision variables ``z[g, j, k]`` place layer group ``g`` on stage ``j``
+at bitwidth ``bit_choices[k]``; continuous epigraph variables model the
+slowest-stage times and the decode-span max.  Solved with HiGHS through
+``scipy.optimize.milp`` (the GUROBI substitute), honoring a wall-clock
+time limit like the paper's 60 s solver budget (Sec. VI-F).
+
+The *adabits* variant (pure adaptive quantization, Sec. IV-C / VI-H)
+drops the latency terms and minimizes the quality indicator alone under
+the same memory/contiguity constraints.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import lil_matrix
+
+from .costs import PlanningProblem
+
+
+@contextlib.contextmanager
+def _silenced_stdout():
+    """Mute HiGHS's C-level debug chatter during a solve.
+
+    Some HiGHS builds print internal diagnostics straight to fd 1, which
+    scipy's ``disp=False`` cannot suppress.
+    """
+    try:
+        stdout_fd = os.dup(1)
+    except OSError:  # exotic environments without a real fd 1
+        yield
+        return
+    try:
+        with open(os.devnull, "wb") as devnull:
+            os.dup2(devnull.fileno(), 1)
+        yield
+    finally:
+        os.dup2(stdout_fd, 1)
+        os.close(stdout_fd)
+
+
+@dataclass(frozen=True)
+class ILPSolution:
+    """A solved planning subproblem."""
+
+    #: Stage index per layer group.
+    assign_stage: Tuple[int, ...]
+    #: Bitwidth per layer group.
+    assign_bits: Tuple[int, ...]
+    objective: float
+    latency_s: float
+    quality: float
+    solve_time_s: float
+    status: str
+
+
+def _var_layout(problem: PlanningProblem) -> Tuple[int, int, int, int]:
+    nz = problem.n_groups * problem.n_stages * problem.n_bits
+    return nz, nz, nz + 1, nz + 2  # n_z, idx T_pre_max, T_dec_max, D
+
+
+def _zidx(problem: PlanningProblem, g: int, j: int, k: int) -> int:
+    return (g * problem.n_stages + j) * problem.n_bits + k
+
+
+def solve_partition_ilp(
+    problem: PlanningProblem,
+    theta: float = 10.0,
+    quality_budget: Optional[float] = None,
+    time_limit_s: float = 60.0,
+    latency_objective: bool = True,
+) -> Optional[ILPSolution]:
+    """Solve one planning subproblem; ``None`` when infeasible.
+
+    ``latency_objective=False`` yields the *adabits* problem: minimize the
+    quality indicator only (the latency epigraphs are dropped).
+    """
+    t0 = time.perf_counter()
+    G, N, K = problem.n_groups, problem.n_stages, problem.n_bits
+    n = problem.workload.output_len
+    nz, i_pre, i_dec, i_d = _var_layout(problem)
+    nvars = nz + 3
+
+    c = np.zeros(nvars)
+    for g in range(G):
+        for j in range(N):
+            for k in range(K):
+                idx = _zidx(problem, g, j, k)
+                if latency_objective:
+                    c[idx] = problem.l_pre[g, j, k] + theta * problem.omega[g, k]
+                else:
+                    # Tiny latency tie-breaker: the quality-only problem has
+                    # a large plateau of symmetric optima that stalls
+                    # branch-and-bound; epsilon-perturbing with layer costs
+                    # breaks the symmetry without changing the quality
+                    # optimum materially.
+                    c[idx] = problem.omega[g, k] + 1e-4 * (
+                        problem.l_pre[g, j, k] + problem.l_dec[g, j, k]
+                    )
+    if latency_objective:
+        c[i_pre] = max(problem.prefill_jobs - 1, 0)
+        c[i_d] = 1.0
+
+    constraints: List[LinearConstraint] = []
+
+    # (9)-(11): each group gets exactly one (stage, bitwidth).
+    a_assign = lil_matrix((G, nvars))
+    for g in range(G):
+        for j in range(N):
+            for k in range(K):
+                a_assign[g, _zidx(problem, g, j, k)] = 1.0
+    constraints.append(LinearConstraint(a_assign.tocsr(), 1.0, 1.0))
+
+    if latency_objective:
+        # (5): T_pre_max >= per-stage prefill time (incl. constants).
+        a = lil_matrix((N, nvars))
+        ub = np.zeros(N)
+        for j in range(N):
+            for g in range(G):
+                for k in range(K):
+                    a[j, _zidx(problem, g, j, k)] = problem.l_pre[g, j, k]
+            a[j, i_pre] = -1.0
+            ub[j] = -problem.const_pre[j]
+        constraints.append(LinearConstraint(a.tocsr(), -np.inf, ub))
+
+        # (6): T_dec_max >= per-stage decode time.
+        a = lil_matrix((N, nvars))
+        ub = np.zeros(N)
+        for j in range(N):
+            for g in range(G):
+                for k in range(K):
+                    a[j, _zidx(problem, g, j, k)] = problem.l_dec[g, j, k]
+            a[j, i_dec] = -1.0
+            ub[j] = -problem.const_dec[j]
+        constraints.append(LinearConstraint(a.tocsr(), -np.inf, ub))
+
+        # Decode span D >= bottleneck bound and >= round-trip bound.
+        a = lil_matrix((2, nvars))
+        ub = np.zeros(2)
+        a[0, i_dec] = (n - 1) * problem.mu_dec
+        a[0, i_d] = -1.0
+        ub[0] = 0.0
+        for g in range(G):
+            for j in range(N):
+                for k in range(K):
+                    a[1, _zidx(problem, g, j, k)] = (n - 1) * problem.l_dec[
+                        g, j, k
+                    ]
+        a[1, i_d] = -1.0
+        ub[1] = -(n - 1) * (
+            float(problem.const_dec.sum()) + float(problem.comm_dec.sum())
+        )
+        constraints.append(LinearConstraint(a.tocsr(), -np.inf, ub))
+
+    # (12)-(13): per-stage memory.
+    a = lil_matrix((N, nvars))
+    for j in range(N):
+        for g in range(G):
+            for k in range(K):
+                a[j, _zidx(problem, g, j, k)] = problem.mem[g, k]
+    constraints.append(LinearConstraint(a.tocsr(), -np.inf, problem.capacity))
+
+    # (15)-(16): contiguity — cumulative stage mass is non-increasing in g.
+    if N > 1 and G > 1:
+        a = lil_matrix(((G - 1) * (N - 1), nvars))
+        row = 0
+        for g in range(G - 1):
+            for j in range(N - 1):
+                for jj in range(j + 1):
+                    for k in range(K):
+                        a[row, _zidx(problem, g, jj, k)] = 1.0
+                        a[row, _zidx(problem, g + 1, jj, k)] = -1.0
+                row += 1
+        constraints.append(LinearConstraint(a.tocsr(), 0.0, np.inf))
+
+    # Every stage holds at least one group (no empty pipeline stages).
+    if N > 1:
+        a = lil_matrix((N, nvars))
+        for j in range(N):
+            for g in range(G):
+                for k in range(K):
+                    a[j, _zidx(problem, g, j, k)] = 1.0
+        constraints.append(LinearConstraint(a.tocsr(), 1.0, np.inf))
+
+    # Optional hard quality budget (Sec. VI-C mode).
+    if quality_budget is not None:
+        a = lil_matrix((1, nvars))
+        for g in range(G):
+            for j in range(N):
+                for k in range(K):
+                    a[0, _zidx(problem, g, j, k)] = problem.omega[g, k]
+        constraints.append(LinearConstraint(a.tocsr(), -np.inf, quality_budget))
+
+    integrality = np.zeros(nvars)
+    integrality[:nz] = 1
+    lb = np.zeros(nvars)
+    ub_v = np.full(nvars, np.inf)
+    ub_v[:nz] = 1.0
+    if problem.comm_pre.size:
+        lb[i_pre] = float(problem.comm_pre.max())
+        lb[i_dec] = float(problem.comm_dec.max())
+
+    with _silenced_stdout():
+        res = milp(
+            c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(lb, ub_v),
+            options={"time_limit": time_limit_s, "mip_rel_gap": 1e-4},
+        )
+    solve_time = time.perf_counter() - t0
+    if res.x is None:
+        return None
+
+    z = res.x[:nz].reshape(G, N, K)
+    assign_stage: List[int] = []
+    assign_bits: List[int] = []
+    for g in range(G):
+        j, k = np.unravel_index(int(np.argmax(z[g])), (N, K))
+        assign_stage.append(int(j))
+        assign_bits.append(int(problem.bit_choices[k]))
+    latency = problem.latency_estimate(assign_stage, assign_bits)
+    quality = problem.quality_sum(assign_bits)
+    return ILPSolution(
+        assign_stage=tuple(assign_stage),
+        assign_bits=tuple(assign_bits),
+        objective=float(res.fun),
+        latency_s=latency,
+        quality=quality,
+        solve_time_s=solve_time,
+        status="optimal" if res.status == 0 else f"status-{res.status}",
+    )
+
+
+def solve_adabits(
+    problem: PlanningProblem,
+    quality_budget: Optional[float] = None,
+    time_limit_s: float = 60.0,
+) -> Optional[ILPSolution]:
+    """Pure adaptive quantization: best quality that fits (no latency)."""
+    return solve_partition_ilp(
+        problem,
+        theta=1.0,
+        quality_budget=quality_budget,
+        time_limit_s=time_limit_s,
+        latency_objective=False,
+    )

@@ -1,0 +1,318 @@
+"""SplitQuantPlanner: the offline assigner (Fig. 6, step 2).
+
+Ties the whole pipeline together: fit cost models from calibration
+payloads, build the variance-indicator table, enumerate pruned device
+topologies and (prefill, decode) micro-batch pairs, solve the joint
+partition/bitwidth problem for each candidate (exact ILP or the
+bitwidth-transfer heuristic), and emit the best
+:class:`~repro.plan.ExecutionPlan`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..plan import ExecutionPlan, StagePlan
+from ..quant.sensitivity import normalized_indicator_table
+from ..workloads.spec import BatchWorkload
+from .config import PlannerConfig
+from .costs import PlanningProblem, StageGroup, build_problem
+from .enumeration import candidate_orderings, microbatch_candidates
+from .heuristic import bitwidth_transfer
+from .ilp import ILPSolution, solve_adabits, solve_partition_ilp
+
+
+@dataclass(frozen=True)
+class CandidateStat:
+    """Solve record for one (ordering, eta, xi) candidate."""
+
+    ordering_key: Tuple[Tuple[str, int], ...]
+    eta: int
+    xi: int
+    status: str
+    latency_s: float
+    quality: float
+    solve_time_s: float
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """The assigner's output."""
+
+    plan: ExecutionPlan
+    predicted_latency_s: float
+    predicted_quality: float
+    predicted_throughput: float
+    solve_time_s: float
+    candidates_tried: int
+    stats: Tuple[CandidateStat, ...]
+
+
+def solution_to_plan(
+    spec: ModelSpec,
+    ordering: Sequence[StageGroup],
+    group_sizes: Sequence[int],
+    solution: ILPSolution,
+    eta: int,
+    xi: int,
+    bit_kv: int,
+) -> ExecutionPlan:
+    """Expand a grouped ILP solution into a concrete execution plan."""
+    layer_bits: List[int] = []
+    layer_stage: List[int] = []
+    for g, size in enumerate(group_sizes):
+        layer_bits.extend([solution.assign_bits[g]] * size)
+        layer_stage.extend([solution.assign_stage[g]] * size)
+    stages: List[StagePlan] = []
+    start = 0
+    for j, sg in enumerate(ordering):
+        bits = tuple(
+            b for b, s in zip(layer_bits, layer_stage) if s == j
+        )
+        if not bits:
+            raise ValueError(f"stage {j} received no layers")
+        stages.append(
+            StagePlan(
+                device_ids=sg.device_ids,
+                gpu_name=sg.gpu.name,
+                layer_start=start,
+                layer_bits=bits,
+            )
+        )
+        start += len(bits)
+    return ExecutionPlan(
+        model_name=spec.name,
+        stages=tuple(stages),
+        prefill_microbatch=eta,
+        decode_microbatch=xi,
+        bit_kv=bit_kv,
+    )
+
+
+class SplitQuantPlanner:
+    """Joint optimizer of quantization, partition and micro-batching."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        cluster: ClusterSpec,
+        config: PlannerConfig = PlannerConfig(),
+        cost_model: Optional[LatencyCostModel] = None,
+        omega_layers: Optional[np.ndarray] = None,
+    ) -> None:
+        self.spec = spec
+        self.cluster = cluster
+        self.config = config
+        if cost_model is None:
+            cost_model = LatencyCostModel(spec, bit_kv=config.bit_kv)
+            gpus = {d.gpu.name: d.gpu for d in cluster.devices}
+            cost_model.fit(gpus.values(), config.bit_choices)
+        self.cost_model = cost_model
+        if omega_layers is None:
+            omega_layers = normalized_indicator_table(spec, config.bit_choices)
+        if omega_layers.shape != (spec.num_layers, len(config.bit_choices)):
+            raise ValueError(
+                "omega_layers must be (num_layers x len(bit_choices))"
+            )
+        self.omega_layers = omega_layers
+        self._kv_cost_models = {config.bit_kv: self.cost_model}
+
+    def cost_model_for_kv(self, bit_kv: int) -> LatencyCostModel:
+        """Cost model fitted at the given KV-cache bitwidth (lazy)."""
+        if bit_kv not in self._kv_cost_models:
+            cm = LatencyCostModel(self.spec, bit_kv=bit_kv)
+            gpus = {d.gpu.name: d.gpu for d in self.cluster.devices}
+            cm.fit(gpus.values(), self.config.bit_choices)
+            self._kv_cost_models[bit_kv] = cm
+        return self._kv_cost_models[bit_kv]
+
+    def uniform_quality(self, bits: int) -> float:
+        """Summed indicator of uniform quantization at ``bits``.
+
+        The Sec. VI-C quality budget: SplitQuant plans are constrained to
+        at most the Uniform baseline's indicator sum.
+        """
+        k = list(self.config.bit_choices).index(bits)
+        return float(self.omega_layers[:, k].sum())
+
+    def _solve_one(
+        self,
+        problem: PlanningProblem,
+        warm_start: Optional[ILPSolution] = None,
+    ) -> Optional[ILPSolution]:
+        cfg = self.config
+        # In hard-budget mode (Sec. VI-C) quality is a constraint, not an
+        # objective term — theta would otherwise bias the solve away from
+        # the latency optimum the budget already safeguards.
+        theta = 0.0 if cfg.quality_budget is not None else cfg.theta
+        if cfg.use_heuristic:
+            return bitwidth_transfer(
+                problem,
+                theta=theta,
+                quality_budget=cfg.quality_budget,
+                time_limit_s=cfg.time_limit_s,
+                start=warm_start,
+            )
+        return solve_partition_ilp(
+            problem,
+            theta=theta,
+            quality_budget=cfg.quality_budget,
+            time_limit_s=cfg.time_limit_s,
+        )
+
+    def _verify_candidates(self, top, workload: BatchWorkload):
+        """Dry-run the leading candidates through the event simulator.
+
+        Timing comes from the fitted cost model (never the testbed truth),
+        so this is a pure refinement of the analytic pipeline formula —
+        it captures bubble/feedback effects the closed form approximates.
+        """
+        from ..pipeline.simulator import simulate_plan
+        from ..pipeline.stage import CostModelTiming
+
+        best = None
+        best_makespan = float("inf")
+        for cand in top:
+            _, sol, ordering, group_sizes, eta, xi, bit_kv = cand
+            timing = CostModelTiming(
+                cost_model=self.cost_model_for_kv(bit_kv), spec=self.spec
+            )
+            try:
+                plan = solution_to_plan(
+                    self.spec, ordering, group_sizes, sol, eta, xi, bit_kv
+                )
+                res = simulate_plan(
+                    plan, self.cluster, self.spec, workload,
+                    timing=timing, check_memory=False,
+                )
+            except (ValueError, RuntimeError):
+                continue
+            penalty = (
+                0.0
+                if self.config.quality_budget is not None
+                else self.config.theta * sol.quality
+            )
+            if res.makespan_s + penalty < best_makespan:
+                best_makespan = res.makespan_s + penalty
+                best = cand
+        return best if best is not None else top[0]
+
+    def plan(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+        """Plan serving of ``workload``; ``None`` when nothing fits."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        orderings = candidate_orderings(
+            self.cluster, enable_tp=cfg.enable_tp, max_orderings=cfg.max_orderings
+        )
+        mbs = microbatch_candidates(workload.batch, cfg.microbatch_candidates)
+        kv_choices = cfg.kv_bit_choices or (cfg.bit_kv,)
+        stats: List[CandidateStat] = []
+        candidates: List[
+            Tuple[
+                float,
+                ILPSolution,
+                Tuple[StageGroup, ...],
+                Tuple[int, ...],
+                int,
+                int,
+                int,
+            ]
+        ] = []
+        min_bits = min(cfg.bit_choices)
+
+        for bit_kv in kv_choices:
+            cost_model = self.cost_model_for_kv(bit_kv)
+            for ordering in orderings:
+                # Cheap prune: even all-min-bits weights must fit in total.
+                total_cap = sum(sg.capacity_bytes for sg in ordering)
+                from ..models.layers import weight_storage_bytes
+
+                min_weights = self.spec.num_layers * weight_storage_bytes(
+                    self.spec, min_bits
+                )
+                if min_weights > total_cap:
+                    continue
+                adabits_start: Optional[ILPSolution] = None
+                for eta in mbs:
+                    for xi in mbs:
+                        if cfg.tie_microbatches and xi != eta:
+                            continue
+                        problem = build_problem(
+                            self.spec,
+                            self.cluster,
+                            ordering,
+                            workload,
+                            cost_model,
+                            self.omega_layers,
+                            eta,
+                            xi,
+                            cfg.bit_choices,
+                            group_size=cfg.group_size,
+                            bit_kv=bit_kv,
+                            phase_blind=cfg.phase_blind,
+                        )
+                        if cfg.use_heuristic and adabits_start is None:
+                            adabits_start = solve_adabits(
+                                problem,
+                                quality_budget=cfg.quality_budget,
+                                time_limit_s=cfg.time_limit_s,
+                            )
+                        sol = self._solve_one(problem, warm_start=adabits_start)
+                        key = tuple(sg.key() for sg in ordering)
+                        if sol is None:
+                            stats.append(
+                                CandidateStat(
+                                    key, eta, xi, "infeasible", 0.0, 0.0, 0.0
+                                )
+                            )
+                            continue
+                        stats.append(
+                            CandidateStat(
+                                key,
+                                eta,
+                                xi,
+                                sol.status,
+                                sol.latency_s,
+                                sol.quality,
+                                sol.solve_time_s,
+                            )
+                        )
+                        score = sol.latency_s + cfg.theta * sol.quality
+                        if cfg.quality_budget is not None:
+                            score = sol.latency_s
+                        candidates.append(
+                            (score, sol, ordering, problem.group_sizes,
+                             eta, xi, bit_kv)
+                        )
+
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: c[0])
+        best = candidates[0]
+        if cfg.verify_top_k > 1 and len(candidates) > 1:
+            best = self._verify_candidates(
+                candidates[: cfg.verify_top_k], workload
+            )
+        _, sol, ordering, group_sizes, eta, xi, bit_kv = best
+        plan = solution_to_plan(
+            self.spec, ordering, group_sizes, sol, eta, xi, bit_kv
+        )
+        n_tokens = workload.batch * workload.output_len
+        return PlannerResult(
+            plan=plan,
+            predicted_latency_s=sol.latency_s,
+            predicted_quality=sol.quality,
+            predicted_throughput=(
+                n_tokens / sol.latency_s if sol.latency_s > 0 else 0.0
+            ),
+            solve_time_s=time.perf_counter() - t0,
+            candidates_tried=len(stats),
+            stats=tuple(stats),
+        )

@@ -1,0 +1,33 @@
+"""Cost models: memory (Sec. IV-A) and phase-aware latency regression."""
+
+from .latency import (
+    DECODE_GRID,
+    PREFILL_GRID,
+    LatencyCostModel,
+    PhaseRegression,
+    decode_features,
+    fit_phase,
+    prefill_features,
+    relative_errors,
+)
+from .memory import (
+    MemoryCostModel,
+    activation_workspace_bytes,
+    embedding_memory_bytes,
+    layer_memory_bytes,
+)
+
+__all__ = [
+    "DECODE_GRID",
+    "PREFILL_GRID",
+    "LatencyCostModel",
+    "PhaseRegression",
+    "decode_features",
+    "fit_phase",
+    "prefill_features",
+    "relative_errors",
+    "MemoryCostModel",
+    "activation_workspace_bytes",
+    "embedding_memory_bytes",
+    "layer_memory_bytes",
+]

@@ -1,0 +1,55 @@
+"""Per-table/figure experiment modules (see DESIGN.md's experiment index)."""
+
+from . import (
+    ablations,
+    fig01_fleet,
+    fig03_phase_decomposition,
+    fig04_quant_quality,
+    fig05_kernel_latency,
+    fig07_workload_dists,
+    fig08_costmodel_fidelity,
+    fig09_hetero_vllm,
+    fig10_hetero_custom,
+    fig11_theta_sensitivity,
+    fig12_adabits_ablation,
+    tab01_layer_sensitivity,
+    tab04_homogeneous,
+    tab05_indicator,
+    tab06_grouping_heuristic,
+)
+from .common import (
+    ServingComparison,
+    compare_policies,
+    cost_model_for,
+    feasible_batch,
+    throughput_of,
+)
+from .harness import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "ablations": ablations,
+    "fig01": fig01_fleet,
+    "fig03": fig03_phase_decomposition,
+    "fig04": fig04_quant_quality,
+    "fig05": fig05_kernel_latency,
+    "fig07": fig07_workload_dists,
+    "fig08": fig08_costmodel_fidelity,
+    "fig09": fig09_hetero_vllm,
+    "fig10": fig10_hetero_custom,
+    "fig11": fig11_theta_sensitivity,
+    "fig12": fig12_adabits_ablation,
+    "tab01": tab01_layer_sensitivity,
+    "tab04": tab04_homogeneous,
+    "tab05": tab05_indicator,
+    "tab06": tab06_grouping_heuristic,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ServingComparison",
+    "compare_policies",
+    "cost_model_for",
+    "feasible_batch",
+    "throughput_of",
+]

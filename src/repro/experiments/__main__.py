@@ -1,0 +1,59 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments all
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate SplitQuant paper tables/figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig09 tab05), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<6} {doc}")
+        return 0
+
+    names = (
+        sorted(ALL_EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[name].run()
+        print(result.to_text())
+        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

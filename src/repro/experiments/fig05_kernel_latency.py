@@ -1,0 +1,64 @@
+"""Fig. 5: prefill/decode kernel latency vs precision and batch size.
+
+One OPT-30B decoder layer at prompt length 512 on T4 / V100 / A100 across
+batch sizes {1, 8, 32} and precisions {16, 8, 4, 3}.  The paper's
+phenomena: FP16 retains the prefill advantage over 3/4-bit (dequant
+overhead in the compute-bound phase), low bits win decode (memory-bound),
+tensor-core INT8 is fast on T4/A100 but shape-dependent on V100.
+"""
+
+from __future__ import annotations
+
+from ..hardware.gpus import get_gpu
+from ..models.architectures import get_model
+from ..simgpu.roofline import layer_time
+from .harness import ExperimentResult
+
+DEVICES = ("T4-16G", "V100-32G", "A100-40G")
+BATCHES = (1, 8, 32)
+PRECISIONS = (16, 8, 4, 3)
+
+
+def run(model_name: str = "opt-30b", prompt: int = 512) -> ExperimentResult:
+    spec = get_model(model_name)
+    rows = []
+    for device in DEVICES:
+        gpu = get_gpu(device)
+        for phase in ("prefill", "decode"):
+            for batch in BATCHES:
+                times = {
+                    b: layer_time(gpu, spec, b, phase, batch, prompt)
+                    for b in PRECISIONS
+                }
+                rows.append(
+                    [device, phase, batch]
+                    + [times[b] * 1e3 for b in PRECISIONS]
+                )
+    v100 = get_gpu("V100-32G")
+    t4 = get_gpu("T4-16G")
+    summary = {
+        # Weight-only low bits pay dequant in prefill:
+        "v100_prefill_fp16_over_4bit": layer_time(v100, spec, 16, "prefill", 8, prompt)
+        / layer_time(v100, spec, 4, "prefill", 8, prompt),
+        # ...but win the memory-bound decode phase:
+        "v100_decode_fp16_over_4bit": layer_time(v100, spec, 16, "decode", 8, prompt)
+        / layer_time(v100, spec, 4, "decode", 8, prompt),
+        # T4 tensor cores make INT8 prefill faster than FP16:
+        "t4_prefill_fp16_over_int8": layer_time(t4, spec, 16, "prefill", 8, prompt)
+        / layer_time(t4, spec, 8, "prefill", 8, prompt),
+        # V100 INT8 lacks tensor cores; prefill INT8 is slower than FP16:
+        "v100_prefill_fp16_over_int8": layer_time(v100, spec, 16, "prefill", 8, prompt)
+        / layer_time(v100, spec, 8, "prefill", 8, prompt),
+    }
+    return ExperimentResult(
+        name="fig05",
+        title="Single-layer latency vs precision and batch (OPT-30B, s=512)",
+        headers=["device", "phase", "batch", "fp16_ms", "int8_ms", "4bit_ms",
+                 "3bit_ms"],
+        rows=rows,
+        summary=summary,
+        notes=(
+            "Expected shape: fp16 <= 4/3-bit in prefill; 4/3-bit < fp16 in "
+            "decode; T4/A100 int8 < fp16 in prefill, V100 int8 > fp16."
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Fig. 9: end-to-end throughput on heterogeneous clusters (vLLM backend).
+
+Clusters 2-7 of Table III serving instruction models sized to each
+cluster, on the CNN/DailyMail summarization and LooGLE long-context
+workloads, comparing Uniform / Het / SplitQuant.  SplitQuant is quality-
+constrained to at least the Uniform baseline (Sec. VI-C), so gains are
+pure efficiency.  The paper reports a 37% average improvement over the
+Uniform baseline on this backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..hardware.cluster import table_iii_cluster
+from ..models.architectures import get_model
+from ..workloads.distributions import sample_dataset
+from ..workloads.spec import BatchWorkload
+from .common import compare_policies, feasible_batch
+from .harness import ExperimentResult
+
+#: Model sized to each cluster's aggregate memory (paper pairs similarly).
+CLUSTER_MODELS: Dict[int, str] = {
+    2: "qwen2.5-32b",
+    3: "qwen2.5-14b",
+    4: "llama-3.3-70b",
+    5: "qwen2.5-14b",
+    6: "qwen2.5-7b",
+    7: "qwen2.5-32b",
+}
+
+
+def build_workload(
+    dataset: str, model_name: str, cluster_idx: int, seed: int = 0
+) -> BatchWorkload:
+    """A representative padded batch of the dataset for one cluster."""
+    spec = get_model(model_name)
+    cluster = table_iii_cluster(cluster_idx)
+    sample = sample_dataset(dataset, 2048, seed)
+    if dataset == "loogle":
+        # Long-context: prompts clipped to the model context and an
+        # engine-tractable bound; admission limited by the KV budget.
+        prompt = int(
+            min(np.percentile(sample.prompt_lens, 50),
+                spec.max_position_embeddings - 512, 16_384)
+        )
+        output = max(int(sample.output_lens.mean()), 8)
+    else:
+        keep = sample.prompt_lens + sample.output_lens <= spec.max_position_embeddings
+        prompt = int(np.percentile(sample.prompt_lens[keep], 95))
+        output = int(sample.output_lens[keep].mean())
+    batch = feasible_batch(spec, cluster, prompt, output, max_batch=256)
+    return BatchWorkload(batch=batch, prompt_len=prompt, output_len=output)
+
+
+def run(
+    clusters: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    datasets: Sequence[str] = ("cnn_dailymail", "loogle"),
+    seed: int = 0,
+) -> ExperimentResult:
+    rows = []
+    speedups = []
+    for idx in clusters:
+        cluster = table_iii_cluster(idx)
+        model_name = CLUSTER_MODELS[idx]
+        spec = get_model(model_name)
+        for dataset in datasets:
+            wl = build_workload(dataset, model_name, idx, seed)
+            cmp = compare_policies(spec, cluster, wl)
+            sp = cmp.speedup_vs_uniform
+            if np.isfinite(sp) and sp > 0:
+                speedups.append(sp)
+            rows.append(
+                [
+                    f"cluster-{idx}",
+                    model_name,
+                    dataset,
+                    wl.describe(),
+                    cmp.uniform_tput,
+                    cmp.het_tput,
+                    cmp.splitquant_tput,
+                    sp if np.isfinite(sp) else float("nan"),
+                ]
+            )
+    mean_speedup = float(np.mean(speedups)) if speedups else 0.0
+    return ExperimentResult(
+        name="fig09",
+        title="Heterogeneous serving throughput, vLLM-style backend",
+        headers=["cluster", "model", "dataset", "workload", "uniform_tps",
+                 "het_tps", "splitquant_tps", "speedup_vs_uniform"],
+        rows=rows,
+        summary={"mean_speedup_vs_uniform": mean_speedup},
+        notes="Paper: ~1.37x average over Uniform; gains on both workloads.",
+    )

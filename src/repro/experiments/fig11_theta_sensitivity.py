@@ -1,0 +1,73 @@
+"""Fig. 11: sensitivity to the quality scalar theta.
+
+Sweeping theta through {0.1x, 1x, 10x} of the default on (OPT-66B,
+cluster 7) and (OPT-30B, cluster 8): larger theta weighs quality more,
+so throughput falls while perplexity improves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..core import PlannerConfig, SplitQuantPlanner
+from ..hardware.cluster import table_iii_cluster
+from ..models.architectures import get_model
+from ..quality.quality_model import AnalyticQualityModel
+from ..workloads.spec import BatchWorkload
+from .common import BITS, cost_model_for, throughput_of
+from .harness import ExperimentResult
+
+CASES: Tuple[Tuple[str, int], ...] = (("opt-66b", 7), ("opt-30b", 8))
+THETAS: Tuple[float, ...] = (1.0, 10.0, 100.0)
+
+
+def run(
+    thetas: Sequence[float] = THETAS,
+    max_orderings: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    rows = []
+    summary: Dict[str, float] = {}
+    for model_name, cluster_idx in CASES:
+        spec = get_model(model_name)
+        cluster = table_iii_cluster(cluster_idx)
+        wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+        cm = cost_model_for(spec, cluster)
+        qm = AnalyticQualityModel.for_model(spec, bit_choices=BITS)
+        tputs, ppls = [], []
+        for theta in thetas:
+            cfg = PlannerConfig(
+                theta=theta,
+                group_size=2,
+                max_orderings=max_orderings,
+                microbatch_candidates=(8, 16),
+                time_limit_s=30.0,
+            )
+            planner = SplitQuantPlanner(spec, cluster, cfg, cost_model=cm)
+            res = planner.plan(wl)
+            tput = throughput_of(res.plan if res else None, cluster, spec, wl)
+            ppl = (
+                qm.avg_ppl(list(res.plan.bits_per_layer))
+                if res is not None
+                else float("nan")
+            )
+            tputs.append(tput)
+            ppls.append(ppl)
+            rows.append(
+                [model_name, f"cluster-{cluster_idx}", f"{theta:g}x",
+                 tput, ppl]
+            )
+        summary[f"{model_name}_tput_monotone"] = float(
+            all(a >= b - 1e-9 for a, b in zip(tputs, tputs[1:]))
+        )
+        summary[f"{model_name}_ppl_monotone"] = float(
+            all(a >= b - 1e-9 for a, b in zip(ppls, ppls[1:]))
+        )
+    return ExperimentResult(
+        name="fig11",
+        title="Throughput/quality trade-off across theta",
+        headers=["model", "cluster", "theta", "tokens_per_s", "avg_ppl"],
+        rows=rows,
+        summary=summary,
+        notes="Paper: larger theta -> lower throughput, better perplexity.",
+    )

@@ -1,0 +1,59 @@
+"""Experiment harness: structured results and table formatting.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; the
+benchmark suite regenerates each paper table/figure by calling these and
+printing the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+    #: Free-form scalar summaries (e.g. mean speedup) for assertions.
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def _fmt(self, v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000:
+                return f"{v:,.0f}"
+            if abs(v) >= 10:
+                return f"{v:.1f}"
+            return f"{v:.3f}"
+        return str(v)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [self.headers] + [[self._fmt(v) for v in r] for r in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        header = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.summary:
+            parts = ", ".join(f"{k}={self._fmt(v)}" for k, v in self.summary.items())
+            lines.append(f"summary: {parts}")
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[Any]:
+        """All values of one column by header name."""
+        idx = self.headers.index(header)
+        return [r[idx] for r in self.rows]

@@ -1,0 +1,51 @@
+"""Hardware substrate: GPU specs, interconnects, clusters, fleet stats."""
+
+from .cluster import (
+    ClusterSpec,
+    Device,
+    all_table_iii_clusters,
+    make_cluster,
+    table_iii_cluster,
+)
+from .fleet import FleetStats, monthly_utilization_series, sample_fleet
+from .gpus import (
+    CUDA_CONTEXT_BYTES,
+    GPU_REGISTRY,
+    SUPPORTED_BITS,
+    GPUSpec,
+    get_gpu,
+    list_gpus,
+)
+from .interconnect import (
+    ETH_100G,
+    ETH_800G,
+    NVLINK,
+    PCIE3,
+    LinkSpec,
+    get_link,
+    intra_node_link,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "Device",
+    "all_table_iii_clusters",
+    "make_cluster",
+    "table_iii_cluster",
+    "FleetStats",
+    "monthly_utilization_series",
+    "sample_fleet",
+    "CUDA_CONTEXT_BYTES",
+    "GPU_REGISTRY",
+    "SUPPORTED_BITS",
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    "ETH_100G",
+    "ETH_800G",
+    "NVLINK",
+    "PCIE3",
+    "LinkSpec",
+    "get_link",
+    "intra_node_link",
+]

@@ -1,0 +1,144 @@
+"""Cluster topology: devices, nodes, and the Table III evaluation clusters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .gpus import GPUSpec, get_gpu
+from .interconnect import LinkSpec, get_link, intra_node_link
+
+
+@dataclass(frozen=True)
+class Device:
+    """One physical GPU placed on a node."""
+
+    device_id: int
+    gpu: GPUSpec
+    node_id: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.gpu.name}#{self.device_id}"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of GPUs grouped into nodes joined by a cross-node link.
+
+    GPUs of the same type live on the same node (as in the paper's testbed),
+    but the class supports arbitrary placements.
+    """
+
+    name: str
+    devices: Tuple[Device, ...]
+    cross_node_link: LinkSpec
+
+    def __post_init__(self):
+        if not self.devices:
+            raise ValueError("cluster must contain at least one device")
+        ids = [d.device_id for d in self.devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate device ids in cluster")
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_nodes(self) -> int:
+        return len({d.node_id for d in self.devices})
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len({d.gpu.name for d in self.devices}) == 1
+
+    def node_devices(self, node_id: int) -> Tuple[Device, ...]:
+        """Devices co-located on ``node_id``."""
+        return tuple(d for d in self.devices if d.node_id == node_id)
+
+    def nodes(self) -> Dict[int, Tuple[Device, ...]]:
+        """Mapping of node id to the devices placed on it."""
+        out: Dict[int, List[Device]] = {}
+        for d in self.devices:
+            out.setdefault(d.node_id, []).append(d)
+        return {k: tuple(v) for k, v in sorted(out.items())}
+
+    def link_between(self, a: Device, b: Device) -> LinkSpec:
+        """The link pipeline traffic between two devices traverses."""
+        if a.device_id == b.device_id:
+            raise ValueError("no link from a device to itself")
+        if a.node_id == b.node_id:
+            return intra_node_link(a.gpu.name)
+        return self.cross_node_link
+
+    def total_memory_bytes(self) -> int:
+        return sum(d.gpu.mem_bytes for d in self.devices)
+
+    def usable_memory_bytes(self) -> int:
+        return sum(d.gpu.usable_mem_bytes for d in self.devices)
+
+    def gpu_counts(self) -> Dict[str, int]:
+        """Histogram of GPU model names in this cluster."""
+        out: Dict[str, int] = {}
+        for d in self.devices:
+            out[d.gpu.name] = out.get(d.gpu.name, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        parts = [f"{n}x{g}" for g, n in sorted(self.gpu_counts().items())]
+        return f"{self.name}: " + " + ".join(parts)
+
+
+def make_cluster(
+    name: str,
+    groups: Sequence[Tuple[str, int]],
+    cross_node_link: str = "eth-800g",
+) -> ClusterSpec:
+    """Build a cluster from ``(gpu_name, count)`` groups.
+
+    Each group lands on its own node, mirroring the paper's testbed where
+    GPUs of the same type share a node.
+    """
+    devices: List[Device] = []
+    dev_id = 0
+    for node_id, (gpu_name, count) in enumerate(groups):
+        if count <= 0:
+            raise ValueError(f"group {gpu_name!r} must have positive count")
+        spec = get_gpu(gpu_name)
+        for _ in range(count):
+            devices.append(Device(device_id=dev_id, gpu=spec, node_id=node_id))
+            dev_id += 1
+    return ClusterSpec(
+        name=name, devices=tuple(devices), cross_node_link=get_link(cross_node_link)
+    )
+
+
+def table_iii_cluster(index: int) -> ClusterSpec:
+    """One of the ten evaluation clusters of Table III.
+
+    Clusters 1, 8, 9, 10 are single-node; clusters 6 and 8 use 100 Gbps
+    Ethernet and the rest 800 Gbps (Sec. VI-A).
+    """
+    defs: Dict[int, Tuple[List[Tuple[str, int]], str]] = {
+        1: ([("V100-32G", 1)], "eth-800g"),
+        2: ([("V100-32G", 2), ("A100-40G", 1)], "eth-800g"),
+        3: ([("V100-32G", 1), ("A100-40G", 1)], "eth-800g"),
+        4: ([("V100-32G", 3), ("A100-40G", 1)], "eth-800g"),
+        5: ([("T4-16G", 3), ("V100-32G", 1)], "eth-800g"),
+        6: ([("P100-12G", 3), ("V100-32G", 1)], "eth-100g"),
+        7: ([("T4-16G", 4), ("V100-32G", 2)], "eth-800g"),
+        8: ([("T4-16G", 4)], "eth-100g"),
+        9: ([("V100-32G", 4)], "eth-800g"),
+        10: ([("A100-40G", 4)], "eth-800g"),
+    }
+    try:
+        groups, link = defs[index]
+    except KeyError:
+        raise KeyError(f"Table III defines clusters 1..10, got {index}") from None
+    return make_cluster(f"cluster-{index}", groups, cross_node_link=link)
+
+
+def all_table_iii_clusters() -> Dict[int, ClusterSpec]:
+    """All ten Table III clusters keyed by index."""
+    return {i: table_iii_cluster(i) for i in range(1, 11)}

@@ -1,0 +1,185 @@
+"""GPU device specifications for the simulated heterogeneous testbed.
+
+The paper evaluates on NVIDIA T4, P100, V100 and A100-40G GPUs.  We model
+each device by the quantities that determine kernel performance in a
+roofline sense plus the precision-support matrix the paper exploits:
+
+* peak and *effective* compute throughput per precision (tensor cores make
+  INT8 fast on T4/A100 but not on P100/V100),
+* effective memory bandwidth (decode is memory-bound),
+* memory capacity net of the CUDA context,
+* a per-kernel launch overhead (dominates tiny decode kernels on old parts).
+
+Effective numbers are calibrated so the simulator reproduces the ratios the
+paper reports (e.g. Fig. 3: a P100 runs an OPT layer ~14.5x slower than a
+V100 in prefill but only ~7.3x slower in decode; Sec. II-E: T4 INT8 is
+comparable to FP16 thanks to tensor cores while V100 INT8 is
+shape-dependent).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+GiB = 1024**3
+#: Memory reserved by the CUDA context / framework on every device (bytes).
+CUDA_CONTEXT_BYTES = int(1.2 * GiB)
+
+#: Bitwidths a plan may assign to a layer.  FP16 == 16 means "not quantized".
+SUPPORTED_BITS: Tuple[int, ...] = (3, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Compute throughputs are *effective achievable* numbers in TFLOP/s (or
+    integer TOP/s for ``int8_tops``), i.e. peak scaled by a realistic
+    utilization factor, since the planner only ever observes end-to-end
+    kernel times.
+    """
+
+    name: str
+    mem_bytes: int
+    #: Effective dense FP16 throughput (TFLOP/s) for large matmuls.
+    fp16_tflops: float
+    #: Effective FP32 throughput (TFLOP/s); used for non-tensor-core paths.
+    fp32_tflops: float
+    #: Effective INT8 throughput (TOP/s) when tensor cores / DP4A exist.
+    int8_tops: float
+    #: True when INT8 matmul runs on dedicated tensor cores (T4, A100).
+    int8_tensor_cores: bool
+    #: Effective memory bandwidth (GB/s) for large contiguous reads.
+    mem_bw_gbps: float
+    #: Effective bandwidth (GB/s) achieved by decode-phase GEMV-style
+    #: kernels.  Older architectures coalesce these poorly and reach a much
+    #: lower fraction of HBM peak than modern parts.
+    mem_bw_decode_gbps: float
+    #: Fixed overhead per kernel launch (seconds).
+    kernel_overhead_s: float
+    #: Relative cost multiplier for unpacking sub-byte weights (3/4-bit).
+    dequant_penalty: float
+    #: Intra-node interconnect ("nvlink" or "pcie").
+    intra_node_link: str = "nvlink"
+
+    @property
+    def usable_mem_bytes(self) -> int:
+        """Memory available to model state after the CUDA context."""
+        return self.mem_bytes - CUDA_CONTEXT_BYTES
+
+    @property
+    def flops_per_byte(self) -> float:
+        """Compute-to-memory ratio (FLOP/Byte) at FP16 — the roofline knee."""
+        return self.fp16_tflops * 1e12 / (self.mem_bw_gbps * 1e9)
+
+    def compute_tflops(self, bits: int) -> float:
+        """Effective matmul throughput when weights are stored at ``bits``.
+
+        Weight-only quantization (3/4-bit GPTQ-style kernels) dequantizes to
+        FP16 and runs FP16 tensor-core matmuls, so the *compute* rate is the
+        FP16 rate; INT8 weight-activation kernels use the INT8 path when the
+        device has fast INT8 support and otherwise fall back to a
+        dequantize-to-FP16 path.
+        """
+        if bits == 16:
+            return self.fp16_tflops
+        if bits == 8:
+            if self.int8_tensor_cores:
+                return self.int8_tops  # TOP/s, same units once counted as ops
+            # Slow path: simulated INT8 via FP16 units with conversion cost.
+            return self.fp16_tflops * 0.85
+        # 3/4-bit weight-only: FP16 compute after in-kernel dequantization.
+        return self.fp16_tflops
+
+    def replace(self, **kwargs) -> "GPUSpec":
+        """Return a copy with selected fields overridden."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def _make_registry() -> Dict[str, GPUSpec]:
+    specs = [
+        # Effective numbers; see module docstring for calibration targets.
+        GPUSpec(
+            name="A100-40G",
+            mem_bytes=40 * GiB,
+            fp16_tflops=200.0,
+            fp32_tflops=18.0,
+            int8_tops=380.0,
+            int8_tensor_cores=True,
+            mem_bw_gbps=1350.0,
+            mem_bw_decode_gbps=900.0,
+            kernel_overhead_s=4e-6,
+            dequant_penalty=1.0,
+        ),
+        GPUSpec(
+            name="V100-32G",
+            mem_bytes=32 * GiB,
+            fp16_tflops=80.0,
+            fp32_tflops=14.0,
+            int8_tops=0.0,
+            int8_tensor_cores=False,
+            mem_bw_gbps=750.0,
+            mem_bw_decode_gbps=430.0,
+            kernel_overhead_s=5e-6,
+            dequant_penalty=1.3,
+        ),
+        GPUSpec(
+            name="T4-16G",
+            mem_bytes=16 * GiB,
+            fp16_tflops=40.0,
+            fp32_tflops=7.0,
+            int8_tops=78.0,
+            int8_tensor_cores=True,
+            mem_bw_gbps=260.0,
+            mem_bw_decode_gbps=180.0,
+            kernel_overhead_s=6e-6,
+            dequant_penalty=1.4,
+        ),
+        GPUSpec(
+            name="P100-12G",
+            mem_bytes=12 * GiB,
+            # GP100 has no tensor cores and poor achievable FP16 GEMM
+            # efficiency on transformer shapes; calibrated to Fig. 3's
+            # ~14.5x prefill gap versus V100.
+            fp16_tflops=5.5,
+            fp32_tflops=8.0,
+            int8_tops=0.0,
+            int8_tensor_cores=False,
+            mem_bw_gbps=430.0,
+            # Decode GEMV kernels achieve a small fraction of HBM peak on
+            # GP100; calibrated to Fig. 3's ~7.3x decode gap versus V100.
+            mem_bw_decode_gbps=59.0,
+            kernel_overhead_s=9e-6,
+            dequant_penalty=1.8,
+        ),
+    ]
+    return {s.name: s for s in specs}
+
+
+GPU_REGISTRY: Dict[str, GPUSpec] = _make_registry()
+
+#: Aliases accepted by :func:`get_gpu`.
+_ALIASES = {
+    "A100": "A100-40G",
+    "V100": "V100-32G",
+    "T4": "T4-16G",
+    "P100": "P100-12G",
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by canonical name or short alias."""
+    key = _ALIASES.get(name, name)
+    try:
+        return GPU_REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU {name!r}; known: {sorted(GPU_REGISTRY)}"
+        ) from None
+
+
+def list_gpus() -> Tuple[str, ...]:
+    """Canonical names of every registered GPU model."""
+    return tuple(sorted(GPU_REGISTRY))

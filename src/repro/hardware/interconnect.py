@@ -1,0 +1,57 @@
+"""Interconnect model: intra-node links and cross-node Ethernet.
+
+The paper's clusters place GPUs of the same type on the same node
+(NVLink-connected) and join nodes with 100 Gbps or 800 Gbps Ethernet.
+Pipeline-parallel activations cross whichever link connects consecutive
+stages; tensor-parallel all-reduces stay intra-node by construction
+(Sec. II-B forces intra-node TP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GBPS = 1e9 / 8  # bytes per second per "Gbps"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link with bandwidth and latency."""
+
+    name: str
+    bandwidth_bytes_s: float
+    latency_s: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link (alpha-beta model)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_s
+
+
+#: NVLink within a node (effective, one direction).
+NVLINK = LinkSpec("nvlink", bandwidth_bytes_s=130e9, latency_s=4e-6)
+#: PCIe 3.0 x16 fallback for nodes without NVLink (T4 boxes).
+PCIE3 = LinkSpec("pcie3", bandwidth_bytes_s=11e9, latency_s=8e-6)
+#: Cross-node Ethernet variants used in Table III.
+ETH_100G = LinkSpec("eth-100g", bandwidth_bytes_s=100 * GBPS * 0.85, latency_s=30e-6)
+ETH_800G = LinkSpec("eth-800g", bandwidth_bytes_s=800 * GBPS * 0.85, latency_s=20e-6)
+
+_BY_NAME = {l.name: l for l in (NVLINK, PCIE3, ETH_100G, ETH_800G)}
+
+
+def get_link(name: str) -> LinkSpec:
+    """Look up a link spec by name (``nvlink``/``pcie3``/``eth-100g``/``eth-800g``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown link {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def intra_node_link(gpu_name: str) -> LinkSpec:
+    """Link used between GPUs on the same node.
+
+    T4 inference boxes typically lack NVLink; everything else in the
+    testbed is NVLink-connected (Sec. VI-A).
+    """
+    return PCIE3 if gpu_name.startswith("T4") else NVLINK

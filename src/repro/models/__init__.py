@@ -1,0 +1,40 @@
+"""Model architecture registry and per-layer compute/memory accounting."""
+
+from .architectures import MODEL_REGISTRY, ModelSpec, get_model, list_models
+from .layers import (
+    FP16_BYTES,
+    QUANT_GROUP_SIZE,
+    arithmetic_intensity,
+    decode_bytes,
+    decode_flops,
+    embedding_bytes,
+    embedding_flops,
+    hidden_state_bytes,
+    kv_bytes_per_token,
+    kv_cache_bytes,
+    lm_head_flops,
+    prefill_bytes,
+    prefill_flops,
+    weight_storage_bytes,
+)
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "get_model",
+    "list_models",
+    "FP16_BYTES",
+    "QUANT_GROUP_SIZE",
+    "arithmetic_intensity",
+    "decode_bytes",
+    "decode_flops",
+    "embedding_bytes",
+    "embedding_flops",
+    "hidden_state_bytes",
+    "kv_bytes_per_token",
+    "kv_cache_bytes",
+    "lm_head_flops",
+    "prefill_bytes",
+    "prefill_flops",
+    "weight_storage_bytes",
+]

@@ -1,0 +1,231 @@
+"""Decoder-only LLM architecture registry.
+
+Layer *shapes* are all the planner needs (parameter counts, FLOPs, bytes
+moved); they are taken from the public HuggingFace configs of the model
+families the paper evaluates: OPT, BLOOM, Qwen2.5 and Llama-3.
+
+Models with separate gate/up MLP projections (SwiGLU: Qwen, Llama) and
+grouped-query attention are described exactly; OPT/BLOOM reduce to the
+paper's ``4*h1^2 + 2*h1*h2`` decoder-layer weight formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of one decoder-only LLM."""
+
+    name: str
+    num_layers: int
+    #: Transformer hidden dimension (paper's ``h1``).
+    hidden: int
+    #: MLP intermediate dimension (paper's ``h2``).
+    ffn: int
+    num_heads: int
+    #: Key/value heads; < num_heads means grouped-query attention.
+    num_kv_heads: int
+    vocab_size: int
+    #: Maximum sequence length the model supports.
+    max_position_embeddings: int
+    #: Word-embedding projection dimension (paper's ``d_t``); differs from
+    #: ``hidden`` only for OPT-350m-style models with embed projections.
+    embed_dim: int
+    #: True when position embeddings are a learned table (OPT); rotary/ALiBi
+    #: models carry no position-embedding parameters.
+    learned_pos_embeddings: bool
+    #: SwiGLU MLP has gate+up+down projections instead of up+down.
+    gated_mlp: bool
+    #: Input/output embeddings share storage.
+    tie_word_embeddings: bool
+
+    def __post_init__(self):
+        if self.hidden % self.num_heads:
+            raise ValueError(f"{self.name}: hidden not divisible by heads")
+        if self.num_heads % self.num_kv_heads:
+            raise ValueError(f"{self.name}: heads not divisible by kv heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K/V projections (== hidden without GQA)."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def linear_shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """(out, in) shapes of every linear operator in one decoder layer."""
+        h, kv, f = self.hidden, self.kv_dim, self.ffn
+        attn = ((h, h), (kv, h), (kv, h), (h, h))  # q, k, v, o
+        if self.gated_mlp:
+            mlp = ((f, h), (f, h), (h, f))  # gate, up, down
+        else:
+            mlp = ((f, h), (h, f))  # up, down
+        return attn + mlp
+
+    @property
+    def decoder_linear_elements(self) -> int:
+        """Linear-weight parameter count of one decoder layer.
+
+        For OPT/BLOOM this equals the paper's ``4*h1^2 + 2*h1*h2``.
+        """
+        return sum(o * i for o, i in self.linear_shapes)
+
+    @property
+    def decoder_norm_elements(self) -> int:
+        """LayerNorm / RMSNorm (+bias) parameters of one decoder layer.
+
+        The paper's ``6*h1`` covers LayerNorm weight+bias plus attention
+        output bias terms (OPT-style); norm-only models use ``4*h1`` —
+        we approximate RMSNorm models with ``2*h1``.
+        """
+        if self.gated_mlp:  # RMSNorm, no biases (Qwen/Llama)
+            return 2 * self.hidden
+        return 6 * self.hidden
+
+    @property
+    def embedding_elements(self) -> int:
+        """Token + position embedding (+projection) parameter count."""
+        n = self.vocab_size * self.embed_dim
+        if self.learned_pos_embeddings:
+            n += self.max_position_embeddings * self.embed_dim
+        if self.embed_dim != self.hidden:
+            n += 2 * self.hidden * self.embed_dim
+        return n
+
+    @property
+    def lm_head_elements(self) -> int:
+        """LM-head parameters (zero extra storage when tied)."""
+        if self.tie_word_embeddings:
+            return 0
+        return self.vocab_size * self.embed_dim
+
+    @property
+    def total_params(self) -> int:
+        per_layer = self.decoder_linear_elements + self.decoder_norm_elements
+        return (
+            self.num_layers * per_layer
+            + self.embedding_elements
+            + self.lm_head_elements
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: L={self.num_layers} h1={self.hidden} h2={self.ffn} "
+            f"heads={self.num_heads}/{self.num_kv_heads} vocab={self.vocab_size} "
+            f"params={self.total_params / 1e9:.2f}B"
+        )
+
+
+def _opt(name, layers, hidden, heads, embed_dim=None) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden=hidden,
+        ffn=4 * hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        vocab_size=50272,
+        max_position_embeddings=2048,
+        embed_dim=embed_dim or hidden,
+        learned_pos_embeddings=True,
+        gated_mlp=False,
+        tie_word_embeddings=True,
+    )
+
+
+def _bloom(name, layers, hidden, heads) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden=hidden,
+        ffn=4 * hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        vocab_size=250880,
+        max_position_embeddings=2048,  # ALiBi: soft limit, no pos table
+        embed_dim=hidden,
+        learned_pos_embeddings=False,
+        gated_mlp=False,
+        tie_word_embeddings=True,
+    )
+
+
+def _qwen(name, layers, hidden, ffn, heads, kv_heads) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden=hidden,
+        ffn=ffn,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        vocab_size=152064,
+        max_position_embeddings=32768,
+        embed_dim=hidden,
+        learned_pos_embeddings=False,
+        gated_mlp=True,
+        tie_word_embeddings=False,
+    )
+
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    m.name: m
+    for m in [
+        _opt("opt-125m", 12, 768, 12),
+        _opt("opt-350m", 24, 1024, 16, embed_dim=512),
+        _opt("opt-1.3b", 24, 2048, 32),
+        _opt("opt-13b", 40, 5120, 40),
+        _opt("opt-30b", 48, 7168, 56),
+        _opt("opt-66b", 64, 9216, 72),
+        _opt("opt-175b", 96, 12288, 96),
+        _bloom("bloom-560m", 24, 1024, 16),
+        _bloom("bloom-1b7", 24, 2048, 16),
+        _bloom("bloom-3b", 30, 2560, 32),
+        _bloom("bloom-176b", 70, 14336, 112),
+        _qwen("qwen2.5-7b", 28, 3584, 18944, 28, 4),
+        _qwen("qwen2.5-14b", 48, 5120, 13824, 40, 8),
+        _qwen("qwen2.5-32b", 64, 5120, 27648, 40, 8),
+        ModelSpec(
+            name="llama-3.3-70b",
+            num_layers=80,
+            hidden=8192,
+            ffn=28672,
+            num_heads=64,
+            num_kv_heads=8,
+            vocab_size=128256,
+            max_position_embeddings=131072,
+            embed_dim=8192,
+            learned_pos_embeddings=False,
+            gated_mlp=True,
+            tie_word_embeddings=False,
+        ),
+    ]
+}
+
+_ALIASES = {
+    "7b-instruct": "qwen2.5-7b",
+    "14b-instruct": "qwen2.5-14b",
+    "32b-instruct": "qwen2.5-32b",
+    "70b-instruct": "llama-3.3-70b",
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name (case-insensitive, aliases allowed)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return MODEL_REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
+def list_models() -> Tuple[str, ...]:
+    return tuple(sorted(MODEL_REGISTRY))

@@ -1,0 +1,162 @@
+"""Per-layer compute and memory-traffic accounting.
+
+These functions turn a :class:`~repro.models.architectures.ModelSpec` into
+the quantities the cost models and the kernel simulator consume:
+
+* FLOPs per decoder layer in the prefill phase (processes ``v*s`` tokens,
+  attention quadratic in ``s``) and per decode step (one token per request,
+  attention linear in the past length),
+* bytes moved per kernel (weights at the layer's bitwidth, KV cache reads
+  and writes, activations) — the ``MOPs`` driving the memory-bound decode
+  phase,
+* weight storage per bitwidth including quantization scale/zero metadata.
+
+FP16 activations are assumed throughout (weight-only and W8A8 schemes both
+keep FP16 layer I/O at the boundaries we account at).
+"""
+
+from __future__ import annotations
+
+from .architectures import ModelSpec
+
+FP16_BYTES = 2
+#: Group size for sub-byte quantization scales (GPTQ/AWQ default).
+QUANT_GROUP_SIZE = 128
+
+
+def weight_storage_bytes(
+    spec: ModelSpec, bits: int, group_size: int = QUANT_GROUP_SIZE
+) -> int:
+    """Storage of one decoder layer's weights quantized to ``bits``.
+
+    Matches the paper's ``(4*h1^2 + 2*h1*h2) * 4*bit/32`` element-scaling
+    plus FP16 norm/bias parameters; sub-16-bit layers additionally carry a
+    per-group FP16 scale and zero point.
+    """
+    if bits not in (3, 4, 8, 16):
+        raise ValueError(f"unsupported bitwidth {bits}")
+    linear = spec.decoder_linear_elements
+    body = linear * bits // 8
+    meta = 0
+    if bits < 16:
+        n_groups = -(-linear // group_size)  # ceil
+        meta = n_groups * 2 * FP16_BYTES  # scale + zero per group
+    norm = spec.decoder_norm_elements * FP16_BYTES
+    return body + meta + norm
+
+
+def embedding_bytes(spec: ModelSpec) -> int:
+    """Storage of embeddings + LM head (kept in FP16, never quantized)."""
+    return (spec.embedding_elements + spec.lm_head_elements) * FP16_BYTES
+
+
+def kv_bytes_per_token(spec: ModelSpec, bit_kv: int = 16) -> int:
+    """KV-cache bytes one layer stores per (request, token)."""
+    return 2 * spec.kv_dim * bit_kv // 8
+
+
+def kv_cache_bytes(
+    spec: ModelSpec, batch: int, context: int, bit_kv: int = 16
+) -> int:
+    """KV-cache reservation of one layer for ``batch`` requests.
+
+    ``context`` is the maximum total sequence length ``s + n`` the paper
+    reserves for (prompt plus generated tokens).
+    """
+    return batch * context * kv_bytes_per_token(spec, bit_kv)
+
+
+# ---------------------------------------------------------------------------
+# FLOPs
+# ---------------------------------------------------------------------------
+
+
+def prefill_flops(spec: ModelSpec, batch: int, seq: int) -> float:
+    """FLOPs of one decoder layer processing a ``batch x seq`` prompt chunk."""
+    proj = 2.0 * batch * seq * spec.decoder_linear_elements
+    # QK^T and attention-weighted V, causal: ~s^2/2 each but kernels compute
+    # the dense rectangle; use the dense count as frameworks do.
+    attn = 4.0 * batch * seq * seq * spec.hidden
+    return proj + attn
+
+
+def decode_flops(spec: ModelSpec, batch: int, past: int) -> float:
+    """FLOPs of one decoder layer generating one token with ``past`` context."""
+    proj = 2.0 * batch * spec.decoder_linear_elements
+    attn = 4.0 * batch * (past + 1) * spec.hidden
+    return proj + attn
+
+
+# ---------------------------------------------------------------------------
+# Bytes moved (MOPs)
+# ---------------------------------------------------------------------------
+
+
+def _activation_io_bytes(spec: ModelSpec, tokens: int) -> int:
+    """Activation reads+writes of one layer for ``tokens`` total tokens.
+
+    Counts the hidden-state traffic of the attention and MLP blocks
+    (roughly 8 h1 + 2 h2 elements per token in FP16).
+    """
+    per_token = (8 * spec.hidden + 2 * spec.ffn) * FP16_BYTES
+    return tokens * per_token
+
+
+def prefill_bytes(
+    spec: ModelSpec, batch: int, seq: int, bits: int, bit_kv: int = 16
+) -> float:
+    """Bytes one layer moves for a prefill chunk (weights, acts, KV write)."""
+    w = weight_storage_bytes(spec, bits)
+    act = _activation_io_bytes(spec, batch * seq)
+    kv_write = batch * seq * kv_bytes_per_token(spec, bit_kv)
+    return float(w + act + kv_write)
+
+
+def decode_bytes(
+    spec: ModelSpec, batch: int, past: int, bits: int, bit_kv: int = 16
+) -> float:
+    """Bytes one layer moves per decode step (weights, KV read, acts).
+
+    The KV read over the whole past sequence plus the full weight matrix
+    dominates — this is why decode is memory-bound and why lower weight
+    bitwidths speed it up.
+    """
+    w = weight_storage_bytes(spec, bits)
+    kv_read = batch * (past + 1) * kv_bytes_per_token(spec, bit_kv)
+    act = _activation_io_bytes(spec, batch)
+    return float(w + kv_read + act)
+
+
+# ---------------------------------------------------------------------------
+# Embedding / LM head compute
+# ---------------------------------------------------------------------------
+
+
+def embedding_flops(spec: ModelSpec, tokens: int) -> float:
+    """Token + position embedding lookup cost (gather; counted as copies)."""
+    return 2.0 * tokens * spec.embed_dim
+
+
+def lm_head_flops(spec: ModelSpec, tokens: int) -> float:
+    """Logit projection FLOPs for ``tokens`` output positions."""
+    return 2.0 * tokens * spec.embed_dim * spec.vocab_size
+
+
+def hidden_state_bytes(spec: ModelSpec, batch: int, tokens_per_req: int) -> int:
+    """Size of the activation tensor handed between pipeline stages."""
+    return batch * tokens_per_req * spec.hidden * FP16_BYTES
+
+
+def arithmetic_intensity(
+    spec: ModelSpec, batch: int, seq: int, phase: str, bits: int = 16
+) -> float:
+    """FLOPs-per-byte of one layer — the quantity contrasted in Sec. IV-A.
+
+    ``phase`` is ``"prefill"`` or ``"decode"``; for decode, ``seq`` is the
+    past context length.
+    """
+    if phase == "prefill":
+        return prefill_flops(spec, batch, seq) / prefill_bytes(spec, batch, seq, bits)
+    if phase == "decode":
+        return decode_flops(spec, batch, seq) / decode_bytes(spec, batch, seq, bits)
+    raise ValueError(f"unknown phase {phase!r}")

@@ -1,0 +1,32 @@
+"""Pipeline serving: discrete-event engine, stage timing, simulator."""
+
+from .events import EventLoop, Server
+from .simulator import (
+    PipelineSimResult,
+    check_plan_memory,
+    simulate_plan,
+    simulate_plan_variable,
+)
+from .trace import Timeline, render_gantt, trace_plan
+from .stage import (
+    CostModelTiming,
+    RooflineTiming,
+    StageExecutionModel,
+    TimingSource,
+)
+
+__all__ = [
+    "EventLoop",
+    "Server",
+    "PipelineSimResult",
+    "check_plan_memory",
+    "simulate_plan",
+    "simulate_plan_variable",
+    "Timeline",
+    "render_gantt",
+    "trace_plan",
+    "CostModelTiming",
+    "RooflineTiming",
+    "StageExecutionModel",
+    "TimingSource",
+]

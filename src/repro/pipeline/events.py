@@ -1,0 +1,109 @@
+"""A small discrete-event simulation engine.
+
+The pipeline simulator is built on two primitives: a time-ordered event
+loop and FIFO servers (one per pipeline stage) that process jobs serially.
+Kept generic so tests can exercise the engine independently of LLM
+semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """Time-ordered callback execution."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, next(self._counter), fn))
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.at(self.now + delay, fn)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events in order; returns the number processed.
+
+        Stops when the queue drains or the next event is past ``until``.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            time, _, fn = heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            self._processed += 1
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+
+@dataclass
+class Server:
+    """A serial FIFO resource (one pipeline stage's compute).
+
+    Jobs start in submission order as the server frees up; each job's
+    completion callback fires on the loop at its finish time.  With
+    ``record_jobs`` set, every job's (start, finish, label) is kept for
+    timeline rendering.
+    """
+
+    loop: EventLoop
+    name: str
+    free_at: float = 0.0
+    busy_time: float = 0.0
+    jobs_done: int = 0
+    record_jobs: bool = False
+    jobs: List[Tuple[float, float, str]] = field(default_factory=list)
+
+    def submit(
+        self,
+        duration: float,
+        on_done: Optional[Callable[[float], None]] = None,
+        not_before: float = 0.0,
+        label: str = "",
+    ) -> float:
+        """Enqueue a job of ``duration``; returns its finish time.
+
+        ``not_before`` lower-bounds the start (e.g. input arrival after a
+        communication delay).  The completion callback receives the finish
+        time.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.loop.now, self.free_at, not_before)
+        finish = start + duration
+        self.free_at = finish
+        self.busy_time += duration
+        self.jobs_done += 1
+        if self.record_jobs:
+            self.jobs.append((start, finish, label))
+        if on_done is not None:
+            self.loop.at(finish, lambda: on_done(finish))
+        return finish
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` this server spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)

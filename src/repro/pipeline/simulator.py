@@ -1,0 +1,435 @@
+"""End-to-end pipeline serving simulation (the "runtime" of Fig. 6).
+
+Simulates offline serving of one padded batch through a pipeline plan as a
+discrete-event system: chunked prefill micro-batches flow through the FIFO
+stage servers with asynchronous point-to-point communication, then decode
+proceeds token by token with the autoregressive feedback loop from the
+last stage's LM head back to the first stage's embedding.  Phases are
+sequential, matching the paper's offline latency model (objective (4)).
+
+Per-stage memory is checked against the paper's memory cost model before
+anything runs; infeasible plans raise
+:class:`~repro.simgpu.memory.OutOfMemoryError` just as they would on
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..costmodel.memory import MemoryCostModel
+from ..hardware.cluster import ClusterSpec, Device
+from ..models.architectures import ModelSpec
+from ..models import layers as L
+from ..plan import ExecutionPlan
+from ..simgpu.memory import OutOfMemoryError
+from ..workloads.spec import BatchWorkload, VariableBatchWorkload
+from .events import EventLoop, Server
+from .stage import RooflineTiming, StageExecutionModel, TimingSource
+
+#: Bytes of sampled token ids fed back from LM head to the first stage.
+_FEEDBACK_BYTES_PER_REQ = 4
+
+
+@dataclass(frozen=True)
+class PipelineSimResult:
+    """Outcome of simulating one batch through a plan."""
+
+    makespan_s: float
+    prefill_span_s: float
+    decode_span_s: float
+    total_tokens: int
+    stage_busy_s: Tuple[float, ...]
+    stage_memory_bytes: Tuple[int, ...]
+    events_processed: int
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Output token throughput — the paper's headline metric."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def stage_utilization(self) -> Tuple[float, ...]:
+        if self.makespan_s <= 0:
+            return tuple(0.0 for _ in self.stage_busy_s)
+        return tuple(min(b / self.makespan_s, 1.0) for b in self.stage_busy_s)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Mean idle fraction across stages — pipeline imbalance measure."""
+        util = self.stage_utilization
+        return 1.0 - float(np.mean(util)) if util else 0.0
+
+
+def _microbatch_sizes(total: int, micro: int) -> List[int]:
+    sizes = [micro] * (total // micro)
+    if total % micro:
+        sizes.append(total % micro)
+    return sizes
+
+
+def check_plan_memory(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> Tuple[int, ...]:
+    """Per-stage predicted peak bytes; raises OutOfMemoryError on misfit."""
+    mem_model = MemoryCostModel(
+        spec=spec,
+        batch=workload.batch,
+        context=workload.context_len,
+        bit_kv=plan.bit_kv,
+        # Peak prefill activations cover one actual chunk, not the
+        # configured cap (keep consistent with the planner's capacity).
+        chunk_tokens=workload.chunk_len,
+    )
+    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
+    usages: List[int] = []
+    for j, st in enumerate(plan.stages):
+        capacity = sum(by_id[d].gpu.usable_mem_bytes for d in st.device_ids)
+        need = mem_model.stage_bytes(
+            st.layer_bits,
+            microbatch=plan.prefill_microbatch,
+            with_embeddings=(j == 0),
+        )
+        if j == len(plan.stages) - 1 and j != 0:
+            # LM head weights live with the last stage when it differs
+            # from the first (master postprocessing placement).
+            need += spec.lm_head_elements * L.FP16_BYTES
+        if need > capacity:
+            raise OutOfMemoryError(
+                f"stage{j}({st.gpu_name})", need, capacity
+            )
+        usages.append(need)
+    return tuple(usages)
+
+
+def simulate_plan(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    timing: Optional[TimingSource] = None,
+    check_memory: bool = True,
+) -> PipelineSimResult:
+    """Simulate serving ``workload`` under ``plan`` on ``cluster``."""
+    if plan.num_layers != spec.num_layers:
+        raise ValueError(
+            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
+        )
+    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
+    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
+    n_stages = plan.num_stages
+
+    stage_mem = (
+        check_plan_memory(plan, cluster, spec, workload)
+        if check_memory
+        else tuple(0 for _ in plan.stages)
+    )
+
+    stage_models = [
+        StageExecutionModel(
+            stage=st,
+            gpu=by_id[st.device_ids[0]].gpu,
+            spec=spec,
+            timing=timing,
+            is_first=(j == 0),
+            is_last=(j == n_stages - 1),
+        )
+        for j, st in enumerate(plan.stages)
+    ]
+
+    # Inter-stage links (stage j -> j+1) and the decode feedback link.
+    fwd_links = [
+        cluster.link_between(
+            by_id[plan.stages[j].device_ids[0]],
+            by_id[plan.stages[j + 1].device_ids[0]],
+        )
+        for j in range(n_stages - 1)
+    ]
+    feedback_link = (
+        cluster.link_between(
+            by_id[plan.stages[-1].device_ids[0]],
+            by_id[plan.stages[0].device_ids[0]],
+        )
+        if n_stages > 1
+        else None
+    )
+
+    loop = EventLoop()
+    servers = [Server(loop, f"stage{j}") for j in range(n_stages)]
+
+    # ------------------------------------------------------------------
+    # Prefill phase: mu_pre micro-batches x kappa chunks, chained FIFO.
+    # ------------------------------------------------------------------
+    pre_sizes = _microbatch_sizes(workload.batch, plan.prefill_microbatch)
+    chunk = workload.chunk_len
+    pre_time: Dict[Tuple[int, int], float] = {}
+    for size in set(pre_sizes):
+        for j, sm in enumerate(stage_models):
+            pre_time[(j, size)] = sm.prefill_chunk_time(size, chunk)
+    pre_comm: Dict[Tuple[int, int], float] = {}
+    for size in set(pre_sizes):
+        for j, link in enumerate(fwd_links):
+            pre_comm[(j, size)] = link.transfer_time(
+                L.hidden_state_bytes(spec, size, chunk)
+            )
+
+    prefill_done_at: List[float] = [0.0] * len(pre_sizes)
+    pending = {"prefill": len(pre_sizes) * workload.kappa}
+
+    def submit_prefill(j: int, m: int, c: int, size: int, ready: float) -> None:
+        def done(finish: float) -> None:
+            if j + 1 < n_stages:
+                arrival = finish + pre_comm[(j, size)]
+                submit_prefill(j + 1, m, c, size, arrival)
+            else:
+                prefill_done_at[m] = max(prefill_done_at[m], finish)
+                pending["prefill"] -= 1
+
+        servers[j].submit(
+            pre_time[(j, size)], done, not_before=ready, label=f"P{m}.{c}"
+        )
+
+    for m, size in enumerate(pre_sizes):
+        for c in range(workload.kappa):
+            submit_prefill(0, m, c, size, 0.0)
+    loop.run()
+    if pending["prefill"] != 0:
+        raise RuntimeError("prefill simulation did not drain")
+    prefill_span = max(prefill_done_at) if prefill_done_at else 0.0
+
+    # ------------------------------------------------------------------
+    # Decode phase: token-by-token with autoregressive feedback.
+    # ------------------------------------------------------------------
+    n_out = workload.output_len
+    dec_sizes = _microbatch_sizes(workload.batch, plan.decode_microbatch)
+    decode_steps = n_out - 1
+    decode_span = 0.0
+    if decode_steps > 0:
+        dec_series: Dict[Tuple[int, int], np.ndarray] = {}
+        for size in set(dec_sizes):
+            for j, sm in enumerate(stage_models):
+                dec_series[(j, size)] = sm.decode_time_series(
+                    size, workload.prompt_len, n_out
+                )
+        dec_comm: Dict[Tuple[int, int], float] = {}
+        for size in set(dec_sizes):
+            for j, link in enumerate(fwd_links):
+                dec_comm[(j, size)] = link.transfer_time(
+                    L.hidden_state_bytes(spec, size, 1)
+                )
+        fb_delay = {
+            size: (
+                feedback_link.transfer_time(size * _FEEDBACK_BYTES_PER_REQ)
+                if feedback_link is not None
+                else 0.0
+            )
+            for size in set(dec_sizes)
+        }
+
+        last_token_done = [0.0] * len(dec_sizes)
+        remaining = {"jobs": len(dec_sizes)}
+
+        def submit_decode(j: int, m: int, t: int, size: int, ready: float) -> None:
+            dur = float(dec_series[(j, size)][t - 1])
+
+            def done(finish: float) -> None:
+                if j + 1 < n_stages:
+                    submit_decode(j + 1, m, t, size, finish + dec_comm[(j, size)])
+                elif t < decode_steps:
+                    submit_decode(0, m, t + 1, size, finish + fb_delay[size])
+                else:
+                    last_token_done[m] = finish
+                    remaining["jobs"] -= 1
+
+            servers[j].submit(dur, done, not_before=ready, label=f"D{m}.{t}")
+
+        for m, size in enumerate(dec_sizes):
+            submit_decode(0, m, 1, size, prefill_span)
+        loop.run()
+        if remaining["jobs"] != 0:
+            raise RuntimeError("decode simulation did not drain")
+        decode_span = max(last_token_done) - prefill_span
+
+    makespan = prefill_span + decode_span
+    total_tokens = workload.batch * n_out
+    return PipelineSimResult(
+        makespan_s=makespan,
+        prefill_span_s=prefill_span,
+        decode_span_s=decode_span,
+        total_tokens=total_tokens,
+        stage_busy_s=tuple(s.busy_time for s in servers),
+        stage_memory_bytes=stage_mem,
+        events_processed=loop.processed,
+    )
+
+
+def simulate_plan_variable(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: VariableBatchWorkload,
+    timing: Optional[TimingSource] = None,
+    check_memory: bool = True,
+) -> PipelineSimResult:
+    """Simulate a batch whose requests generate different token counts.
+
+    Requests retire as they finish, so decode micro-batches shrink over
+    time and short requests stop paying for long ones — the
+    variable-output-length scenario the paper's latency model only
+    sketches (Sec. IV-C).  Prefill is identical to the uniform case.
+    """
+    if plan.num_layers != spec.num_layers:
+        raise ValueError(
+            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
+        )
+    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
+    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
+    n_stages = plan.num_stages
+
+    # Memory and prefill follow the worst-case uniform view (KV reserved
+    # for the longest request, as the paper's memory model does).
+    uniform = BatchWorkload(
+        batch=workload.batch,
+        prompt_len=workload.prompt_len,
+        output_len=workload.max_output,
+        chunk_tokens=workload.chunk_tokens,
+    )
+    stage_mem = (
+        check_plan_memory(plan, cluster, spec, uniform)
+        if check_memory
+        else tuple(0 for _ in plan.stages)
+    )
+
+    stage_models = [
+        StageExecutionModel(
+            stage=st,
+            gpu=by_id[st.device_ids[0]].gpu,
+            spec=spec,
+            timing=timing,
+            is_first=(j == 0),
+            is_last=(j == n_stages - 1),
+        )
+        for j, st in enumerate(plan.stages)
+    ]
+    fwd_links = [
+        cluster.link_between(
+            by_id[plan.stages[j].device_ids[0]],
+            by_id[plan.stages[j + 1].device_ids[0]],
+        )
+        for j in range(n_stages - 1)
+    ]
+    feedback_link = (
+        cluster.link_between(
+            by_id[plan.stages[-1].device_ids[0]],
+            by_id[plan.stages[0].device_ids[0]],
+        )
+        if n_stages > 1
+        else None
+    )
+
+    loop = EventLoop()
+    servers = [Server(loop, f"stage{j}") for j in range(n_stages)]
+
+    # ---- prefill (same wavefront as the uniform simulator) -------------
+    pre_sizes = _microbatch_sizes(workload.batch, plan.prefill_microbatch)
+    chunk = uniform.chunk_len
+    pre_time = {
+        (j, size): sm.prefill_chunk_time(size, chunk)
+        for size in set(pre_sizes)
+        for j, sm in enumerate(stage_models)
+    }
+    pre_comm = {
+        (j, size): link.transfer_time(L.hidden_state_bytes(spec, size, chunk))
+        for size in set(pre_sizes)
+        for j, link in enumerate(fwd_links)
+    }
+    pending = {"prefill": len(pre_sizes) * uniform.kappa}
+    prefill_done = [0.0]
+
+    def submit_prefill(j: int, size: int, ready: float) -> None:
+        def done(finish: float) -> None:
+            if j + 1 < n_stages:
+                submit_prefill(j + 1, size, finish + pre_comm[(j, size)])
+            else:
+                prefill_done[0] = max(prefill_done[0], finish)
+                pending["prefill"] -= 1
+
+        servers[j].submit(pre_time[(j, size)], done, not_before=ready)
+
+    for size in pre_sizes:
+        for _ in range(uniform.kappa):
+            submit_prefill(0, size, 0.0)
+    loop.run()
+    prefill_span = prefill_done[0]
+
+    # ---- decode with retiring requests ----------------------------------
+    xi = plan.decode_microbatch
+    slices = [
+        list(workload.output_lens[s : s + xi])
+        for s in range(0, workload.batch, xi)
+    ]
+    series_cache: Dict[Tuple[int, int], "np.ndarray"] = {}
+
+    def step_time(j: int, size: int, t: int) -> float:
+        key = (j, size)
+        if key not in series_cache:
+            series_cache[key] = stage_models[j].decode_time_series(
+                size, workload.prompt_len, workload.max_output
+            )
+        return float(series_cache[key][t - 1])
+
+    def comm_time(j: int, size: int) -> float:
+        return fwd_links[j].transfer_time(L.hidden_state_bytes(spec, size, 1))
+
+    def active_at(m: int, t: int) -> int:
+        return sum(1 for n in slices[m] if n > t)
+
+    last_done = [prefill_span] * len(slices)
+    remaining = {"jobs": 0}
+
+    def submit_decode(j: int, m: int, t: int, size: int, ready: float) -> None:
+        def done(finish: float) -> None:
+            if j + 1 < n_stages:
+                submit_decode(j + 1, m, t, size, finish + comm_time(j, size))
+                return
+            nxt = active_at(m, t + 1)
+            if nxt > 0:
+                fb = (
+                    feedback_link.transfer_time(nxt * _FEEDBACK_BYTES_PER_REQ)
+                    if feedback_link is not None
+                    else 0.0
+                )
+                submit_decode(0, m, t + 1, nxt, finish + fb)
+            else:
+                last_done[m] = finish
+                remaining["jobs"] -= 1
+
+        servers[j].submit(step_time(j, size, t), done, not_before=ready)
+
+    for m in range(len(slices)):
+        size = active_at(m, 1)
+        if size > 0:
+            remaining["jobs"] += 1
+            submit_decode(0, m, 1, size, prefill_span)
+    loop.run()
+    if remaining["jobs"] != 0:
+        raise RuntimeError("variable decode simulation did not drain")
+    decode_span = max(last_done) - prefill_span
+
+    return PipelineSimResult(
+        makespan_s=prefill_span + decode_span,
+        prefill_span_s=prefill_span,
+        decode_span_s=decode_span,
+        total_tokens=workload.total_output_tokens,
+        stage_busy_s=tuple(s.busy_time for s in servers),
+        stage_memory_bytes=stage_mem,
+        events_processed=loop.processed,
+    )

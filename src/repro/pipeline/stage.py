@@ -1,0 +1,157 @@
+"""Per-stage execution timing, backed by the roofline truth or a cost model.
+
+The simulator asks each stage two questions: how long one prefill chunk of
+a micro-batch takes, and how long one decode step takes at a given context
+length.  Both are sums over the stage's layers at their assigned
+bitwidths, plus embedding / LM-head work on the first / last stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.gpus import GPUSpec
+from ..hardware.interconnect import intra_node_link
+from ..models.architectures import ModelSpec
+from ..simgpu import roofline
+from ..plan import StagePlan
+
+
+class TimingSource(Protocol):
+    """Anything that can time one layer on one device."""
+
+    def prefill(
+        self, gpu: GPUSpec, bits: int, batch: int, seq: int, tp: int
+    ) -> float: ...
+
+    def decode(
+        self, gpu: GPUSpec, bits: int, batch: int, context: int, tp: int
+    ) -> float: ...
+
+
+@dataclass(frozen=True)
+class RooflineTiming:
+    """Ground-truth timing straight from the kernel simulator."""
+
+    spec: ModelSpec
+    bit_kv: int = 16
+
+    def _tp_bw(self, gpu: GPUSpec) -> float:
+        return intra_node_link(gpu.name).bandwidth_bytes_s
+
+    def prefill(
+        self, gpu: GPUSpec, bits: int, batch: int, seq: int, tp: int = 1
+    ) -> float:
+        return roofline.tp_layer_time(
+            gpu, self.spec, bits, "prefill", batch, seq, tp, self._tp_bw(gpu),
+            self.bit_kv,
+        )
+
+    def decode(
+        self, gpu: GPUSpec, bits: int, batch: int, context: int, tp: int = 1
+    ) -> float:
+        return roofline.tp_layer_time(
+            gpu, self.spec, bits, "decode", batch, context, tp, self._tp_bw(gpu),
+            self.bit_kv,
+        )
+
+
+@dataclass(frozen=True)
+class CostModelTiming:
+    """Timing through the fitted latency regressions (the planner's view).
+
+    Tensor parallelism is approximated by dividing the single-device time
+    by the TP degree and adding the all-reduce term — the same model the
+    assigner uses when enumerating TP meshes.
+    """
+
+    cost_model: LatencyCostModel
+    spec: ModelSpec
+
+    def _with_tp(self, base: float, gpu: GPUSpec, tokens: int, tp: int) -> float:
+        if tp <= 1:
+            return base
+        link = intra_node_link(gpu.name)
+        msg = tokens * self.spec.hidden * 2
+        allreduce = 2.0 * (2.0 * (tp - 1) / tp) * msg / link.bandwidth_bytes_s
+        return base / tp + allreduce
+
+    def prefill(
+        self, gpu: GPUSpec, bits: int, batch: int, seq: int, tp: int = 1
+    ) -> float:
+        base = self.cost_model.prefill_time(gpu, bits, batch, seq)
+        return self._with_tp(base, gpu, batch * seq, tp)
+
+    def decode(
+        self, gpu: GPUSpec, bits: int, batch: int, context: int, tp: int = 1
+    ) -> float:
+        base = self.cost_model.decode_time(gpu, bits, batch, context)
+        return self._with_tp(base, gpu, batch, tp)
+
+
+@dataclass
+class StageExecutionModel:
+    """Timing of one pipeline stage under a plan."""
+
+    stage: StagePlan
+    gpu: GPUSpec
+    spec: ModelSpec
+    timing: TimingSource
+    is_first: bool = False
+    is_last: bool = False
+
+    def prefill_chunk_time(self, microbatch: int, chunk_len: int) -> float:
+        """Time for one prefill chunk of ``microbatch`` requests."""
+        total = 0.0
+        for bits in self.stage.layer_bits:
+            total += self.timing.prefill(
+                self.gpu, bits, microbatch, chunk_len, self.stage.tp_degree
+            )
+        if self.is_first:
+            total += roofline.embedding_time(
+                self.gpu, self.spec, microbatch * chunk_len
+            )
+        if self.is_last:
+            # Only the final chunk needs logits, but engines project the
+            # chunk tail each time under chunked prefill; cost one head call.
+            total += roofline.lm_head_time(self.gpu, self.spec, microbatch)
+        return total
+
+    def decode_step_time(self, microbatch: int, context: int) -> float:
+        """Time for one decode step at total ``context`` length."""
+        total = 0.0
+        for bits in self.stage.layer_bits:
+            total += self.timing.decode(
+                self.gpu, bits, microbatch, context, self.stage.tp_degree
+            )
+        if self.is_first:
+            total += roofline.embedding_time(self.gpu, self.spec, microbatch)
+        if self.is_last:
+            total += roofline.lm_head_time(self.gpu, self.spec, microbatch)
+        return total
+
+    def decode_time_series(
+        self, microbatch: int, prompt_len: int, n_tokens: int, samples: int = 9
+    ) -> np.ndarray:
+        """Decode-step times for t = 1..n_tokens-1, by interpolation.
+
+        Per-step cost is piecewise-linear in context length, so sampling a
+        few contexts and interpolating is exact up to the roofline kink.
+        """
+        steps = np.arange(1, max(n_tokens, 2))
+        contexts = prompt_len + steps
+        if len(contexts) <= samples:
+            return np.array(
+                [self.decode_step_time(microbatch, int(c)) for c in contexts]
+            )
+        probe = np.unique(
+            np.linspace(contexts[0], contexts[-1], samples).astype(int)
+        )
+        times = np.array(
+            [self.decode_step_time(microbatch, int(c)) for c in probe]
+        )
+        return np.interp(contexts, probe, times)

@@ -1,0 +1,167 @@
+"""Execution plans: the assigner's output, the runtime's input.
+
+A plan maps a contiguous range of decoder layers (each with its own
+quantization bitwidth) to every pipeline stage, names the devices forming
+each stage (one device, or an intra-node tensor-parallel group), and fixes
+the prefill/decode micro-batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One pipeline stage."""
+
+    #: Cluster device ids forming the stage (len > 1 means TP).
+    device_ids: Tuple[int, ...]
+    #: GPU model name of the stage's devices (TP groups are homogeneous).
+    gpu_name: str
+    #: Global index of the stage's first decoder layer.
+    layer_start: int
+    #: Bitwidth per layer held by the stage, in model order.
+    layer_bits: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.device_ids:
+            raise ValueError("stage needs at least one device")
+        if not self.layer_bits:
+            raise ValueError("stage must hold at least one layer")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_bits)
+
+    @property
+    def layer_end(self) -> int:
+        """One past the stage's last layer."""
+        return self.layer_start + self.num_layers
+
+    @property
+    def tp_degree(self) -> int:
+        return len(self.device_ids)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A complete serving plan for one model on one cluster."""
+
+    model_name: str
+    stages: Tuple[StagePlan, ...]
+    #: Prefill micro-batch size (paper's eta).
+    prefill_microbatch: int
+    #: Decode micro-batch size (paper's xi).
+    decode_microbatch: int
+    bit_kv: int = 16
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("plan needs at least one stage")
+        if self.prefill_microbatch <= 0 or self.decode_microbatch <= 0:
+            raise ValueError("micro-batch sizes must be positive")
+        expect = 0
+        for st in self.stages:
+            if st.layer_start != expect:
+                raise ValueError(
+                    f"stages not contiguous: stage starts at {st.layer_start}, "
+                    f"expected {expect}"
+                )
+            expect = st.layer_end
+        seen: set = set()
+        for st in self.stages:
+            for d in st.device_ids:
+                if d in seen:
+                    raise ValueError(f"device {d} used by two stages")
+                seen.add(d)
+
+    @property
+    def num_layers(self) -> int:
+        return self.stages[-1].layer_end
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bits_per_layer(self) -> Tuple[int, ...]:
+        """Global per-layer bitwidth assignment in model order."""
+        out: List[int] = []
+        for st in self.stages:
+            out.extend(st.layer_bits)
+        return tuple(out)
+
+    def stage_of_layer(self, layer: int) -> int:
+        for j, st in enumerate(self.stages):
+            if st.layer_start <= layer < st.layer_end:
+                return j
+        raise IndexError(f"layer {layer} outside plan (L={self.num_layers})")
+
+    def layers_per_stage(self) -> Tuple[int, ...]:
+        return tuple(st.num_layers for st in self.stages)
+
+    def bits_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for b in self.bits_per_layer:
+            hist[b] = hist.get(b, 0) + 1
+        return hist
+
+    def describe(self) -> str:
+        parts = []
+        for st in self.stages:
+            tp = f" tp{st.tp_degree}" if st.tp_degree > 1 else ""
+            bits = "/".join(str(b) for b in sorted(set(st.layer_bits)))
+            parts.append(
+                f"{st.gpu_name}{tp}[{st.layer_start}:{st.layer_end}]@{bits}b"
+            )
+        return (
+            f"{self.model_name}: "
+            + " -> ".join(parts)
+            + f" (eta={self.prefill_microbatch}, xi={self.decode_microbatch})"
+        )
+
+
+def uniform_plan(
+    model_name: str,
+    num_layers: int,
+    device_groups: Sequence[Tuple[Tuple[int, ...], str]],
+    bits: int,
+    prefill_microbatch: int,
+    decode_microbatch: int,
+    bit_kv: int = 16,
+) -> ExecutionPlan:
+    """Evenly partition ``num_layers`` at a uniform bitwidth.
+
+    ``device_groups`` lists (device_ids, gpu_name) per pipeline stage in
+    order.  The first stages receive the remainder layers, as frameworks
+    commonly do.
+    """
+    n_stages = len(device_groups)
+    if n_stages == 0:
+        raise ValueError("need at least one device group")
+    if num_layers < n_stages:
+        raise ValueError("fewer layers than stages")
+    base = num_layers // n_stages
+    rem = num_layers % n_stages
+    stages: List[StagePlan] = []
+    start = 0
+    for j, (dev_ids, gpu_name) in enumerate(device_groups):
+        count = base + (1 if j < rem else 0)
+        stages.append(
+            StagePlan(
+                device_ids=tuple(dev_ids),
+                gpu_name=gpu_name,
+                layer_start=start,
+                layer_bits=(bits,) * count,
+            )
+        )
+        start += count
+    return ExecutionPlan(
+        model_name=model_name,
+        stages=tuple(stages),
+        prefill_microbatch=prefill_microbatch,
+        decode_microbatch=decode_microbatch,
+        bit_kv=bit_kv,
+    )

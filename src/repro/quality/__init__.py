@@ -1,0 +1,57 @@
+"""Model quality substrate: TinyLM, corpora, perplexity, analytic model."""
+
+from .datasets import (
+    CORPUS_SPECS,
+    EvalCorpora,
+    build_calibration_tokens,
+    build_eval_corpora,
+    zipfian_stream,
+)
+from .perplexity import (
+    QualityReport,
+    evaluate_assignment,
+    evaluate_ppl,
+    next_token_accuracy,
+)
+from .quality_model import (
+    ACC_KAPPA,
+    BASE_ACC,
+    BASE_PPL,
+    DATASET_MULTIPLIERS,
+    PPL_KAPPA,
+    AnalyticQualityModel,
+)
+from .tinylm import (
+    LINEAR_OPS,
+    KVCache,
+    LayerWeights,
+    TinyLM,
+    TinyLMConfig,
+    attention_forward,
+    layer_forward,
+)
+
+__all__ = [
+    "CORPUS_SPECS",
+    "EvalCorpora",
+    "build_calibration_tokens",
+    "build_eval_corpora",
+    "zipfian_stream",
+    "QualityReport",
+    "evaluate_assignment",
+    "evaluate_ppl",
+    "next_token_accuracy",
+    "ACC_KAPPA",
+    "BASE_ACC",
+    "BASE_PPL",
+    "DATASET_MULTIPLIERS",
+    "PPL_KAPPA",
+    "AnalyticQualityModel",
+    "LINEAR_OPS",
+    "KVCache",
+    "LayerWeights",
+    "TinyLM",
+    "TinyLMConfig",
+    "attention_forward",
+    "layer_forward",
+]

@@ -1,0 +1,73 @@
+"""Synthetic evaluation corpora for quality measurement.
+
+Real WikiText2/PTB/C4 text is unavailable offline; what the quality
+experiments need is a *fixed corpus the model assigns non-trivial
+probability to*, so that weight perturbations measurably raise perplexity.
+We build such corpora by sampling from the FP16 TinyLM itself at moderate
+temperature (the model is its own "natural" text source), with different
+seeds standing in for the three datasets the paper averages over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .tinylm import TinyLM
+
+#: Stand-ins for the paper's three perplexity corpora, with per-corpus
+#: sampling temperatures so they differ in difficulty like the real ones.
+CORPUS_SPECS: Dict[str, Tuple[int, float]] = {
+    "wikitext2": (101, 0.75),
+    "ptb": (202, 0.85),
+    "c4": (303, 0.95),
+}
+
+
+@dataclass(frozen=True)
+class EvalCorpora:
+    """Named token corpora for perplexity evaluation."""
+
+    corpora: Dict[str, np.ndarray]
+
+    def names(self):
+        return tuple(self.corpora)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.corpora[name]
+
+
+def build_eval_corpora(
+    model: TinyLM, n_seqs: int = 8, seq_len: int = 96
+) -> EvalCorpora:
+    """Sample the three evaluation corpora from the FP16 model."""
+    corpora = {
+        name: model.sample(n_seqs, seq_len, temperature=temp, seed=seed)
+        for name, (seed, temp) in CORPUS_SPECS.items()
+    }
+    return EvalCorpora(corpora=corpora)
+
+
+def build_calibration_tokens(
+    model: TinyLM, n_seqs: int = 4, seq_len: int = 64, seed: int = 7
+) -> np.ndarray:
+    """Calibration token segments (the paper uses 128 C4 segments)."""
+    return model.sample(n_seqs, seq_len, temperature=0.9, seed=seed)
+
+
+def zipfian_stream(
+    vocab: int, n_seqs: int, seq_len: int, alpha: float = 1.2, seed: int = 0
+) -> np.ndarray:
+    """A Zipf-distributed token stream (text-like marginals, no structure).
+
+    Used where only token *statistics* matter, e.g. workload padding tests.
+    """
+    if vocab < 2:
+        raise ValueError("vocab must be >= 2")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    p = ranks**-alpha
+    p /= p.sum()
+    return rng.choice(vocab, size=(n_seqs, seq_len), p=p)

@@ -1,0 +1,58 @@
+"""Perplexity / accuracy evaluation of quantized TinyLM checkpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .datasets import EvalCorpora
+from .tinylm import TinyLM
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality of one bitwidth assignment on the evaluation corpora."""
+
+    per_corpus_ppl: Dict[str, float]
+    accuracy: float
+
+    @property
+    def avg_ppl(self) -> float:
+        vals = list(self.per_corpus_ppl.values())
+        return float(np.mean(vals))
+
+
+def evaluate_ppl(
+    model: TinyLM, corpora: EvalCorpora
+) -> Dict[str, float]:
+    """Perplexity of ``model`` on every corpus."""
+    return {name: model.perplexity(corpora[name]) for name in corpora.names()}
+
+
+def next_token_accuracy(model: TinyLM, tokens: np.ndarray) -> float:
+    """Greedy next-token accuracy — the zero-shot-benchmark stand-in.
+
+    Real LAMBADA/ARC/PIQA need natural language; greedy top-1 agreement on
+    held-out model-generated text plays the same role (a task score that
+    degrades monotonically with weight perturbation).
+    """
+    logits = model.logits(np.asarray(tokens)[:, :-1])
+    pred = logits.argmax(axis=-1)
+    return float((pred == np.asarray(tokens)[:, 1:]).mean())
+
+
+def evaluate_assignment(
+    base_model: TinyLM,
+    bits_per_layer: Sequence[int],
+    corpora: EvalCorpora,
+    method: str = "rtn",
+    calib_tokens: Optional[np.ndarray] = None,
+    acc_corpus: str = "wikitext2",
+) -> QualityReport:
+    """Quantize ``base_model`` per-layer and measure its quality."""
+    q = base_model.quantized(bits_per_layer, method=method, calib_tokens=calib_tokens)
+    ppl = evaluate_ppl(q, corpora)
+    acc = next_token_accuracy(q, corpora[acc_corpus])
+    return QualityReport(per_corpus_ppl=ppl, accuracy=acc)

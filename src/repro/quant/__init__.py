@@ -1,0 +1,90 @@
+"""Quantization substrate: schemes, packing, GPTQ, AWQ, SmoothQuant, indicators."""
+
+from .awq import AWQResult, awq_quantize
+from .gptq import GPTQResult, gptq_quantize, hessian_from_inputs
+from .hessian import (
+    hessian_flops,
+    hessian_indicator_table,
+    hessian_sensitivity,
+    top_eigenvalue,
+    variance_indicator_flops,
+)
+from .indicator import (
+    OperatorStats,
+    empirical_quant_variance,
+    g_statistic,
+    g_statistic_from_moments,
+    indicator_table,
+    layer_indicator,
+    operator_stats_from_arrays,
+    random_indicator_table,
+    scaling_factor,
+    theorem1_variance_bound,
+)
+from .packing import (
+    pack_bits,
+    pack_tensor,
+    packed_nbytes,
+    unpack_bits,
+    unpack_tensor,
+)
+from .schemes import (
+    QuantConfig,
+    QuantizedTensor,
+    compute_scale_zero,
+    quantization_mse,
+    quantize,
+    quantize_dequantize,
+)
+from .sensitivity import (
+    model_indicator_table,
+    normalized_indicator_table,
+    synthesize_layer_stats,
+)
+from .smoothquant import (
+    SmoothedLinear,
+    smooth_linear,
+    smoothing_scales,
+    w8a8_matmul_error,
+)
+
+__all__ = [
+    "AWQResult",
+    "awq_quantize",
+    "GPTQResult",
+    "gptq_quantize",
+    "hessian_from_inputs",
+    "hessian_flops",
+    "hessian_indicator_table",
+    "hessian_sensitivity",
+    "top_eigenvalue",
+    "variance_indicator_flops",
+    "OperatorStats",
+    "empirical_quant_variance",
+    "g_statistic",
+    "g_statistic_from_moments",
+    "indicator_table",
+    "layer_indicator",
+    "operator_stats_from_arrays",
+    "random_indicator_table",
+    "scaling_factor",
+    "theorem1_variance_bound",
+    "pack_bits",
+    "pack_tensor",
+    "packed_nbytes",
+    "unpack_bits",
+    "unpack_tensor",
+    "QuantConfig",
+    "QuantizedTensor",
+    "compute_scale_zero",
+    "quantization_mse",
+    "quantize",
+    "quantize_dequantize",
+    "model_indicator_table",
+    "normalized_indicator_table",
+    "synthesize_layer_stats",
+    "SmoothedLinear",
+    "smooth_linear",
+    "smoothing_scales",
+    "w8a8_matmul_error",
+]

@@ -1,0 +1,89 @@
+"""Hessian-based sensitivity baseline (HAWQ-style, Sec. IV-B).
+
+The prior-art indicator the paper compares against: a layer's sensitivity
+to quantization at bitwidth ``b`` is ``lambda_max(H) * ||Q(W) - W||_2^2``
+with ``H`` the Hessian of the layerwise loss w.r.t. the weights —
+``H = 2 X X^T`` for the MSE objective of Eq. (1).  Computing it requires
+forming (or repeatedly multiplying by) a ``D_X x D_X`` matrix per operator,
+which is the O(D_W * D_X^2) cost the variance indicator avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .schemes import QuantConfig, quantize_dequantize
+
+
+def top_eigenvalue(h: np.ndarray, iters: int = 50, seed: int = 0) -> float:
+    """Largest eigenvalue of a symmetric PSD matrix by power iteration."""
+    h = np.asarray(h, dtype=np.float64)
+    if h.ndim != 2 or h.shape[0] != h.shape[1]:
+        raise ValueError("h must be square")
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(h.shape[0])
+    v /= np.linalg.norm(v)
+    lam = 0.0
+    for _ in range(iters):
+        hv = h @ v
+        norm = np.linalg.norm(hv)
+        if norm == 0.0:
+            return 0.0
+        v = hv / norm
+        lam = float(v @ (h @ v))
+    return lam
+
+
+def hessian_sensitivity(
+    w: np.ndarray, x: np.ndarray, bits: int, seed: int = 0
+) -> float:
+    """HAWQ sensitivity ``lambda_max(H) * ||Q(W) - W||^2`` of one operator."""
+    w = np.asarray(w, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    h = 2.0 * (x @ x.T)
+    lam = top_eigenvalue(h, seed=seed)
+    cfg = QuantConfig(bits=bits, symmetric=True, granularity="tensor")
+    err = w - quantize_dequantize(w, cfg)
+    return lam * float(np.sum(err**2))
+
+
+def hessian_indicator_table(
+    weights: Sequence[np.ndarray],
+    inputs: Sequence[np.ndarray],
+    bit_choices: Sequence[int],
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-layer Hessian sensitivity for every candidate bitwidth.
+
+    ``weights[i]``/``inputs[i]`` describe the (single, representative)
+    linear operator of layer ``i``.  FP16 entries are zero.
+    """
+    table = np.zeros((len(weights), len(bit_choices)))
+    for i, (w, x) in enumerate(zip(weights, inputs)):
+        for k, b in enumerate(bit_choices):
+            if b >= 16:
+                continue
+            table[i, k] = hessian_sensitivity(w, x, b, seed=seed)
+    return table
+
+
+def hessian_flops(d_w: int, d_x: int, n_samples: int) -> float:
+    """Arithmetic cost of the Hessian route for one operator.
+
+    Forming ``X X^T`` costs ``2 * d_x^2 * n`` and the quantization error
+    another ``~3 * d_w``; dominated by the quadratic term — the paper's
+    O(D_W * D_X^2) complexity class.
+    """
+    return 2.0 * d_x * d_x * n_samples + 3.0 * d_w
+
+
+def variance_indicator_flops(d_w: int, n_samples_tokens: float) -> float:
+    """Arithmetic cost of the variance indicator for one operator.
+
+    Elementwise mean/variance over calibration activations plus a max over
+    weights: O(D_W + tokens) — the paper's O(D_W * D_X) class collapses to
+    a linear scan because moments are computed once per operator.
+    """
+    return 2.0 * n_samples_tokens + d_w

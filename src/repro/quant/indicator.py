@@ -1,0 +1,175 @@
+"""The variance indicator of quantization sensitivity (Sec. IV-B).
+
+Theorem 1 bounds the extra output variance a weight-only quantized linear
+operator incurs:
+
+* deterministic rounding:  ``D_W * S_W^2 * (1/4) * Var[X]``
+* stochastic rounding:     ``D_W * S_W^2 * (1/6) * (E[X]^2 + Var[X])``
+
+Proposition 1 sums this bound over the linear operators of a decoder layer
+to get the sensitivity indicator ``omega_{i,b}`` that ranks how much
+quantizing layer ``i`` to bitwidth ``b`` perturbs the model.  The indicator
+costs only elementwise mean/variance statistics — O(D_W * D_X) versus the
+O(D_W * D_X^2) Hessian alternative (see :mod:`repro.quant.hessian`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .schemes import QuantConfig
+
+
+def scaling_factor(w: np.ndarray, bits: int, symmetric: bool = True) -> float:
+    """Per-tensor scaling factor ``S_W(b)`` of Sec. IV-B."""
+    w = np.asarray(w, dtype=np.float64)
+    if symmetric:
+        return float(np.max(np.abs(w))) / (2 ** (bits - 1) - 1)
+    return float(w.max() - w.min()) / (2**bits - 1)
+
+
+def g_statistic(x: np.ndarray, rounding: str = "deterministic") -> float:
+    """``G(X)`` of Proposition 1 from calibration activations."""
+    x = np.asarray(x, dtype=np.float64)
+    var = float(np.var(x))
+    if rounding == "deterministic":
+        return var / 4.0
+    if rounding == "stochastic":
+        mean = float(np.mean(x))
+        return (mean**2 + var) / 6.0
+    raise ValueError(f"unknown rounding {rounding!r}")
+
+
+def g_statistic_from_moments(
+    mean: float, var: float, rounding: str = "deterministic"
+) -> float:
+    """``G(X)`` from precomputed activation moments (big-model path)."""
+    if rounding == "deterministic":
+        return var / 4.0
+    if rounding == "stochastic":
+        return (mean**2 + var) / 6.0
+    raise ValueError(f"unknown rounding {rounding!r}")
+
+
+def theorem1_variance_bound(
+    w: np.ndarray, x: np.ndarray, bits: int, rounding: str = "deterministic"
+) -> float:
+    """Theorem 1's bound on the *extra* output variance from quantization.
+
+    ``D_W`` is the number of error terms summed into each output element,
+    i.e. the input dimension of the operator.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    d_w = w.shape[-1]
+    s = scaling_factor(w, bits)
+    return d_w * s * s * g_statistic(x, rounding)
+
+
+def empirical_quant_variance(
+    w: np.ndarray,
+    x: np.ndarray,
+    bits: int,
+    rounding: str = "deterministic",
+    seed: int = 0,
+) -> float:
+    """Measured extra output variance of quantizing ``w`` (for validation).
+
+    Computes ``Var[(W_q - W) X]`` elementwise over calibration samples —
+    the quantity Theorem 1 upper-bounds.
+    """
+    rng = np.random.default_rng(seed)
+    cfg = QuantConfig(
+        bits=bits, symmetric=True, granularity="tensor", rounding=rounding
+    )
+    from .schemes import quantize_dequantize
+
+    wq = quantize_dequantize(w, cfg, rng)
+    err_out = (np.asarray(wq) - np.asarray(w, dtype=np.float64)) @ np.asarray(
+        x, dtype=np.float64
+    )
+    return float(np.var(err_out))
+
+
+@dataclass(frozen=True)
+class OperatorStats:
+    """Summary statistics of one linear operator for indicator evaluation."""
+
+    #: Input dimension (error terms summed per output element).
+    d_w: int
+    #: Largest |weight| (drives the per-bit scaling factor).
+    w_absmax: float
+    #: Calibration activation mean and variance.
+    x_mean: float
+    x_var: float
+
+    def omega(self, bits: int, rounding: str = "deterministic") -> float:
+        """The operator's contribution to the layer indicator at ``bits``."""
+        if bits >= 16:
+            return 0.0
+        s = self.w_absmax / (2 ** (bits - 1) - 1)
+        return self.d_w * s * s * g_statistic_from_moments(
+            self.x_mean, self.x_var, rounding
+        )
+
+
+def operator_stats_from_arrays(w: np.ndarray, x: np.ndarray) -> OperatorStats:
+    """Collect :class:`OperatorStats` from real weight/activation arrays."""
+    w = np.asarray(w, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    return OperatorStats(
+        d_w=w.shape[-1],
+        w_absmax=float(np.max(np.abs(w))),
+        x_mean=float(np.mean(x)),
+        x_var=float(np.var(x)),
+    )
+
+
+def layer_indicator(
+    operators: Iterable[OperatorStats],
+    bits: int,
+    rounding: str = "deterministic",
+) -> float:
+    """Proposition 1: ``omega_{i,b}`` summed over a layer's operators."""
+    return float(sum(op.omega(bits, rounding) for op in operators))
+
+
+def indicator_table(
+    layers: Sequence[Sequence[OperatorStats]],
+    bit_choices: Sequence[int],
+    rounding: str = "deterministic",
+) -> np.ndarray:
+    """``omega[i, k]`` for every layer i and bitwidth choice k.
+
+    Rows are layers in model order; columns follow ``bit_choices``.
+    FP16 entries are exactly zero (no quantization perturbation).
+    """
+    table = np.zeros((len(layers), len(bit_choices)))
+    for i, ops in enumerate(layers):
+        for k, b in enumerate(bit_choices):
+            table[i, k] = layer_indicator(ops, b, rounding)
+    return table
+
+
+def random_indicator_table(
+    num_layers: int,
+    bit_choices: Sequence[int],
+    seed: int = 0,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """The Random baseline of Sec. VI-E.
+
+    Uniform draws, but within each layer the indicator value for a higher
+    bitwidth is forced below that of any lower bitwidth (as the paper
+    specifies), preserving the "more bits hurt less" ordering.
+    """
+    rng = np.random.default_rng(seed)
+    table = np.zeros((num_layers, len(bit_choices)))
+    order = np.argsort(bit_choices)[::-1]  # highest bits first
+    for i in range(num_layers):
+        draws = np.sort(rng.uniform(0.0, scale, size=len(bit_choices)))
+        for rank, k in enumerate(order):
+            table[i, k] = 0.0 if bit_choices[k] >= 16 else draws[rank]
+    return table

@@ -1,0 +1,83 @@
+"""Sub-byte bit packing of quantized integer codes.
+
+Real serving kernels store 3/4/8-bit codes densely packed into 32-bit words
+(GPTQ/Marlin layouts).  We implement an exact bitstream packer so quantized
+tensors round-trip losslessly and storage math in tests reflects reality.
+Codes are stored *unsigned* (offset by ``-qmin``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pack_bits(codes: np.ndarray, bits: int, qmin: int = 0) -> np.ndarray:
+    """Pack integer ``codes`` (any shape) into a flat uint32 word array.
+
+    ``qmin`` is subtracted first so signed symmetric codes fit in
+    ``bits`` unsigned bits.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    flat = np.asarray(codes).ravel().astype(np.int64) - qmin
+    if flat.size and (flat.min() < 0 or flat.max() >= (1 << bits)):
+        raise ValueError(f"codes out of range for {bits}-bit packing")
+    total_bits = flat.size * bits
+    n_words = (total_bits + 31) // 32
+    words = np.zeros(n_words, dtype=np.uint64)
+    positions = np.arange(flat.size, dtype=np.int64) * bits
+    word_idx = positions // 32
+    bit_off = positions % 32
+    vals = flat.astype(np.uint64)
+    # First word contribution.
+    np.bitwise_or.at(words, word_idx, vals << bit_off.astype(np.uint64))
+    # Spill into the next word when a code straddles a boundary.
+    spill = bit_off + bits > 32
+    if spill.any():
+        idx2 = word_idx[spill] + 1
+        shift = (32 - bit_off[spill]).astype(np.uint64)
+        np.bitwise_or.at(words, idx2, vals[spill] >> shift)
+    return (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def unpack_bits(
+    words: np.ndarray, bits: int, count: int, qmin: int = 0
+) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover ``count`` codes as int32."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    w = np.asarray(words, dtype=np.uint64)
+    positions = np.arange(count, dtype=np.int64) * bits
+    word_idx = positions // 32
+    bit_off = positions % 32
+    mask = np.uint64((1 << bits) - 1)
+    out = (w[word_idx] >> bit_off.astype(np.uint64)) & mask
+    spill = bit_off + bits > 32
+    if spill.any():
+        idx2 = word_idx[spill] + 1
+        shift = (32 - bit_off[spill]).astype(np.uint64)
+        extra = (w[idx2] << shift) & mask
+        out[spill] |= extra
+    return out.astype(np.int64).astype(np.int32) + qmin
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes of the packed word array holding ``count`` codes."""
+    return 4 * ((count * bits + 31) // 32)
+
+
+def pack_tensor(
+    codes: np.ndarray, bits: int, qmin: int = 0
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Pack a tensor's codes; returns (words, original_shape)."""
+    return pack_bits(codes, bits, qmin), tuple(np.asarray(codes).shape)
+
+
+def unpack_tensor(
+    words: np.ndarray, bits: int, shape: Tuple[int, ...], qmin: int = 0
+) -> np.ndarray:
+    """Unpack to the original tensor shape."""
+    count = int(np.prod(shape)) if shape else 1
+    return unpack_bits(words, bits, count, qmin).reshape(shape)

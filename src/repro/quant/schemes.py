@@ -1,0 +1,157 @@
+"""Core quantization primitives (Sec. II-D).
+
+Implements symmetric and asymmetric uniform quantization with deterministic
+(round-to-nearest) or stochastic rounding, at per-tensor, per-channel or
+per-group granularity.  These are the building blocks for RTN and GPTQ
+weight quantization, the KV-cache quantizer, and the variance indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """How to quantize a tensor."""
+
+    bits: int
+    symmetric: bool = True
+    #: "tensor", "channel" (axis 0) or "group" (groups along the last axis).
+    granularity: str = "channel"
+    group_size: int = 128
+    #: "deterministic" (round to nearest) or "stochastic".
+    rounding: str = "deterministic"
+
+    def __post_init__(self):
+        if self.bits < 2 or self.bits > 16:
+            raise ValueError(f"bits must be in [2, 16], got {self.bits}")
+        if self.granularity not in ("tensor", "channel", "group"):
+            raise ValueError(f"bad granularity {self.granularity!r}")
+        if self.rounding not in ("deterministic", "stochastic"):
+            raise ValueError(f"bad rounding {self.rounding!r}")
+        if self.granularity == "group" and self.group_size <= 0:
+            raise ValueError("group_size must be positive")
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1)) if self.symmetric else 0
+
+    @property
+    def qmax(self) -> int:
+        if self.symmetric:
+            return 2 ** (self.bits - 1) - 1
+        return 2**self.bits - 1
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized tensor with its reconstruction metadata."""
+
+    q: np.ndarray  # integer codes, same shape as the original
+    scale: np.ndarray  # broadcastable to the original shape
+    zero: np.ndarray  # zero point (float), broadcastable
+    config: QuantConfig
+    shape: Tuple[int, ...]
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the floating-point tensor."""
+        return (self.q.astype(np.float64) - self.zero) * self.scale
+
+    @property
+    def nbytes_ideal(self) -> int:
+        """Storage at exactly ``bits`` per element plus FP16 metadata."""
+        n = int(np.prod(self.shape))
+        meta = (self.scale.size + self.zero.size) * 2
+        return (n * self.config.bits + 7) // 8 + meta
+
+
+def _reduce_ranges(
+    w: np.ndarray, cfg: QuantConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Min/max per quantization block, shaped to broadcast over ``w``."""
+    if cfg.granularity == "tensor":
+        return np.asarray(w.min()), np.asarray(w.max())
+    if cfg.granularity == "channel":
+        axes = tuple(range(1, w.ndim))
+        return w.min(axis=axes, keepdims=True), w.max(axis=axes, keepdims=True)
+    # group: blocks of group_size along the last axis
+    *lead, last = w.shape
+    g = cfg.group_size
+    pad = (-last) % g
+    if pad:
+        wp = np.concatenate(
+            [w, np.repeat(w[..., -1:], pad, axis=-1)], axis=-1
+        )
+    else:
+        wp = w
+    blocks = wp.reshape(*lead, wp.shape[-1] // g, g)
+    mn = blocks.min(axis=-1, keepdims=True)
+    mx = blocks.max(axis=-1, keepdims=True)
+    # expand back to elementwise broadcast shape
+    mn = np.repeat(mn, g, axis=-1).reshape(*lead, wp.shape[-1])[..., :last]
+    mx = np.repeat(mx, g, axis=-1).reshape(*lead, wp.shape[-1])[..., :last]
+    return mn, mx
+
+
+def compute_scale_zero(
+    w: np.ndarray, cfg: QuantConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scale and zero point per the paper's Sec. II-D / IV-B definitions.
+
+    Symmetric: ``s = max(|w_max|, |w_min|) / (2^(b-1) - 1)``, zero = 0.
+    Asymmetric: ``s = (w_max - w_min) / (2^b - 1)``, zero = qmin - w_min/s.
+    """
+    mn, mx = _reduce_ranges(w, cfg)
+    if cfg.symmetric:
+        scale = np.maximum(np.abs(mn), np.abs(mx)) / (2 ** (cfg.bits - 1) - 1)
+        scale = np.where(scale == 0.0, 1.0, scale)
+        zero = np.zeros_like(scale)
+    else:
+        scale = (mx - mn) / (2**cfg.bits - 1)
+        scale = np.where(scale == 0.0, 1.0, scale)
+        zero = cfg.qmin - mn / scale
+    return scale, zero
+
+
+def _round(x: np.ndarray, rounding: str, rng: Optional[np.random.Generator]) -> np.ndarray:
+    if rounding == "deterministic":
+        return np.rint(x)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    floor = np.floor(x)
+    frac = x - floor
+    return floor + (rng.random(x.shape) < frac)
+
+
+def quantize(
+    w: np.ndarray,
+    cfg: QuantConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantizedTensor:
+    """Quantize ``w`` under ``cfg``; stochastic rounding uses ``rng``."""
+    w = np.asarray(w, dtype=np.float64)
+    scale, zero = compute_scale_zero(w, cfg)
+    q = _round(w / scale + zero, cfg.rounding, rng)
+    q = np.clip(q, cfg.qmin, cfg.qmax)
+    return QuantizedTensor(
+        q=q.astype(np.int32), scale=scale, zero=zero, config=cfg, shape=w.shape
+    )
+
+
+def quantize_dequantize(
+    w: np.ndarray,
+    cfg: QuantConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Round-trip a tensor through quantization (the "fake quant" op)."""
+    return quantize(w, cfg, rng).dequantize()
+
+
+def quantization_mse(w: np.ndarray, cfg: QuantConfig) -> float:
+    """Mean squared reconstruction error of quantizing ``w``."""
+    err = np.asarray(w, dtype=np.float64) - quantize_dequantize(w, cfg)
+    return float(np.mean(err**2))

@@ -1,0 +1,16 @@
+"""Threaded master/worker runtime executing plans on TinyLM."""
+
+from .comm import Channel, ChannelClosed
+from .engine import GenerationResult, PipelineEngine, reference_generate
+from .worker import RegroupMessage, StageMessage, StageWorker
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "GenerationResult",
+    "PipelineEngine",
+    "reference_generate",
+    "RegroupMessage",
+    "StageMessage",
+    "StageWorker",
+]

@@ -1,0 +1,51 @@
+"""Inter-stage communication channels for the threaded runtime.
+
+Thin typed wrapper over ``queue.Queue``: activation messages flow forward
+through the pipeline, a sentinel closes a channel, and receives time out
+rather than deadlock silently when a worker dies.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_CLOSE = object()
+
+
+class ChannelClosed(RuntimeError):
+    """Receiving from a channel whose sender has shut down."""
+
+
+@dataclass
+class Channel:
+    """A one-directional message pipe between pipeline participants."""
+
+    name: str
+    maxsize: int = 0
+    _q: queue.Queue = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._q = queue.Queue(maxsize=self.maxsize)
+
+    def send(self, msg: Any) -> None:
+        self._q.put(msg)
+
+    def recv(self, timeout: Optional[float] = 30.0) -> Any:
+        try:
+            msg = self._q.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"channel {self.name!r}: no message within {timeout}s"
+            ) from None
+        if msg is _CLOSE:
+            raise ChannelClosed(f"channel {self.name!r} closed")
+        return msg
+
+    def close(self) -> None:
+        self._q.put(_CLOSE)
+
+    @property
+    def pending(self) -> int:
+        return self._q.qsize()

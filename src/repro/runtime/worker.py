@@ -1,0 +1,140 @@
+"""Pipeline-stage workers: one thread per stage, each owning a layer range.
+
+A worker receives hidden-state messages, runs its (quantized) decoder
+layers with per-micro-batch KV caches, and forwards the result to the next
+stage (or back to the master after the last stage) — the distributed
+execution of Fig. 6, step 3, with threads standing in for worker
+processes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..quality.tinylm import LayerWeights, TinyLMConfig, layer_forward
+from .comm import Channel, ChannelClosed
+
+
+@dataclass(frozen=True)
+class StageMessage:
+    """One unit of pipeline work."""
+
+    phase: str  # "prefill" | "decode"
+    mb_id: int
+    hidden: np.ndarray  # (B, T, H) activations entering the stage
+
+
+@dataclass(frozen=True)
+class RegroupMessage:
+    """Phase-switch control: re-slice KV caches into new micro-batches.
+
+    The paper's master engine "dynamically adapts micro-batch sizes across
+    generation phases" (Sec. III): prefill runs at eta, decode at xi.  Each
+    entry of ``groups`` describes one new micro-batch as a concatenation of
+    slices ``(old_mb_id, local_start, local_end)`` of the old ones.  The
+    message flows through the pipeline so every stage regroups exactly
+    once, and its arrival at the master signals completion.
+    """
+
+    groups: Tuple[Tuple[Tuple[int, int, int], ...], ...]
+
+
+class StageWorker(threading.Thread):
+    """Executes a contiguous range of decoder layers."""
+
+    def __init__(
+        self,
+        stage_index: int,
+        config: TinyLMConfig,
+        layers: List[LayerWeights],
+        in_ch: Channel,
+        out_ch: Channel,
+    ) -> None:
+        super().__init__(name=f"stage-{stage_index}", daemon=True)
+        self.stage_index = stage_index
+        self.config = config
+        self.layers = layers
+        self.in_ch = in_ch
+        self.out_ch = out_ch
+        #: Per-micro-batch, per-local-layer KV caches.
+        self._caches: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        self.busy_time = 0.0
+        self.jobs = 0
+        self.error: Optional[BaseException] = None
+
+    def _forward(self, msg: StageMessage) -> np.ndarray:
+        x = msg.hidden
+        if msg.phase == "prefill":
+            caches: List[Tuple[np.ndarray, np.ndarray]] = []
+            for lw in self.layers:
+                x, kv = layer_forward(self.config, lw, x)
+                caches.append(kv)
+            self._caches[msg.mb_id] = caches
+        elif msg.phase == "decode":
+            try:
+                caches = self._caches[msg.mb_id]
+            except KeyError:
+                raise RuntimeError(
+                    f"stage {self.stage_index}: decode for unknown "
+                    f"micro-batch {msg.mb_id}"
+                ) from None
+            for i, lw in enumerate(self.layers):
+                x, kv = layer_forward(self.config, lw, x, cache=caches[i])
+                caches[i] = kv
+        else:
+            raise ValueError(f"unknown phase {msg.phase!r}")
+        return x
+
+    def _regroup(self, msg: RegroupMessage) -> None:
+        new_caches: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        for new_id, parts in enumerate(msg.groups):
+            merged: List[Tuple[np.ndarray, np.ndarray]] = []
+            for layer_idx in range(len(self.layers)):
+                ks, vs = [], []
+                for old_id, lo, hi in parts:
+                    k, v = self._caches[old_id][layer_idx]
+                    ks.append(k[lo:hi])
+                    vs.append(v[lo:hi])
+                merged.append(
+                    (np.concatenate(ks, axis=0), np.concatenate(vs, axis=0))
+                )
+            new_caches[new_id] = merged
+        self._caches = new_caches
+
+    def run(self) -> None:
+        try:
+            while True:
+                try:
+                    msg = self.in_ch.recv()
+                except ChannelClosed:
+                    self.out_ch.close()
+                    return
+                if isinstance(msg, RegroupMessage):
+                    self._regroup(msg)
+                    self.out_ch.send(msg)
+                    continue
+                t0 = time.perf_counter()
+                out = self._forward(msg)
+                self.busy_time += time.perf_counter() - t0
+                self.jobs += 1
+                self.out_ch.send(
+                    StageMessage(phase=msg.phase, mb_id=msg.mb_id, hidden=out)
+                )
+        except BaseException as exc:  # surfaced by the engine
+            self.error = exc
+            self.out_ch.close()
+
+    def reset_caches(self) -> None:
+        self._caches.clear()
+
+    def cache_tokens(self, mb_id: int) -> int:
+        """Current KV length for a micro-batch (test/inspection hook)."""
+        caches = self._caches.get(mb_id)
+        if not caches:
+            return 0
+        return int(caches[0][0].shape[1])

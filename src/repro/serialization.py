@@ -1,0 +1,82 @@
+"""Plan (de)serialization.
+
+The assigner runs offline, once per (model, cluster); production runtimes
+load the resulting plan at startup.  Plans therefore need a stable
+on-disk format: plain JSON, schema-versioned, round-trip exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .plan import ExecutionPlan, StagePlan
+
+SCHEMA_VERSION = 1
+
+
+def plan_to_dict(plan: ExecutionPlan) -> Dict[str, Any]:
+    """A JSON-safe dict representation of a plan."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "model_name": plan.model_name,
+        "prefill_microbatch": plan.prefill_microbatch,
+        "decode_microbatch": plan.decode_microbatch,
+        "bit_kv": plan.bit_kv,
+        "stages": [
+            {
+                "device_ids": list(st.device_ids),
+                "gpu_name": st.gpu_name,
+                "layer_start": st.layer_start,
+                "layer_bits": list(st.layer_bits),
+            }
+            for st in plan.stages
+        ],
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> ExecutionPlan:
+    """Reconstruct a plan; validates the schema version."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported plan schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    stages = tuple(
+        StagePlan(
+            device_ids=tuple(int(d) for d in st["device_ids"]),
+            gpu_name=str(st["gpu_name"]),
+            layer_start=int(st["layer_start"]),
+            layer_bits=tuple(int(b) for b in st["layer_bits"]),
+        )
+        for st in data["stages"]
+    )
+    return ExecutionPlan(
+        model_name=str(data["model_name"]),
+        stages=stages,
+        prefill_microbatch=int(data["prefill_microbatch"]),
+        decode_microbatch=int(data["decode_microbatch"]),
+        bit_kv=int(data.get("bit_kv", 16)),
+    )
+
+
+def dumps_plan(plan: ExecutionPlan, indent: int = 2) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent, sort_keys=True)
+
+
+def loads_plan(text: str) -> ExecutionPlan:
+    """Parse a plan from a JSON string."""
+    return plan_from_dict(json.loads(text))
+
+
+def save_plan(plan: ExecutionPlan, path: Union[str, Path]) -> None:
+    """Write a plan to ``path`` as JSON."""
+    Path(path).write_text(dumps_plan(plan) + "\n")
+
+
+def load_plan(path: Union[str, Path]) -> ExecutionPlan:
+    """Read a plan written by :func:`save_plan`."""
+    return loads_plan(Path(path).read_text())

@@ -1,0 +1,27 @@
+"""Simulated GPU testbed: roofline kernels, device memory, profiling."""
+
+from .memory import PAGE_BYTES, DeviceMemory, OutOfMemoryError
+from .profiler import LATENCY_NOISE_SIGMA, LatencySample, Profiler
+from .roofline import (
+    KERNELS_PER_LAYER,
+    effective_bandwidth,
+    embedding_time,
+    layer_time,
+    lm_head_time,
+    tp_layer_time,
+)
+
+__all__ = [
+    "PAGE_BYTES",
+    "DeviceMemory",
+    "OutOfMemoryError",
+    "LATENCY_NOISE_SIGMA",
+    "LatencySample",
+    "Profiler",
+    "KERNELS_PER_LAYER",
+    "effective_bandwidth",
+    "embedding_time",
+    "layer_time",
+    "lm_head_time",
+    "tp_layer_time",
+]

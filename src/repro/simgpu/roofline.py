@@ -1,0 +1,160 @@
+"""Roofline-based kernel latency model — the simulated testbed.
+
+Every latency the rest of the system observes comes from here.  A kernel's
+time is the max of its compute time and its memory time (roofline), plus
+launch overheads, with three effects the paper builds on:
+
+* **Phase asymmetry** — prefill moves ``v*s`` tokens through each matmul and
+  is compute-bound; decode moves one token per request but streams the full
+  weight matrix and KV cache, so it is memory-bound (Sec. IV-A).
+* **Dequantization overhead** — 3/4-bit weight-only kernels unpack weights
+  to FP16 inside the kernel; the unpack cost scales with weight elements
+  and is worse on devices without fast integer paths, which is why FP16 can
+  beat 3/4-bit in prefill (Fig. 5).
+* **Precision support matrix** — INT8 runs on tensor cores on T4/A100
+  (fast), but on V100/P100 it falls back to a dequantize+FP16 path whose
+  extra activation-conversion cost grows with the token count, making its
+  benefit shape-dependent (Sec. II-E).
+
+Decode kernels are GEMV-shaped and do not reach peak memory bandwidth;
+each device has a calibrated decode-phase effective bandwidth
+(``mem_bw_decode_gbps``).  Other small transfers (embedding gathers) use a
+saturating effective-bandwidth curve between the decode and peak rates.
+"""
+
+from __future__ import annotations
+
+from ..hardware.gpus import GPUSpec
+from ..models.architectures import ModelSpec
+from ..models import layers as L
+
+#: Kernel launches per decoder layer (projections, attention, MLP, norms).
+KERNELS_PER_LAYER = 10
+#: Bytes at which a device reaches its "small kernel" bandwidth.
+_BW_KNEE_BYTES = 8 * 1024 * 1024
+#: Dequantization work per weight element (CUDA-core ops: unpack+scale+add).
+_DEQUANT_OPS_PER_ELEMENT = {3: 8.0, 4: 4.0, 8: 2.0}
+
+
+def effective_bandwidth(gpu: GPUSpec, nbytes: float) -> float:
+    """Achievable bandwidth (bytes/s) for a generic kernel moving ``nbytes``.
+
+    Saturating model: ``peak / (1 + knee/nbytes)`` with the knee placed so
+    the device hits its calibrated decode bandwidth at 8 MiB.  Used for
+    embedding gathers and other non-GEMM transfers.
+    """
+    peak = gpu.mem_bw_gbps * 1e9
+    small = gpu.mem_bw_decode_gbps * 1e9
+    if nbytes <= 0:
+        return small
+    knee = _BW_KNEE_BYTES * max(peak / small - 1.0, 1e-9)
+    return peak / (1.0 + knee / nbytes)
+
+
+def _dequant_time(gpu: GPUSpec, spec: ModelSpec, bits: int) -> float:
+    """In-kernel weight dequantization time for weight-only precisions."""
+    if bits >= 16:
+        return 0.0
+    if bits == 8 and gpu.int8_tensor_cores:
+        return 0.0  # native INT8 tensor-core path, no unpack
+    ops = spec.decoder_linear_elements * _DEQUANT_OPS_PER_ELEMENT[bits]
+    rate = gpu.fp32_tflops * 1e12
+    return ops * gpu.dequant_penalty / rate
+
+
+def _act_quant_time(gpu: GPUSpec, spec: ModelSpec, bits: int, tokens: int) -> float:
+    """Activation quantize/dequantize cost of W8A8 on slow-INT8 devices.
+
+    Grows with the token count — the shape dependence of V100 INT8.
+    """
+    if bits != 8 or gpu.int8_tensor_cores:
+        return 0.0
+    ops = 6.0 * tokens * (2 * spec.hidden + spec.ffn)
+    return ops / (gpu.fp32_tflops * 1e12)
+
+
+def layer_time(
+    gpu: GPUSpec,
+    spec: ModelSpec,
+    bits: int,
+    phase: str,
+    batch: int,
+    seq: int,
+    bit_kv: int = 16,
+) -> float:
+    """Execution time (s) of one decoder layer on ``gpu``.
+
+    For ``phase == "prefill"``, ``seq`` is the prompt-chunk length; for
+    ``phase == "decode"``, ``seq`` is the past context length and one token
+    per request is produced.
+    """
+    if batch <= 0 or seq < 0:
+        raise ValueError("batch must be positive and seq non-negative")
+    if phase == "prefill":
+        flops = L.prefill_flops(spec, batch, seq)
+        nbytes = L.prefill_bytes(spec, batch, seq, bits, bit_kv)
+        tokens = batch * seq
+    elif phase == "decode":
+        flops = L.decode_flops(spec, batch, seq)
+        nbytes = L.decode_bytes(spec, batch, seq, bits, bit_kv)
+        tokens = batch
+    else:
+        raise ValueError(f"unknown phase {phase!r}")
+
+    compute = flops / (gpu.compute_tflops(bits) * 1e12)
+    compute += _dequant_time(gpu, spec, bits)
+    compute += _act_quant_time(gpu, spec, bits, tokens)
+    if phase == "decode":
+        # GEMV-shaped kernels: device-specific achieved bandwidth.
+        memory = nbytes / (gpu.mem_bw_decode_gbps * 1e9)
+    else:
+        memory = nbytes / (gpu.mem_bw_gbps * 1e9)
+    overhead = KERNELS_PER_LAYER * gpu.kernel_overhead_s
+    return max(compute, memory) + overhead
+
+
+def embedding_time(gpu: GPUSpec, spec: ModelSpec, tokens: int) -> float:
+    """Token/position embedding lookup time (bandwidth-bound gather)."""
+    nbytes = 2.0 * tokens * spec.embed_dim * L.FP16_BYTES
+    return nbytes / effective_bandwidth(gpu, nbytes) + gpu.kernel_overhead_s
+
+
+def lm_head_time(gpu: GPUSpec, spec: ModelSpec, tokens: int) -> float:
+    """Logit projection time for ``tokens`` output positions (FP16 GEMM)."""
+    flops = L.lm_head_flops(spec, tokens)
+    nbytes = float(spec.vocab_size * spec.embed_dim * L.FP16_BYTES)
+    compute = flops / (gpu.fp16_tflops * 1e12)
+    memory = nbytes / effective_bandwidth(gpu, nbytes)
+    return max(compute, memory) + gpu.kernel_overhead_s
+
+
+def tp_layer_time(
+    gpu: GPUSpec,
+    spec: ModelSpec,
+    bits: int,
+    phase: str,
+    batch: int,
+    seq: int,
+    tp_degree: int,
+    tp_link_bandwidth: float,
+    bit_kv: int = 16,
+) -> float:
+    """Layer time under intra-node tensor parallelism of ``tp_degree``.
+
+    Compute and weight traffic shard ``tp_degree``-ways; two all-reduces of
+    the hidden state per layer (attention out, MLP out) add communication
+    on the intra-node link (ring all-reduce, ``2*(p-1)/p`` volume factor).
+    """
+    if tp_degree <= 0:
+        raise ValueError("tp_degree must be positive")
+    if tp_degree == 1:
+        return layer_time(gpu, spec, bits, phase, batch, seq, bit_kv)
+    # Shard the layer: same math with weights/kv split p-ways.  We model it
+    # by scaling the single-GPU time components.
+    base = layer_time(gpu, spec, bits, phase, batch, seq, bit_kv)
+    overhead = KERNELS_PER_LAYER * gpu.kernel_overhead_s
+    sharded = (base - overhead) / tp_degree + overhead
+    tokens = batch * (seq if phase == "prefill" else 1)
+    msg = tokens * spec.hidden * L.FP16_BYTES
+    allreduce = 2.0 * (2.0 * (tp_degree - 1) / tp_degree) * msg / tp_link_bandwidth
+    return sharded + allreduce

@@ -1,0 +1,36 @@
+"""Workload substrate: length distributions, batch synthesis, specs."""
+
+from .distributions import (
+    DATASET_SAMPLERS,
+    SHAREGPT_BUCKETS,
+    LengthSample,
+    cnn_dailymail_lengths,
+    length_histogram,
+    loogle_lengths,
+    sample_dataset,
+    sharegpt_lengths,
+)
+from .generator import (
+    WorkloadConfig,
+    filter_by_context,
+    representative_workload,
+    synthesize_batches,
+)
+from .spec import BatchWorkload, VariableBatchWorkload
+
+__all__ = [
+    "DATASET_SAMPLERS",
+    "SHAREGPT_BUCKETS",
+    "LengthSample",
+    "cnn_dailymail_lengths",
+    "length_histogram",
+    "loogle_lengths",
+    "sample_dataset",
+    "sharegpt_lengths",
+    "WorkloadConfig",
+    "filter_by_context",
+    "representative_workload",
+    "synthesize_batches",
+    "BatchWorkload",
+    "VariableBatchWorkload",
+]

@@ -1,0 +1,122 @@
+"""Request length distributions for the paper's workloads.
+
+Three sources are modeled after the statistics the paper reports:
+
+* **ShareGPT** conversations (Sec. II-A): the bucketed prompt-length
+  histogram — <128: 14.20%, 129–512: 20.52%, 513–1024: 14.24%,
+  1025–2048: 14.53%, >2048: 36.51%.
+* **CNN/DailyMail summarization** (Fig. 7a): article-length inputs around
+  800 tokens, ~299-token summaries.
+* **LooGLE long-context understanding** (Fig. 7b): very long inputs
+  (average ~97k tokens) and short ~63-token outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+SHAREGPT_BUCKETS: Tuple[Tuple[int, int, float], ...] = (
+    (1, 128, 0.1420),
+    (129, 512, 0.2052),
+    (513, 1024, 0.1424),
+    (1025, 2048, 0.1453),
+    (2049, 8192, 0.3651),
+)
+
+
+@dataclass(frozen=True)
+class LengthSample:
+    """Sampled per-request prompt and output lengths."""
+
+    prompt_lens: np.ndarray
+    output_lens: np.ndarray
+
+    def __post_init__(self):
+        if self.prompt_lens.shape != self.output_lens.shape:
+            raise ValueError("prompt and output arrays must align")
+
+    @property
+    def n(self) -> int:
+        return int(self.prompt_lens.size)
+
+    def mean_prompt(self) -> float:
+        return float(self.prompt_lens.mean())
+
+    def mean_output(self) -> float:
+        return float(self.output_lens.mean())
+
+
+def _lognormal_lengths(
+    rng: np.random.Generator, n: int, mean: float, sigma: float, lo: int, hi: int
+) -> np.ndarray:
+    """Lognormal lengths with the requested arithmetic mean, clipped."""
+    mu = np.log(mean) - 0.5 * sigma * sigma
+    vals = rng.lognormal(mu, sigma, size=n)
+    return np.clip(np.rint(vals), lo, hi).astype(np.int64)
+
+
+def sharegpt_lengths(n: int, seed: int = 0) -> LengthSample:
+    """Prompt/output lengths matching the ShareGPT bucket histogram."""
+    rng = np.random.default_rng(seed)
+    probs = np.array([b[2] for b in SHAREGPT_BUCKETS])
+    probs = probs / probs.sum()
+    bucket_idx = rng.choice(len(SHAREGPT_BUCKETS), size=n, p=probs)
+    prompts = np.empty(n, dtype=np.int64)
+    for k, (lo, hi, _) in enumerate(SHAREGPT_BUCKETS):
+        mask = bucket_idx == k
+        prompts[mask] = rng.integers(lo, hi + 1, size=int(mask.sum()))
+    outputs = _lognormal_lengths(rng, n, mean=250.0, sigma=0.8, lo=1, hi=2048)
+    return LengthSample(prompt_lens=prompts, output_lens=outputs)
+
+
+def cnn_dailymail_lengths(n: int, seed: int = 0) -> LengthSample:
+    """CNN/DailyMail-style summarization lengths (Fig. 7a)."""
+    rng = np.random.default_rng(seed)
+    prompts = _lognormal_lengths(rng, n, mean=800.0, sigma=0.45, lo=128, hi=2048)
+    outputs = _lognormal_lengths(rng, n, mean=299.0, sigma=0.35, lo=32, hi=1024)
+    return LengthSample(prompt_lens=prompts, output_lens=outputs)
+
+
+def loogle_lengths(n: int, seed: int = 0) -> LengthSample:
+    """LooGLE-style long-context lengths (Fig. 7b)."""
+    rng = np.random.default_rng(seed)
+    prompts = _lognormal_lengths(
+        rng, n, mean=97_000.0, sigma=0.6, lo=8_192, hi=400_000
+    )
+    outputs = _lognormal_lengths(rng, n, mean=63.0, sigma=0.5, lo=8, hi=512)
+    return LengthSample(prompt_lens=prompts, output_lens=outputs)
+
+
+DATASET_SAMPLERS = {
+    "sharegpt": sharegpt_lengths,
+    "cnn_dailymail": cnn_dailymail_lengths,
+    "loogle": loogle_lengths,
+}
+
+
+def sample_dataset(name: str, n: int, seed: int = 0) -> LengthSample:
+    """Sample request lengths from a named dataset distribution."""
+    try:
+        sampler = DATASET_SAMPLERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(DATASET_SAMPLERS)}"
+        ) from None
+    return sampler(n, seed)
+
+
+def length_histogram(
+    lengths: np.ndarray, edges: Tuple[int, ...] = (128, 512, 1024, 2048)
+) -> Dict[str, float]:
+    """Bucketed length shares (the Sec. II-A style summary)."""
+    lengths = np.asarray(lengths)
+    out: Dict[str, float] = {}
+    lo = 0
+    for hi in edges:
+        out[f"{lo + 1}-{hi}"] = float(((lengths > lo) & (lengths <= hi)).mean())
+        lo = hi
+    out[f">{edges[-1]}"] = float((lengths > edges[-1]).mean())
+    return out

@@ -1,0 +1,94 @@
+"""Batch synthesis for offline serving (Sec. VI-A workload setup).
+
+Sampled requests are filtered against the model's
+``max_position_embeddings``, grouped into batches of the configured size,
+and padded to a uniform prompt length per batch (the paper's dynamic
+chunking assumption), yielding the :class:`BatchWorkload` the planner and
+simulator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..models.architectures import ModelSpec
+from .distributions import LengthSample, sample_dataset
+from .spec import BatchWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Inference-engine workload hyperparameters (Sec. VI-A)."""
+
+    dataset: str = "cnn_dailymail"
+    batch_size: int = 256
+    chunk_tokens: int = 2048
+    #: Pad each batch's prompts up to this percentile of in-batch lengths.
+    pad_percentile: float = 95.0
+    seed: int = 0
+
+
+def filter_by_context(
+    sample: LengthSample, spec: ModelSpec
+) -> LengthSample:
+    """Drop requests whose prompt+output exceeds the model's context."""
+    total = sample.prompt_lens + sample.output_lens
+    keep = total <= spec.max_position_embeddings
+    return LengthSample(
+        prompt_lens=sample.prompt_lens[keep], output_lens=sample.output_lens[keep]
+    )
+
+
+def synthesize_batches(
+    spec: ModelSpec,
+    config: WorkloadConfig,
+    n_requests: int = 1024,
+) -> List[BatchWorkload]:
+    """Sample, filter, group and pad requests into uniform batches."""
+    sample = sample_dataset(config.dataset, n_requests, config.seed)
+    sample = filter_by_context(sample, spec)
+    if sample.n == 0:
+        raise ValueError(
+            f"no {config.dataset} request fits {spec.name}'s context window"
+        )
+    batches: List[BatchWorkload] = []
+    for start in range(0, sample.n, config.batch_size):
+        p = sample.prompt_lens[start : start + config.batch_size]
+        o = sample.output_lens[start : start + config.batch_size]
+        if p.size == 0:
+            break
+        pad_len = int(np.percentile(p, config.pad_percentile))
+        pad_len = max(pad_len, 16)
+        out_len = max(int(np.rint(o.mean())), 1)
+        batches.append(
+            BatchWorkload(
+                batch=int(p.size),
+                prompt_len=pad_len,
+                output_len=out_len,
+                chunk_tokens=config.chunk_tokens,
+            )
+        )
+    return batches
+
+
+def representative_workload(
+    spec: ModelSpec, config: WorkloadConfig, n_requests: int = 1024
+) -> BatchWorkload:
+    """The single batch profile the assigner plans against.
+
+    Offline workloads are predictable (Sec. II-C); planning uses the
+    median-shaped batch of the synthesized set.
+    """
+    batches = synthesize_batches(spec, config, n_requests)
+    prompts = sorted(b.prompt_len for b in batches)
+    outputs = sorted(b.output_len for b in batches)
+    mid = len(batches) // 2
+    return BatchWorkload(
+        batch=config.batch_size,
+        prompt_len=prompts[mid],
+        output_len=outputs[mid],
+        chunk_tokens=config.chunk_tokens,
+    )

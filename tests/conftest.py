@@ -1,0 +1,90 @@
+"""Shared fixtures: small, fast instances of every substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel.latency import LatencyCostModel
+from repro.hardware import get_gpu, make_cluster, table_iii_cluster
+from repro.models import get_model
+from repro.quality import TinyLM, TinyLMConfig, build_eval_corpora
+from repro.simgpu import Profiler
+from repro.workloads import BatchWorkload
+
+
+@pytest.fixture(scope="session")
+def opt13b():
+    return get_model("opt-13b")
+
+
+@pytest.fixture(scope="session")
+def opt30b():
+    return get_model("opt-30b")
+
+
+@pytest.fixture(scope="session")
+def qwen7b():
+    return get_model("qwen2.5-7b")
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return get_gpu("V100")
+
+
+@pytest.fixture(scope="session")
+def t4():
+    return get_gpu("T4")
+
+
+@pytest.fixture(scope="session")
+def p100():
+    return get_gpu("P100")
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return get_gpu("A100")
+
+
+@pytest.fixture(scope="session")
+def cluster5():
+    """3x T4 + 1x V100 (Table III cluster 5)."""
+    return table_iii_cluster(5)
+
+
+@pytest.fixture(scope="session")
+def small_cluster():
+    """A 2-device heterogeneous cluster for fast planning tests."""
+    return make_cluster("test-2dev", [("T4-16G", 1), ("V100-32G", 1)])
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return BatchWorkload(batch=8, prompt_len=256, output_len=32)
+
+
+@pytest.fixture(scope="session")
+def cost_model_13b(opt13b, t4, v100):
+    cm = LatencyCostModel(opt13b)
+    cm.fit([t4, v100], (3, 4, 8, 16), Profiler(seed=11))
+    return cm
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    return TinyLM(
+        TinyLMConfig(vocab=96, layers=4, hidden=48, ffn=128, heads=4,
+                     max_seq=160, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_corpora(tiny_model):
+    return build_eval_corpora(tiny_model, n_seqs=4, seq_len=48)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,138 @@
+"""Tests for the Uniform / Het / adabits baselines."""
+
+import pytest
+
+from repro.baselines import (
+    default_microbatch,
+    default_stage_groups,
+    plan_adabits_baseline,
+    plan_het_baseline,
+    plan_uniform_baseline,
+    proportional_split,
+    repair_partition_for_memory,
+)
+from repro.pipeline import simulate_plan
+from repro.workloads import BatchWorkload
+
+BITS = (3, 4, 8, 16)
+
+
+def test_default_stage_groups_pp(cluster5):
+    groups = default_stage_groups(cluster5)
+    assert len(groups) == 4
+    assert all(len(ids) == 1 for ids, _ in groups)
+
+
+def test_default_stage_groups_tp(cluster5):
+    from repro.hardware import table_iii_cluster
+
+    c8 = table_iii_cluster(8)
+    groups = default_stage_groups(c8, tp_degree=2)
+    assert len(groups) == 2
+    assert all(len(ids) == 2 for ids, _ in groups)
+    with pytest.raises(ValueError):
+        default_stage_groups(cluster5, tp_degree=2)  # 3 T4s % 2 != 0
+
+
+def test_default_microbatch_pipeline_filling():
+    assert default_microbatch(32, 4) == 8
+    assert default_microbatch(32, 1) == 32
+    assert default_microbatch(2, 8) == 1
+
+
+def test_uniform_picks_highest_feasible_bits(small_cluster, opt13b,
+                                             small_workload):
+    res = plan_uniform_baseline(opt13b, small_cluster, small_workload, BITS)
+    assert res is not None
+    # OPT-13B halves (~7 GB FP16) fit both devices: FP16 is kept.
+    assert res.bits == 16
+    assert set(res.plan.bits_per_layer) == {16}
+
+
+def test_uniform_lowers_precision_when_needed(small_cluster, opt30b,
+                                              small_workload):
+    res = plan_uniform_baseline(opt30b, small_cluster, small_workload, BITS)
+    assert res is not None
+    # OPT-30B halves (~30 GB FP16) exceed the 16 GB T4: precision drops.
+    assert res.bits < 16
+
+
+def test_uniform_returns_none_when_nothing_fits(opt30b, small_workload):
+    from repro.hardware import make_cluster
+
+    cluster = make_cluster("tiny", [("P100-12G", 1)])
+    assert plan_uniform_baseline(opt30b, cluster, small_workload, BITS) is None
+
+
+def test_uniform_plan_simulates(small_cluster, opt13b, small_workload):
+    res = plan_uniform_baseline(opt13b, small_cluster, small_workload, BITS)
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_uniform_even_partition(small_cluster, opt13b, small_workload):
+    res = plan_uniform_baseline(opt13b, small_cluster, small_workload, BITS)
+    assert res.plan.layers_per_stage() == (20, 20)
+
+
+def test_proportional_split_properties():
+    counts = proportional_split(48, [1.0, 2.0, 1.0])
+    assert sum(counts) == 48
+    assert counts[1] > counts[0]
+    assert all(c >= 1 for c in counts)
+
+
+def test_proportional_split_extreme_speeds():
+    counts = proportional_split(10, [1e-9, 1.0])
+    assert counts[0] >= 1  # non-empty even for a uselessly slow stage
+    assert sum(counts) == 10
+
+
+def test_proportional_split_too_few_layers():
+    with pytest.raises(ValueError):
+        proportional_split(2, [1.0, 1.0, 1.0])
+
+
+def test_repair_partition_shifts_overflow():
+    # Stage 0 can hold 2 layers, stage 1 can hold 10.
+    repaired = repair_partition_for_memory([6, 2], layer_bytes=10,
+                                           capacities=[20, 100])
+    assert repaired == [2, 6]
+
+
+def test_repair_partition_infeasible():
+    assert repair_partition_for_memory([4, 4], 10, [10, 10]) is None
+
+
+def test_repair_partition_noop_when_fitting():
+    assert repair_partition_for_memory([2, 2], 10, [100, 100]) == [2, 2]
+
+
+def test_het_balances_by_speed(small_cluster, opt13b, small_workload,
+                               cost_model_13b):
+    res = plan_het_baseline(opt13b, small_cluster, small_workload,
+                            cost_model_13b, BITS)
+    assert res is not None
+    # The V100 stage must get more layers than the T4 stage.
+    layers = {st.gpu_name: st.num_layers for st in res.plan.stages}
+    assert layers["V100-32G"] > layers["T4-16G"]
+    # Uniform precision across all layers.
+    assert len(set(res.plan.bits_per_layer)) == 1
+
+
+def test_het_simulates(small_cluster, opt13b, small_workload, cost_model_13b):
+    res = plan_het_baseline(opt13b, small_cluster, small_workload,
+                            cost_model_13b, BITS)
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_adabits_plan(small_cluster, opt13b, small_workload, cost_model_13b):
+    plan = plan_adabits_baseline(opt13b, small_cluster, small_workload,
+                                 cost_model_13b, BITS)
+    assert plan is not None
+    sim = simulate_plan(plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+    # Quality-first: mixes precisions to use available memory.
+    hist = plan.bits_histogram()
+    assert max(hist) >= 8  # some high-precision layers kept

@@ -1,0 +1,121 @@
+"""Tests for planning-problem construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import StageGroup, build_problem, group_layers
+from repro.core.costs import group_indicator
+from repro.quant import normalized_indicator_table
+from repro.workloads import BatchWorkload
+
+BITS = (3, 4, 8, 16)
+
+
+def make_problem(spec, cluster, cm, eta=4, xi=4, group_size=2,
+                 workload=None):
+    ordering = tuple(
+        StageGroup(device_ids=(d.device_id,), gpu=d.gpu)
+        for d in cluster.devices
+    )
+    wl = workload or BatchWorkload(batch=8, prompt_len=256, output_len=32)
+    omega = normalized_indicator_table(spec, BITS)
+    return build_problem(
+        spec, cluster, ordering, wl, cm, omega, eta, xi, BITS,
+        group_size=group_size,
+    )
+
+
+def test_group_layers():
+    assert group_layers(10, 3) == (3, 3, 3, 1)
+    assert group_layers(8, 2) == (2, 2, 2, 2)
+    assert group_layers(5, 10) == (5,)
+    with pytest.raises(ValueError):
+        group_layers(10, 0)
+
+
+def test_group_indicator_sums():
+    omega = np.arange(12.0).reshape(6, 2)
+    grouped = group_indicator(omega, (2, 2, 2))
+    assert grouped.shape == (3, 2)
+    assert np.allclose(grouped[0], omega[0] + omega[1])
+
+
+def test_problem_shapes(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b, group_size=2)
+    G = -(-opt13b.num_layers // 2)
+    assert p.n_groups == G
+    assert p.l_pre.shape == (G, 2, 4)
+    assert p.l_dec.shape == (G, 2, 4)
+    assert p.mem.shape == (G, 4)
+    assert p.omega.shape == (G, 4)
+    assert p.capacity.shape == (2,)
+    assert p.comm_pre.shape == (1,)
+
+
+def test_costs_positive_and_ordered(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b)
+    assert np.all(p.l_pre > 0)
+    assert np.all(p.l_dec > 0)
+    # Memory monotone in bits.
+    assert np.all(np.diff(p.mem, axis=1) > 0)
+    # T4 (stage 0) slower than V100 (stage 1) at FP16 prefill.
+    assert np.all(p.l_pre[:, 0, 3] > p.l_pre[:, 1, 3])
+
+
+def test_embedding_constants_on_edges(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b)
+    assert p.const_pre[0] > 0  # embedding on first stage
+    assert p.const_dec[-1] > 0  # LM head on last stage
+
+
+def test_capacity_stage0_pays_embeddings(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b)
+    # Stage 0 (T4, 16G) loses M_emb; raw capacity of V100 is larger anyway.
+    t4_usable = small_cluster.devices[0].gpu.usable_mem_bytes
+    assert p.capacity[0] < t4_usable
+
+
+def test_microbatch_counts(opt13b, small_cluster, cost_model_13b):
+    wl = BatchWorkload(batch=10, prompt_len=256, output_len=32)
+    p = make_problem(opt13b, small_cluster, cost_model_13b, eta=4, xi=3,
+                     workload=wl)
+    assert p.mu_pre == 3
+    assert p.mu_dec == 4
+    assert p.prefill_jobs == 3 * wl.kappa
+
+
+def test_latency_estimate_consistency(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b)
+    G = p.n_groups
+    stages = [0] * (G // 2) + [1] * (G - G // 2)
+    lat_16 = p.latency_estimate(stages, [16] * G)
+    lat_4 = p.latency_estimate(stages, [4] * G)
+    assert lat_4 < lat_16  # decode dominates; 4-bit decodes faster
+
+
+def test_quality_sum_and_memory_ok(opt13b, small_cluster, cost_model_13b):
+    p = make_problem(opt13b, small_cluster, cost_model_13b)
+    G = p.n_groups
+    stages = [0] * (G // 2) + [1] * (G - G // 2)
+    assert p.quality_sum([16] * G) == 0.0
+    assert p.quality_sum([3] * G) > p.quality_sum([4] * G) > 0
+    # FP16 OPT-13B halves fit this cluster; 3-bit certainly does.
+    assert p.memory_ok(stages, [16] * G)
+    assert p.memory_ok(stages, [3] * G)
+    # Piling every layer onto the T4 stage at FP16 does not fit.
+    assert not p.memory_ok([0] * G, [16] * G)
+
+
+def test_invalid_microbatch_rejected(opt13b, small_cluster, cost_model_13b):
+    with pytest.raises(ValueError):
+        make_problem(opt13b, small_cluster, cost_model_13b, eta=0)
+
+
+def test_tp_group_capacity(opt13b, cluster5, opt30b):
+    from repro.core.costs import StageGroup
+
+    t4 = cluster5.devices[0].gpu
+    sg = StageGroup(device_ids=(0, 1), gpu=t4)
+    assert sg.tp_degree == 2
+    assert sg.capacity_bytes == 2 * t4.usable_mem_bytes
+    assert sg.key() == ("T4-16G", 2)

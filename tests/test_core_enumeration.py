@@ -1,0 +1,108 @@
+"""Tests for device-topology and micro-batch enumeration."""
+
+import pytest
+
+from repro.core import (
+    candidate_orderings,
+    microbatch_candidates,
+    node_tp_groupings,
+)
+from repro.core.enumeration import _power_of_two_partitions
+from repro.hardware import make_cluster, table_iii_cluster
+
+
+def test_power_of_two_partitions():
+    parts = set(_power_of_two_partitions(4))
+    assert parts == {(1, 1, 1, 1), (2, 1, 1), (2, 2), (4)if False else (4,)}
+    assert set(_power_of_two_partitions(2)) == {(1, 1), (2,)}
+    assert set(_power_of_two_partitions(1)) == {(1,)}
+
+
+def test_node_tp_groupings_respect_node(cluster5):
+    t4_node = cluster5.nodes()[0]
+    groupings = node_tp_groupings(t4_node, enable_tp=True)
+    # 3 T4s: (1,1,1) and (2,1).
+    sizes = {tuple(sorted(len(g.device_ids) for g in gr)) for gr in groupings}
+    assert sizes == {(1, 1, 1), (1, 2)}
+
+
+def test_node_tp_disabled(cluster5):
+    t4_node = cluster5.nodes()[0]
+    groupings = node_tp_groupings(t4_node, enable_tp=False)
+    assert len(groupings) == 1
+    assert all(g.tp_degree == 1 for g in groupings[0])
+
+
+def test_tp_groups_are_same_gpu_type():
+    cluster = table_iii_cluster(7)
+    for ordering in candidate_orderings(cluster, max_orderings=50):
+        for sg in ordering:
+            assert sg.tp_degree in (1, 2, 4)
+
+
+def test_orderings_deduped_by_type_sequence():
+    cluster = table_iii_cluster(9)  # 4 identical V100s
+    orderings = candidate_orderings(cluster, enable_tp=False, max_orderings=100)
+    # All devices identical: exactly one distinct PP4 sequence.
+    assert len(orderings) == 1
+
+
+def test_orderings_with_tp_cover_meshes():
+    cluster = table_iii_cluster(9)
+    orderings = candidate_orderings(cluster, enable_tp=True, max_orderings=100)
+    keys = {tuple(sg.key() for sg in o) for o in orderings}
+    assert (("V100-32G", 4),) in keys  # TP4
+    assert (("V100-32G", 2), ("V100-32G", 2)) in keys  # TP2+PP2
+    assert (("V100-32G", 1),) * 4 in keys  # PP4
+
+
+def test_ordering_cap_respected():
+    cluster = table_iii_cluster(7)
+    orderings = candidate_orderings(cluster, max_orderings=5)
+    assert len(orderings) <= 5
+
+
+def test_every_ordering_uses_each_device_once():
+    cluster = table_iii_cluster(5)
+    for ordering in candidate_orderings(cluster, max_orderings=30):
+        ids = [d for sg in ordering for d in sg.device_ids]
+        assert sorted(ids) == [0, 1, 2, 3]
+
+
+def test_orderings_prefer_fewer_cross_node_hops():
+    cluster = table_iii_cluster(5)
+    orderings = candidate_orderings(cluster, enable_tp=False, max_orderings=50)
+    node_of = {d.device_id: d.node_id for d in cluster.devices}
+
+    def hops(o):
+        return sum(
+            node_of[a.device_ids[0]] != node_of[b.device_ids[0]]
+            for a, b in zip(o, o[1:])
+        )
+
+    assert hops(orderings[0]) <= hops(orderings[-1])
+
+
+def test_microbatch_candidates_default():
+    cands = microbatch_candidates(32)
+    assert all(1 <= c <= 32 for c in cands)
+    assert 32 in cands
+    assert len(cands) <= 4
+
+
+def test_microbatch_candidates_non_power_of_two_batch():
+    cands = microbatch_candidates(24)
+    assert 24 in cands
+    assert all(c <= 24 for c in cands)
+
+
+def test_microbatch_candidates_given_filtered():
+    cands = microbatch_candidates(16, given=(1, 8, 64))
+    assert cands == (1, 8)
+    with pytest.raises(ValueError):
+        microbatch_candidates(16, given=(64,))
+
+
+def test_microbatch_candidates_invalid_batch():
+    with pytest.raises(ValueError):
+        microbatch_candidates(0)

@@ -1,0 +1,125 @@
+"""Tests for the partition/bitwidth ILP, cross-checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StageGroup,
+    brute_force_solve,
+    build_problem,
+    solve_adabits,
+    solve_partition_ilp,
+)
+from repro.quant import normalized_indicator_table
+from repro.workloads import BatchWorkload
+
+BITS = (4, 16)  # tiny bit set keeps brute force tractable
+
+
+@pytest.fixture(scope="module")
+def tiny_problem(opt13b, small_cluster, cost_model_13b):
+    """6 groups x 2 stages x 2 bits — exhaustively checkable."""
+    ordering = tuple(
+        StageGroup(device_ids=(d.device_id,), gpu=d.gpu)
+        for d in small_cluster.devices
+    )
+    wl = BatchWorkload(batch=8, prompt_len=256, output_len=32)
+    omega = normalized_indicator_table(opt13b, BITS)
+    return build_problem(
+        opt13b, small_cluster, ordering, wl, cost_model_13b, omega,
+        eta=4, xi=4, bit_choices=BITS, group_size=7,  # ceil(40/7) = 6 groups
+    )
+
+
+def test_ilp_matches_brute_force(tiny_problem):
+    ilp = solve_partition_ilp(tiny_problem, theta=10.0, time_limit_s=30.0)
+    ref = brute_force_solve(tiny_problem, theta=10.0)
+    assert ilp is not None and ref is not None
+    obj_ilp = tiny_problem.latency_estimate(
+        ilp.assign_stage, ilp.assign_bits
+    ) + 10.0 * ilp.quality
+    obj_ref = tiny_problem.latency_estimate(
+        ref.assign_stage, ref.assign_bits
+    ) + 10.0 * ref.quality
+    assert obj_ilp <= obj_ref * 1.001
+
+
+def test_ilp_respects_contiguity(tiny_problem):
+    sol = solve_partition_ilp(tiny_problem, theta=10.0)
+    stages = list(sol.assign_stage)
+    assert stages == sorted(stages)  # non-decreasing = contiguous
+
+
+def test_every_stage_nonempty(tiny_problem):
+    sol = solve_partition_ilp(tiny_problem, theta=10.0)
+    assert set(sol.assign_stage) == {0, 1}
+
+
+def test_memory_feasible(tiny_problem):
+    sol = solve_partition_ilp(tiny_problem, theta=10.0)
+    assert tiny_problem.memory_ok(sol.assign_stage, sol.assign_bits)
+
+
+def test_quality_budget_enforced(tiny_problem):
+    free = solve_partition_ilp(tiny_problem, theta=0.0)
+    budget = free.quality * 0.5
+    constrained = solve_partition_ilp(
+        tiny_problem, theta=0.0, quality_budget=budget
+    )
+    if constrained is not None:
+        assert constrained.quality <= budget + 1e-9
+
+
+def test_zero_budget_forces_fp16_or_infeasible(tiny_problem):
+    sol = solve_partition_ilp(tiny_problem, theta=0.0, quality_budget=0.0)
+    if sol is not None:
+        assert set(sol.assign_bits) == {16}
+
+
+def test_higher_theta_not_worse_quality(tiny_problem):
+    lo = solve_partition_ilp(tiny_problem, theta=0.1)
+    hi = solve_partition_ilp(tiny_problem, theta=1000.0)
+    assert hi.quality <= lo.quality + 1e-9
+
+
+def test_adabits_maximizes_quality(tiny_problem):
+    ada = solve_adabits(tiny_problem)
+    assert ada is not None
+    # adabits should achieve (near-)minimum achievable indicator sum.
+    ref = brute_force_solve(tiny_problem, theta=1e9)  # quality-dominated
+    assert ada.quality <= ref.quality * 1.01 + 1e-9
+
+
+def test_infeasible_returns_none(opt30b, small_cluster, cost_model_13b):
+    """A model too large even at min bits must be infeasible."""
+    from repro.costmodel.latency import LatencyCostModel
+    from repro.simgpu import Profiler
+    from repro.hardware import make_cluster
+
+    tiny_cluster = make_cluster("tiny", [("P100-12G", 1)])
+    cm = LatencyCostModel(opt30b)
+    cm.fit([tiny_cluster.devices[0].gpu], BITS, Profiler(seed=0))
+    ordering = (StageGroup(device_ids=(0,), gpu=tiny_cluster.devices[0].gpu),)
+    omega = normalized_indicator_table(opt30b, BITS)
+    problem = build_problem(
+        opt30b, tiny_cluster, ordering,
+        BatchWorkload(batch=8, prompt_len=256, output_len=32),
+        cm, omega, 4, 4, BITS, group_size=8,
+    )
+    assert solve_partition_ilp(problem, theta=10.0) is None
+
+
+def test_solution_records_solve_time(tiny_problem):
+    sol = solve_partition_ilp(tiny_problem, theta=10.0)
+    assert sol.solve_time_s > 0
+    assert sol.status in ("optimal",) or sol.status.startswith("status-")
+
+
+def test_brute_force_guard():
+    class Fake:
+        n_groups = 30
+        n_stages = 4
+        bit_choices = (3, 4, 8, 16)
+
+    with pytest.raises((RuntimeError, AttributeError)):
+        brute_force_solve(Fake(), max_states=100)

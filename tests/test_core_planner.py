@@ -1,0 +1,133 @@
+"""Tests for the end-to-end SplitQuant planner."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import PlannerConfig, SplitQuantPlanner
+from repro.pipeline import simulate_plan
+from repro.workloads import BatchWorkload
+
+FAST = PlannerConfig(
+    group_size=5,
+    max_orderings=2,
+    microbatch_candidates=(4, 8),
+    time_limit_s=10.0,
+    verify_top_k=1,
+)
+
+
+@pytest.fixture(scope="module")
+def planner(opt13b, small_cluster, cost_model_13b):
+    return SplitQuantPlanner(opt13b, small_cluster, FAST,
+                             cost_model=cost_model_13b)
+
+
+@pytest.fixture(scope="module")
+def result(planner, small_workload):
+    return planner.plan(small_workload)
+
+
+def test_plan_produced(result, opt13b):
+    assert result is not None
+    assert result.plan.num_layers == opt13b.num_layers
+    assert result.plan.num_stages == 2
+    assert result.predicted_throughput > 0
+    assert result.candidates_tried > 0
+    assert result.solve_time_s > 0
+
+
+def test_plan_simulates_without_oom(result, small_cluster, opt13b,
+                                    small_workload):
+    sim = simulate_plan(result.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_prediction_close_to_simulation(result, small_cluster, opt13b,
+                                        small_workload):
+    """The analytic objective must track the DES within a modest factor."""
+    sim = simulate_plan(result.plan, small_cluster, opt13b, small_workload)
+    assert abs(result.predicted_latency_s - sim.makespan_s) / sim.makespan_s < 0.35
+
+
+def test_microbatches_from_candidates(result):
+    assert result.plan.prefill_microbatch in (4, 8)
+    assert result.plan.decode_microbatch in (4, 8)
+
+
+def test_stats_recorded(result):
+    assert len(result.stats) == result.candidates_tried
+    ok = [s for s in result.stats if s.status != "infeasible"]
+    assert ok
+    assert all(s.solve_time_s >= 0 for s in result.stats)
+
+
+def test_quality_budget_respected(opt13b, small_cluster, cost_model_13b,
+                                  small_workload):
+    base = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                             cost_model=cost_model_13b)
+    budget = base.uniform_quality(8)
+    cfg = dataclasses.replace(FAST, quality_budget=budget)
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    assert res.predicted_quality <= budget + 1e-9
+
+
+def test_uniform_quality_monotone(planner):
+    assert planner.uniform_quality(16) == 0.0
+    assert (
+        planner.uniform_quality(3)
+        > planner.uniform_quality(4)
+        > planner.uniform_quality(8)
+        > 0.0
+    )
+
+
+def test_heuristic_mode_produces_plan(opt13b, small_cluster, cost_model_13b,
+                                      small_workload):
+    cfg = dataclasses.replace(FAST, use_heuristic=True)
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_infeasible_cluster_returns_none(opt30b, small_workload):
+    from repro.hardware import make_cluster
+
+    cluster = make_cluster("way-too-small", [("P100-12G", 1)])
+    planner = SplitQuantPlanner(opt30b, cluster, FAST)
+    assert planner.plan(small_workload) is None
+
+
+def test_custom_omega_validated(opt13b, small_cluster, cost_model_13b):
+    with pytest.raises(ValueError, match="omega_layers"):
+        SplitQuantPlanner(
+            opt13b, small_cluster, FAST, cost_model=cost_model_13b,
+            omega_layers=np.zeros((3, 3)),
+        )
+
+
+def test_verify_top_k_does_not_break(opt13b, small_cluster, cost_model_13b,
+                                     small_workload):
+    cfg = dataclasses.replace(FAST, verify_top_k=3)
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_heterogeneous_partition_not_even(result, opt13b):
+    """On T4+V100 the planner should load the V100 with more layers."""
+    layers = result.plan.layers_per_stage()
+    gpu_names = [st.gpu_name for st in result.plan.stages]
+    v100_idx = gpu_names.index("V100-32G")
+    t4_idx = gpu_names.index("T4-16G")
+    assert layers[v100_idx] > layers[t4_idx]

@@ -1,0 +1,75 @@
+"""Tests for the experiment helpers (common.py)."""
+
+import pytest
+
+from repro.experiments.common import (
+    BITS,
+    cost_model_for,
+    feasible_batch,
+    microbatch_grid,
+    throughput_of,
+)
+from repro.hardware import table_iii_cluster
+from repro.models import get_model
+from repro.plan import uniform_plan
+from repro.workloads import BatchWorkload
+
+
+def test_bits_constant():
+    assert BITS == (3, 4, 8, 16)
+
+
+def test_cost_model_cached_per_model_and_gpus(opt13b, small_cluster):
+    a = cost_model_for(opt13b, small_cluster)
+    b = cost_model_for(opt13b, small_cluster)
+    assert a is b
+
+
+def test_cost_model_distinct_per_model(opt13b, opt30b, small_cluster):
+    a = cost_model_for(opt13b, small_cluster)
+    b = cost_model_for(opt30b, small_cluster)
+    assert a is not b
+
+
+def test_feasible_batch_power_of_two():
+    cluster = table_iii_cluster(9)
+    spec = get_model("qwen2.5-14b")
+    b = feasible_batch(spec, cluster, 1024, 128)
+    assert b & (b - 1) == 0  # power of two
+    assert 1 <= b <= 256
+
+
+def test_feasible_batch_monotone_in_context():
+    cluster = table_iii_cluster(9)
+    spec = get_model("qwen2.5-14b")
+    assert feasible_batch(spec, cluster, 512, 64) >= feasible_batch(
+        spec, cluster, 8192, 64
+    )
+
+
+def test_feasible_batch_respects_cap():
+    cluster = table_iii_cluster(10)
+    spec = get_model("qwen2.5-7b")
+    assert feasible_batch(spec, cluster, 128, 16, max_batch=32) <= 32
+
+
+def test_throughput_of_none_is_zero(small_cluster, opt13b, small_workload):
+    assert throughput_of(None, small_cluster, opt13b, small_workload) == 0.0
+
+
+def test_throughput_of_oom_is_zero(small_cluster, opt30b, small_workload):
+    groups = [((d.device_id,), d.gpu.name) for d in small_cluster.devices]
+    plan = uniform_plan(opt30b.name, opt30b.num_layers, groups, 16, 4, 4)
+    assert throughput_of(plan, small_cluster, opt30b, small_workload) == 0.0
+
+
+def test_throughput_of_valid_plan(small_cluster, opt13b, small_workload):
+    groups = [((d.device_id,), d.gpu.name) for d in small_cluster.devices]
+    plan = uniform_plan(opt13b.name, opt13b.num_layers, groups, 8, 4, 4)
+    assert throughput_of(plan, small_cluster, opt13b, small_workload) > 0
+
+
+def test_microbatch_grid_contains_full_batch():
+    grid = microbatch_grid(64)
+    assert 64 in grid and 32 in grid and 16 in grid
+    assert microbatch_grid(1) == (1,)

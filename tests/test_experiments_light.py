@@ -1,0 +1,109 @@
+"""Tests of the fast experiment modules (shape assertions vs the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig01", "fig03", "fig04", "fig05", "fig07", "fig08", "fig09",
+        "fig10", "fig11", "fig12", "tab01", "tab04", "tab05", "tab06",
+        "ablations",
+    }
+
+
+@pytest.fixture(scope="module")
+def fig01():
+    return ALL_EXPERIMENTS["fig01"].run(n_gpus=4000, months=3)
+
+
+def test_fig01_shape(fig01):
+    assert fig01.summary["a100_share"] < 0.15
+    assert fig01.summary["a100_util"] > 0.8
+    assert fig01.summary["util_gap_x"] > 1.5
+
+
+def test_fig03_phase_ratios():
+    res = ALL_EXPERIMENTS["fig03"].run()
+    assert 13 < res.summary["opt-13b_prefill_ratio"] < 16
+    assert 6 < res.summary["opt-13b_decode_ratio"] < 8.5
+    # Long prompts make prefill substantial (paper: >= 36%).
+    assert res.summary["opt13b_long_prompt_prefill_share"] >= 0.36
+
+
+def test_fig05_precision_phenomena():
+    res = ALL_EXPERIMENTS["fig05"].run()
+    s = res.summary
+    assert s["v100_prefill_fp16_over_4bit"] <= 1.0  # fp16 wins prefill
+    assert s["v100_decode_fp16_over_4bit"] > 1.5  # 4-bit wins decode
+    assert s["t4_prefill_fp16_over_int8"] > 1.2  # T4 int8 fast
+    assert s["v100_prefill_fp16_over_int8"] < 1.0  # V100 int8 slow
+
+
+def test_fig07_distributions():
+    res = ALL_EXPERIMENTS["fig07"].run(n=4000)
+    s = res.summary
+    assert 80_000 < s["loogle_mean_in"] < 115_000
+    assert 50 < s["loogle_mean_out"] < 80
+    assert 270 < s["cnn_dailymail_mean_out"] < 330
+
+
+def test_fig08_costmodel_fidelity():
+    res = ALL_EXPERIMENTS["fig08"].run(n_memory_cases=6,
+                                       n_latency_workloads=20)
+    assert res.summary["memory_mean_err"] < 0.01  # near-negligible
+    assert res.summary["latency_mean_err"] < 0.06  # paper: < 6%
+
+
+@pytest.fixture(scope="module")
+def fig04():
+    return ALL_EXPERIMENTS["fig04"].run(tiny_seqs=4, tiny_len=56)
+
+
+def test_fig04_analytic_scheme_ordering(fig04):
+    s = fig04.summary
+    for model in ("bloom-3b", "opt-1.3b"):
+        assert s[f"{model}_fp16_ppl"] <= s[f"{model}_int8_ppl"] * 1.001
+        assert s[f"{model}_int8_ppl"] < s[f"{model}_int4_ppl"]
+        assert s[f"{model}_int4_ppl"] < s[f"{model}_int3_ppl"]
+        # Mixed allocations sit between their endpoints.
+        assert (
+            s[f"{model}_int8_ppl"]
+            <= s[f"{model}_mixed4-8_ppl"]
+            <= s[f"{model}_int4_ppl"]
+        )
+        assert (
+            s[f"{model}_int4_ppl"]
+            <= s[f"{model}_mixed3-4_ppl"]
+            <= s[f"{model}_int3_ppl"]
+        )
+
+
+def test_fig04_measured_tinylm_ordering(fig04):
+    s = fig04.summary
+    assert s["tinylm_fp16_ppl"] <= s["tinylm_int8_ppl"] * 1.01
+    assert s["tinylm_int8_ppl"] < s["tinylm_int3_ppl"]
+    assert s["tinylm_mixed3-4_ppl"] < s["tinylm_int3_ppl"]
+
+
+def test_tab01_early_layers_least_sensitive():
+    res = ALL_EXPERIMENTS["tab01"].run()
+    assert res.summary["opt-1.3b_early_best"] == 1.0
+    assert res.summary["bloom-3b_early_best"] == 1.0
+    # Proposition 1 on a real model: indicator ranks measured perturbation.
+    assert res.summary["tinylm_prop1_rank_corr"] > 0.8
+
+
+def test_experiment_result_formatting():
+    res = ExperimentResult(
+        name="x", title="t", headers=["a", "b"],
+        rows=[[1, 2.5], ["z", 10_000.0]], summary={"k": 1.0},
+    )
+    text = res.to_text()
+    assert "== x: t ==" in text
+    assert "10,000" in text
+    assert res.column("a") == [1, "z"]
+    with pytest.raises(ValueError):
+        res.column("missing")

@@ -1,0 +1,91 @@
+"""Scoped (single-configuration) runs of the heavy experiment modules.
+
+The benchmarks run the full paper configurations; these tests exercise the
+same code paths on one small configuration each so `pytest tests/` covers
+every experiment module end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig09_hetero_vllm,
+    fig10_hetero_custom,
+    fig11_theta_sensitivity,
+    tab05_indicator,
+    tab06_grouping_heuristic,
+)
+
+
+@pytest.mark.parametrize("dataset", ["cnn_dailymail", "loogle"])
+def test_fig09_build_workload(dataset):
+    wl = fig09_hetero_vllm.build_workload(dataset, "qwen2.5-14b", 3)
+    assert wl.batch >= 1
+    assert wl.prompt_len <= 32768 - 512
+    if dataset == "loogle":
+        assert wl.kappa > 1  # long prompts chunk
+        assert wl.batch <= 64  # KV-admission caps concurrency
+
+
+def test_fig09_single_cluster():
+    res = fig09_hetero_vllm.run(clusters=(3,), datasets=("cnn_dailymail",))
+    assert len(res.rows) == 1
+    row = res.rows[0]
+    uniform, splitquant = row[4], row[6]
+    assert splitquant >= uniform * 0.95
+
+
+def test_fig10_single_cluster():
+    res = fig10_hetero_custom.run(clusters=(5,))
+    assert len(res.rows) == 1
+    _, _, uniform, het, splitquant, speedup = res.rows[0]
+    assert splitquant >= het * 0.99
+    assert splitquant >= uniform * 0.99
+
+
+def test_tab05_overhead_model():
+    from repro.hardware import get_gpu
+    from repro.models import get_model
+
+    spec = get_model("opt-66b")
+    gpu = get_gpu("A100")
+    var = tab05_indicator.indicator_overhead_s(spec, gpu, "variance")
+    hes = tab05_indicator.indicator_overhead_s(spec, gpu, "hessian")
+    rnd = tab05_indicator.indicator_overhead_s(spec, gpu, "random")
+    assert rnd == 0.0
+    assert 100 < var < 10_000  # minutes-scale, like the paper's 434 s
+    assert 20 < hes / var < 100  # the paper's 58-73x ballpark
+    with pytest.raises(ValueError):
+        tab05_indicator.indicator_overhead_s(spec, gpu, "oracle")
+
+
+def test_tab05_hessian_table_correlates_with_truth():
+    from repro.models import get_model
+    from repro.quality import AnalyticQualityModel
+
+    qm = AnalyticQualityModel.for_model(get_model("opt-30b"), (3, 4, 8, 16))
+    hess = tab05_indicator._hessian_table(qm)
+    corr = np.corrcoef(hess[:, 1], qm.true_sens[:, 1])[0, 1]
+    assert corr > 0.9  # informed estimator
+    assert not np.allclose(hess, qm.true_sens)  # but not the oracle
+
+
+def test_tab06_single_case(monkeypatch):
+    monkeypatch.setattr(
+        tab06_grouping_heuristic, "CASES", (("opt-30b", 5),)
+    )
+    res = tab06_grouping_heuristic.run(time_limit_s=20.0)
+    assert len(res.rows) == 3
+    strategies = {r[2] for r in res.rows}
+    assert strategies == {"group=2", "group=1", "heuristic"}
+    assert all(r[3] > 0 for r in res.rows)  # all found serving plans
+
+
+def test_fig11_single_case(monkeypatch):
+    monkeypatch.setattr(
+        fig11_theta_sensitivity, "CASES", (("opt-30b", 8),)
+    )
+    res = fig11_theta_sensitivity.run(thetas=(1.0, 100.0))
+    assert len(res.rows) == 2
+    assert res.summary["opt-30b_tput_monotone"] == 1.0
+    assert res.summary["opt-30b_ppl_monotone"] == 1.0

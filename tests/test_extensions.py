@@ -1,0 +1,123 @@
+"""Tests for planner extensions: KV planning, ablation flags, CLI."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import PlannerConfig, SplitQuantPlanner
+from repro.experiments.__main__ import main as experiments_main
+from repro.pipeline import simulate_plan
+from repro.workloads import BatchWorkload
+
+FAST = PlannerConfig(
+    group_size=5,
+    max_orderings=2,
+    microbatch_candidates=(4, 8),
+    time_limit_s=10.0,
+    verify_top_k=1,
+)
+
+
+def test_kv_bit_choices_enumerated(opt13b, small_cluster, cost_model_13b,
+                                   small_workload):
+    cfg = dataclasses.replace(FAST, kv_bit_choices=(8, 16))
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    assert res.plan.bit_kv in (8, 16)
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_kv8_helps_memory_tight_case(opt30b):
+    """On a memory-tight cluster, planning KV-8 must not hurt."""
+    from repro.hardware import table_iii_cluster
+    from repro.experiments.common import cost_model_for
+
+    cluster = table_iii_cluster(6)
+    wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+    cm = cost_model_for(opt30b, cluster)
+    base_cfg = dataclasses.replace(FAST, group_size=4,
+                                   microbatch_candidates=(8, 16))
+    base = SplitQuantPlanner(opt30b, cluster, base_cfg, cost_model=cm).plan(wl)
+    kv = SplitQuantPlanner(
+        opt30b, cluster, dataclasses.replace(base_cfg, kv_bit_choices=(8, 16)),
+        cost_model=cm,
+    ).plan(wl)
+    t_base = simulate_plan(base.plan, cluster, opt30b, wl).throughput_tokens_s
+    t_kv = simulate_plan(kv.plan, cluster, opt30b, wl).throughput_tokens_s
+    assert t_kv >= t_base * 0.99
+
+
+def test_cost_model_for_kv_cached(opt13b, small_cluster, cost_model_13b):
+    planner = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                                cost_model=cost_model_13b)
+    assert planner.cost_model_for_kv(16) is cost_model_13b
+    cm8 = planner.cost_model_for_kv(8)
+    assert cm8 is planner.cost_model_for_kv(8)  # cached
+    assert cm8 is not cost_model_13b
+
+
+def test_tie_microbatches_flag(opt13b, small_cluster, cost_model_13b,
+                               small_workload):
+    cfg = dataclasses.replace(FAST, tie_microbatches=True,
+                              microbatch_candidates=(2, 4, 8))
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    assert res.plan.prefill_microbatch == res.plan.decode_microbatch
+
+
+def test_phase_blind_flag_produces_valid_plan(opt13b, small_cluster,
+                                              cost_model_13b, small_workload):
+    cfg = dataclasses.replace(FAST, phase_blind=True)
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    sim = simulate_plan(res.plan, small_cluster, opt13b, small_workload)
+    assert sim.throughput_tokens_s > 0
+
+
+def test_phase_blind_problem_costs(opt13b, small_cluster, cost_model_13b):
+    """Phase-blind decode costs inherit prefill's device ratios."""
+    import numpy as np
+
+    from repro.core import StageGroup, build_problem
+    from repro.quant import normalized_indicator_table
+
+    ordering = tuple(
+        StageGroup(device_ids=(d.device_id,), gpu=d.gpu)
+        for d in small_cluster.devices
+    )
+    wl = BatchWorkload(batch=8, prompt_len=256, output_len=32)
+    omega = normalized_indicator_table(opt13b, (3, 4, 8, 16))
+    aware = build_problem(opt13b, small_cluster, ordering, wl,
+                          cost_model_13b, omega, 4, 4, (3, 4, 8, 16))
+    blind = build_problem(opt13b, small_cluster, ordering, wl,
+                          cost_model_13b, omega, 4, 4, (3, 4, 8, 16),
+                          phase_blind=True)
+    # Same total decode magnitude, prefill ratios imposed.
+    assert blind.l_dec.sum() == pytest.approx(aware.l_dec.sum(), rel=0.05)
+    r_blind = blind.l_dec[0, 0, 3] / blind.l_dec[0, 1, 3]
+    r_pre = aware.l_pre[0, 0, 3] / aware.l_pre[0, 1, 3]
+    assert r_blind == pytest.approx(r_pre, rel=1e-6)
+
+
+def test_cli_list(capsys):
+    assert experiments_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig09" in out and "tab05" in out and "ablations" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert experiments_main(["nope"]) == 2
+
+
+def test_cli_runs_light_experiment(capsys):
+    assert experiments_main(["fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet GPU distribution" in out
+    assert "regenerated in" in out

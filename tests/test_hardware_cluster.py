@@ -1,0 +1,124 @@
+"""Tests for cluster topology and the Table III registry."""
+
+import pytest
+
+from repro.hardware import (
+    all_table_iii_clusters,
+    get_link,
+    make_cluster,
+    table_iii_cluster,
+)
+
+
+def test_all_ten_clusters_build():
+    clusters = all_table_iii_clusters()
+    assert sorted(clusters) == list(range(1, 11))
+
+
+@pytest.mark.parametrize(
+    "idx,expected",
+    [
+        (1, {"V100-32G": 1}),
+        (2, {"V100-32G": 2, "A100-40G": 1}),
+        (3, {"V100-32G": 1, "A100-40G": 1}),
+        (4, {"V100-32G": 3, "A100-40G": 1}),
+        (5, {"T4-16G": 3, "V100-32G": 1}),
+        (6, {"P100-12G": 3, "V100-32G": 1}),
+        (7, {"T4-16G": 4, "V100-32G": 2}),
+        (8, {"T4-16G": 4}),
+        (9, {"V100-32G": 4}),
+        (10, {"A100-40G": 4}),
+    ],
+)
+def test_table_iii_compositions(idx, expected):
+    assert table_iii_cluster(idx).gpu_counts() == expected
+
+
+def test_cluster_6_and_8_use_100g_ethernet():
+    assert table_iii_cluster(6).cross_node_link.name == "eth-100g"
+    assert table_iii_cluster(8).cross_node_link.name == "eth-100g"
+    assert table_iii_cluster(5).cross_node_link.name == "eth-800g"
+
+
+def test_single_node_clusters():
+    for idx in (1, 8, 9, 10):
+        assert table_iii_cluster(idx).num_nodes == 1
+    for idx in (2, 3, 4, 5, 6, 7):
+        assert table_iii_cluster(idx).num_nodes == 2
+
+
+def test_homogeneity_flags():
+    assert table_iii_cluster(9).is_homogeneous
+    assert table_iii_cluster(10).is_homogeneous
+    assert not table_iii_cluster(5).is_homogeneous
+
+
+def test_invalid_index_raises():
+    with pytest.raises(KeyError):
+        table_iii_cluster(11)
+    with pytest.raises(KeyError):
+        table_iii_cluster(0)
+
+
+def test_same_type_gpus_share_node():
+    c = table_iii_cluster(7)
+    nodes = c.nodes()
+    for devices in nodes.values():
+        assert len({d.gpu.name for d in devices}) == 1
+
+
+def test_link_between_intra_vs_cross_node():
+    c = table_iii_cluster(5)  # T4 node + V100 node
+    t4s = [d for d in c.devices if d.gpu.name == "T4-16G"]
+    v100 = [d for d in c.devices if d.gpu.name == "V100-32G"][0]
+    intra = c.link_between(t4s[0], t4s[1])
+    cross = c.link_between(t4s[0], v100)
+    assert intra.name == "pcie3"  # T4 boxes lack NVLink
+    assert cross.name == "eth-800g"
+
+
+def test_v100_intra_node_is_nvlink():
+    c = table_iii_cluster(9)
+    a, b = c.devices[0], c.devices[1]
+    assert c.link_between(a, b).name == "nvlink"
+
+
+def test_self_link_raises():
+    c = table_iii_cluster(9)
+    with pytest.raises(ValueError):
+        c.link_between(c.devices[0], c.devices[0])
+
+
+def test_total_and_usable_memory():
+    c = table_iii_cluster(8)  # 4x T4
+    assert c.total_memory_bytes() == 4 * c.devices[0].gpu.mem_bytes
+    assert c.usable_memory_bytes() < c.total_memory_bytes()
+
+
+def test_make_cluster_rejects_empty_group():
+    with pytest.raises(ValueError):
+        make_cluster("bad", [("T4-16G", 0)])
+
+
+def test_describe_mentions_composition():
+    desc = table_iii_cluster(5).describe()
+    assert "3xT4-16G" in desc and "1xV100-32G" in desc
+
+
+def test_unique_device_ids():
+    c = table_iii_cluster(7)
+    ids = [d.device_id for d in c.devices]
+    assert len(set(ids)) == len(ids) == 6
+
+
+def test_link_transfer_time_monotone():
+    link = get_link("eth-100g")
+    assert link.transfer_time(2_000_000) > link.transfer_time(1_000_000)
+    assert link.transfer_time(0) == 0.0
+
+
+def test_nvlink_faster_than_pcie_and_ethernet_latency_sane():
+    nv, pcie = get_link("nvlink"), get_link("pcie3")
+    assert nv.bandwidth_bytes_s > pcie.bandwidth_bytes_s
+    e100, e800 = get_link("eth-100g"), get_link("eth-800g")
+    assert e800.bandwidth_bytes_s > e100.bandwidth_bytes_s

@@ -1,0 +1,67 @@
+"""Tests for the synthetic production-fleet statistics (Fig. 1)."""
+
+import pytest
+
+from repro.hardware.fleet import (
+    FLEET_SHARES,
+    UTILIZATION_MEANS,
+    monthly_utilization_series,
+    sample_fleet,
+)
+
+
+def test_shares_sum_to_one():
+    assert abs(sum(FLEET_SHARES.values()) - 1.0) < 1e-9
+
+
+def test_sample_counts_match_shares():
+    stats = sample_fleet(n_gpus=20_000, seed=0)
+    shares = stats.shares()
+    for gpu, expected in FLEET_SHARES.items():
+        assert abs(shares[gpu] - expected) < 0.02
+
+
+def test_total_preserved():
+    stats = sample_fleet(n_gpus=5_000, seed=1)
+    assert stats.total == 5_000
+
+
+def test_utilization_near_means():
+    stats = sample_fleet(n_gpus=20_000, seed=2)
+    for gpu, mean in UTILIZATION_MEANS.items():
+        assert abs(stats.utilization[gpu] - mean) < 0.05
+
+
+def test_a100_runs_hotter_than_tail():
+    """The Fig. 1(b) observation motivating the paper."""
+    stats = sample_fleet(seed=3)
+    a100 = stats.utilization["A100-40G"]
+    for gpu in ("T4-16G", "P100-12G", "V100-32G"):
+        assert a100 > stats.utilization[gpu] + 0.2
+
+
+def test_idle_hours_dominated_by_tail():
+    stats = sample_fleet(seed=4)
+    idle = stats.idle_gpu_hours()
+    tail = idle["T4-16G"] + idle["P100-12G"] + idle["V100-32G"]
+    assert tail > 10 * idle["A100-40G"]
+
+
+def test_deterministic_for_seed():
+    a = sample_fleet(n_gpus=1000, seed=7)
+    b = sample_fleet(n_gpus=1000, seed=7)
+    assert a.counts == b.counts
+    assert a.utilization == b.utilization
+
+
+def test_monthly_series_shape():
+    series = monthly_utilization_series(months=6, n_gpus=2000, seed=0)
+    assert set(series) == set(FLEET_SHARES)
+    assert all(len(v) == 6 for v in series.values())
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ValueError):
+        sample_fleet(n_gpus=0)
+    with pytest.raises(ValueError):
+        monthly_utilization_series(months=0)

@@ -1,0 +1,99 @@
+"""Tests for the GPU spec registry."""
+
+import pytest
+
+from repro.hardware import (
+    CUDA_CONTEXT_BYTES,
+    GPU_REGISTRY,
+    SUPPORTED_BITS,
+    get_gpu,
+    list_gpus,
+)
+
+
+def test_registry_has_all_paper_gpus():
+    for name in ("T4-16G", "P100-12G", "V100-32G", "A100-40G"):
+        assert name in GPU_REGISTRY
+
+
+def test_aliases_resolve():
+    assert get_gpu("A100").name == "A100-40G"
+    assert get_gpu("T4").name == "T4-16G"
+    assert get_gpu("V100").name == "V100-32G"
+    assert get_gpu("P100").name == "P100-12G"
+
+
+def test_unknown_gpu_raises():
+    with pytest.raises(KeyError, match="unknown GPU"):
+        get_gpu("H100")
+
+
+def test_list_gpus_sorted_and_complete():
+    names = list_gpus()
+    assert names == tuple(sorted(names))
+    assert len(names) == len(GPU_REGISTRY)
+
+
+def test_usable_memory_subtracts_cuda_context():
+    for spec in GPU_REGISTRY.values():
+        assert spec.usable_mem_bytes == spec.mem_bytes - CUDA_CONTEXT_BYTES
+        assert spec.usable_mem_bytes > 0
+
+
+def test_memory_capacity_ordering():
+    mems = {n: s.mem_bytes for n, s in GPU_REGISTRY.items()}
+    assert mems["A100-40G"] > mems["V100-32G"] > mems["T4-16G"] > mems["P100-12G"]
+
+
+def test_compute_capability_ordering_fp16():
+    flops = {n: s.fp16_tflops for n, s in GPU_REGISTRY.items()}
+    assert flops["A100-40G"] > flops["V100-32G"] > flops["T4-16G"] > flops["P100-12G"]
+
+
+def test_int8_tensor_core_support_matrix():
+    """Sec. II-E: T4 and A100 have fast INT8, P100/V100 do not."""
+    assert get_gpu("T4").int8_tensor_cores
+    assert get_gpu("A100").int8_tensor_cores
+    assert not get_gpu("V100").int8_tensor_cores
+    assert not get_gpu("P100").int8_tensor_cores
+
+
+def test_int8_faster_than_fp16_on_tensor_core_devices():
+    for name in ("T4", "A100"):
+        gpu = get_gpu(name)
+        assert gpu.compute_tflops(8) > gpu.compute_tflops(16)
+
+
+def test_int8_not_faster_on_non_tensor_core_devices():
+    for name in ("V100", "P100"):
+        gpu = get_gpu(name)
+        assert gpu.compute_tflops(8) <= gpu.compute_tflops(16)
+
+
+def test_weight_only_bits_compute_at_fp16_rate():
+    for spec in GPU_REGISTRY.values():
+        assert spec.compute_tflops(4) == spec.fp16_tflops
+        assert spec.compute_tflops(3) == spec.fp16_tflops
+
+
+def test_flops_per_byte_t4_a100_high_intensity():
+    """Sec. II-D: modern GPUs have high compute-to-memory ratios."""
+    assert get_gpu("A100").flops_per_byte > 100
+    assert get_gpu("T4").flops_per_byte > 100
+    assert get_gpu("P100").flops_per_byte < 30
+
+
+def test_supported_bits_constant():
+    assert SUPPORTED_BITS == (3, 4, 8, 16)
+
+
+def test_replace_overrides_field():
+    gpu = get_gpu("T4").replace(mem_bytes=1)
+    assert gpu.mem_bytes == 1
+    assert gpu.name == "T4-16G"
+    assert get_gpu("T4").mem_bytes != 1  # original untouched
+
+
+def test_decode_bandwidth_below_peak():
+    for spec in GPU_REGISTRY.values():
+        assert spec.mem_bw_decode_gbps <= spec.mem_bw_gbps

@@ -1,0 +1,135 @@
+"""Property-based invariants over randomly generated plans and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import make_cluster
+from repro.models import get_model
+from repro.pipeline import simulate_plan
+from repro.plan import ExecutionPlan, StagePlan
+from repro.serialization import loads_plan, dumps_plan
+from repro.workloads import BatchWorkload
+
+GPUS = ("T4-16G", "V100-32G", "A100-40G", "P100-12G")
+BITS = (3, 4, 8, 16)
+
+
+@st.composite
+def plans(draw, max_stages=4, max_layers=12):
+    """Random valid execution plans."""
+    n_stages = draw(st.integers(1, max_stages))
+    counts = [
+        draw(st.integers(1, max(max_layers // n_stages, 1)))
+        for _ in range(n_stages)
+    ]
+    stages = []
+    start = 0
+    dev = 0
+    for j in range(n_stages):
+        tp = draw(st.sampled_from([1, 1, 1, 2]))
+        gpu = draw(st.sampled_from(GPUS))
+        bits = tuple(
+            draw(st.sampled_from(BITS)) for _ in range(counts[j])
+        )
+        stages.append(
+            StagePlan(
+                device_ids=tuple(range(dev, dev + tp)),
+                gpu_name=gpu,
+                layer_start=start,
+                layer_bits=bits,
+            )
+        )
+        dev += tp
+        start += counts[j]
+    return ExecutionPlan(
+        model_name="random",
+        stages=tuple(stages),
+        prefill_microbatch=draw(st.sampled_from([1, 2, 4, 8])),
+        decode_microbatch=draw(st.sampled_from([1, 2, 4, 8])),
+        bit_kv=draw(st.sampled_from([8, 16])),
+    )
+
+
+@given(plan=plans())
+@settings(max_examples=60, deadline=None)
+def test_plan_serialization_roundtrip(plan):
+    assert loads_plan(dumps_plan(plan)) == plan
+
+
+@given(plan=plans())
+@settings(max_examples=60, deadline=None)
+def test_plan_invariants(plan):
+    bits = plan.bits_per_layer
+    assert len(bits) == plan.num_layers
+    assert sum(plan.bits_histogram().values()) == plan.num_layers
+    assert sum(plan.layers_per_stage()) == plan.num_layers
+    for i in range(plan.num_layers):
+        j = plan.stage_of_layer(i)
+        st_ = plan.stages[j]
+        assert st_.layer_start <= i < st_.layer_end
+        assert bits[i] == st_.layer_bits[i - st_.layer_start]
+
+
+@given(
+    seed=st.integers(0, 100),
+    eta=st.sampled_from([1, 2, 4]),
+    xi=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=10, deadline=None)
+def test_simulation_invariants_random_plans(seed, eta, xi):
+    """DES invariants: spans positive, busy <= makespan, tokens conserved."""
+    rng = np.random.default_rng(seed)
+    spec = get_model("opt-125m")
+    cluster = make_cluster("inv", [("T4-16G", 1), ("V100-32G", 1)])
+    split = int(rng.integers(1, spec.num_layers))
+    plan = ExecutionPlan(
+        model_name=spec.name,
+        stages=(
+            StagePlan((0,), "T4-16G", 0,
+                      tuple(int(b) for b in rng.choice(BITS, split))),
+            StagePlan((1,), "V100-32G", split,
+                      tuple(int(b) for b in
+                            rng.choice(BITS, spec.num_layers - split))),
+        ),
+        prefill_microbatch=eta,
+        decode_microbatch=xi,
+    )
+    wl = BatchWorkload(batch=4, prompt_len=64, output_len=8)
+    res = simulate_plan(plan, cluster, spec, wl, check_memory=False)
+    assert res.makespan_s > 0
+    assert res.total_tokens == 32
+    assert res.prefill_span_s > 0
+    for busy in res.stage_busy_s:
+        assert 0 < busy <= res.makespan_s * (1 + 1e-9)
+    assert 0.0 <= res.bubble_fraction < 1.0
+
+
+@given(
+    seed=st.integers(0, 50),
+    bits=st.sampled_from(BITS),
+)
+@settings(max_examples=15, deadline=None)
+def test_more_microbatches_never_slow_prefill(seed, bits):
+    """Prefill span is non-increasing as micro-batches shrink (2 stages,
+    equal chunk work: the wavefront recurrence guarantees it)."""
+    spec = get_model("opt-125m")
+    cluster = make_cluster("mb", [("V100-32G", 1), ("V100-32G", 1)])
+    wl = BatchWorkload(batch=8, prompt_len=128, output_len=4)
+
+    def span(mb):
+        plan = ExecutionPlan(
+            model_name=spec.name,
+            stages=(
+                StagePlan((0,), "V100-32G", 0, (bits,) * 6),
+                StagePlan((1,), "V100-32G", 6, (bits,) * 6),
+            ),
+            prefill_microbatch=mb,
+            decode_microbatch=4,
+        )
+        return simulate_plan(
+            plan, cluster, spec, wl, check_memory=False
+        ).prefill_span_s
+
+    assert span(4) <= span(8) * 1.001

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: plan -> simulate -> compare policies."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import plan_het_baseline, plan_uniform_baseline
+from repro.core import PlannerConfig, SplitQuantPlanner
+from repro.experiments.common import compare_policies, feasible_batch
+from repro.hardware import make_cluster, table_iii_cluster
+from repro.models import get_model
+from repro.pipeline import simulate_plan
+from repro.quality import AnalyticQualityModel
+from repro.workloads import BatchWorkload
+
+BITS = (3, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def setting(cost_model_13b, opt13b, small_cluster):
+    wl = BatchWorkload(batch=16, prompt_len=512, output_len=48)
+    return opt13b, small_cluster, wl, cost_model_13b
+
+
+def test_splitquant_not_worse_than_uniform(setting):
+    """The headline invariant: Uniform's plan is in SplitQuant's space."""
+    spec, cluster, wl, cm = setting
+    uni = plan_uniform_baseline(spec, cluster, wl, BITS)
+    uni_tput = simulate_plan(uni.plan, cluster, spec, wl).throughput_tokens_s
+    cfg = PlannerConfig(
+        group_size=5, max_orderings=4,
+        microbatch_candidates=(4, 8, 16), time_limit_s=15.0,
+    )
+    planner = SplitQuantPlanner(spec, cluster, cfg, cost_model=cm)
+    budget = planner.uniform_quality(uni.bits)
+    planner = SplitQuantPlanner(
+        spec, cluster, dataclasses.replace(cfg, quality_budget=budget),
+        cost_model=cm,
+    )
+    res = planner.plan(wl)
+    sq_tput = simulate_plan(res.plan, cluster, spec, wl).throughput_tokens_s
+    assert sq_tput >= uni_tput * 0.97
+
+
+def test_splitquant_quality_at_least_uniform(setting):
+    """Sec. VI-C: throughput gains without quality loss."""
+    spec, cluster, wl, cm = setting
+    uni = plan_uniform_baseline(spec, cluster, wl, BITS)
+    cfg = PlannerConfig(
+        group_size=5, max_orderings=4,
+        microbatch_candidates=(4, 8, 16), time_limit_s=15.0,
+    )
+    planner = SplitQuantPlanner(spec, cluster, cfg, cost_model=cm)
+    budget = planner.uniform_quality(uni.bits)
+    planner = SplitQuantPlanner(
+        spec, cluster, dataclasses.replace(cfg, quality_budget=budget),
+        cost_model=cm,
+    )
+    res = planner.plan(wl)
+    qm = AnalyticQualityModel.for_model(spec, BITS)
+    ppl_sq = qm.avg_ppl(list(res.plan.bits_per_layer))
+    ppl_uni = qm.uniform_ppl(uni.bits)
+    # Hidden-truth noise allows tiny inversions; bound it.
+    assert ppl_sq <= ppl_uni * 1.02
+
+
+def test_compare_policies_end_to_end(setting):
+    spec, cluster, wl, _ = setting
+    cmp = compare_policies(spec, cluster, wl)
+    assert cmp.splitquant_tput > 0
+    assert cmp.uniform_tput > 0
+    assert cmp.speedup_vs_uniform >= 0.97
+
+
+def test_severe_heterogeneity_gain():
+    """A P100+V100 mix should show a clear SplitQuant win."""
+    cluster = make_cluster(
+        "p100mix", [("P100-12G", 2), ("V100-32G", 1)], "eth-100g"
+    )
+    spec = get_model("opt-13b")
+    wl = BatchWorkload(batch=16, prompt_len=512, output_len=48)
+    cmp = compare_policies(spec, cluster, wl)
+    assert cmp.splitquant_tput > 0
+    if cmp.het_tput > 0:
+        assert cmp.speedup_vs_het >= 1.0
+
+
+def test_feasible_batch_long_context_smaller():
+    cluster = table_iii_cluster(5)
+    spec = get_model("qwen2.5-14b")
+    short = feasible_batch(spec, cluster, 1024, 64)
+    long = feasible_batch(spec, cluster, 16384, 64)
+    assert long < short
+    assert long >= 1
+
+
+def test_plan_executes_on_tinylm(tiny_model, rng):
+    """A planner-shaped plan drives the real runtime end-to-end."""
+    import numpy as np
+
+    from repro.plan import ExecutionPlan, StagePlan
+    from repro.runtime import PipelineEngine, reference_generate
+
+    plan = ExecutionPlan(
+        model_name="tiny",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (8, 4)),
+            StagePlan((1,), "V100-32G", 2, (16, 16)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=2,
+    )
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(4, 10))
+    with PipelineEngine(tiny_model, plan) as eng:
+        out = eng.generate(prompts, n_tokens=5)
+    ref = reference_generate(tiny_model.quantized([8, 4, 16, 16]), prompts, 5)
+    assert np.array_equal(out.tokens, ref)

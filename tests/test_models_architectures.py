@@ -1,0 +1,111 @@
+"""Tests for the model architecture registry."""
+
+import pytest
+
+from repro.models import MODEL_REGISTRY, get_model, list_models
+
+
+def test_all_paper_models_present():
+    for name in (
+        "opt-1.3b", "opt-13b", "opt-30b", "opt-66b", "opt-175b",
+        "bloom-560m", "bloom-1b7", "bloom-3b",
+        "qwen2.5-7b", "qwen2.5-14b", "qwen2.5-32b", "llama-3.3-70b",
+    ):
+        assert name in MODEL_REGISTRY
+
+
+def test_aliases():
+    assert get_model("7B-Instruct").name == "qwen2.5-7b"
+    assert get_model("70b-instruct").name == "llama-3.3-70b"
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError, match="unknown model"):
+        get_model("gpt-5")
+
+
+@pytest.mark.parametrize(
+    "name,params_b,tol",
+    [
+        ("opt-125m", 0.125, 0.15),
+        ("opt-1.3b", 1.3, 0.1),
+        ("opt-13b", 13.0, 0.05),
+        ("opt-30b", 30.0, 0.05),
+        ("opt-66b", 66.0, 0.05),
+        ("opt-175b", 175.0, 0.05),
+        ("bloom-3b", 3.0, 0.15),
+        ("qwen2.5-7b", 7.6, 0.1),
+        ("qwen2.5-14b", 14.7, 0.1),
+        ("qwen2.5-32b", 32.5, 0.1),
+        ("llama-3.3-70b", 70.0, 0.05),
+    ],
+)
+def test_parameter_counts_match_published_sizes(name, params_b, tol):
+    spec = get_model(name)
+    got = spec.total_params / 1e9
+    assert abs(got - params_b) / params_b < tol, f"{name}: {got:.2f}B"
+
+
+def test_opt_decoder_weight_formula():
+    """OPT layers match the paper's 4*h1^2 + 2*h1*h2 formula."""
+    spec = get_model("opt-30b")
+    expected = 4 * spec.hidden**2 + 2 * spec.hidden * spec.ffn
+    assert spec.decoder_linear_elements == expected
+
+
+def test_gqa_reduces_kv_dim():
+    q = get_model("qwen2.5-7b")
+    assert q.kv_dim < q.hidden
+    assert q.kv_dim == q.num_kv_heads * q.head_dim
+    o = get_model("opt-13b")
+    assert o.kv_dim == o.hidden
+
+
+def test_gated_mlp_has_three_mlp_matrices():
+    q = get_model("qwen2.5-7b")
+    assert len(q.linear_shapes) == 7  # q,k,v,o + gate,up,down
+    o = get_model("opt-13b")
+    assert len(o.linear_shapes) == 6
+
+
+def test_opt_350m_embed_projection():
+    """The d_t != h1 case of the paper's memory model."""
+    spec = get_model("opt-350m")
+    assert spec.embed_dim == 512 != spec.hidden
+    # projections add 2 * h1 * d_t parameters
+    base = spec.vocab_size * spec.embed_dim
+    pos = spec.max_position_embeddings * spec.embed_dim
+    proj = 2 * spec.hidden * spec.embed_dim
+    assert spec.embedding_elements == base + pos + proj
+
+
+def test_tied_lm_head_has_zero_extra_storage():
+    assert get_model("opt-13b").lm_head_elements == 0
+    assert get_model("qwen2.5-7b").lm_head_elements > 0
+
+
+def test_bloom_has_no_position_table():
+    spec = get_model("bloom-3b")  # ALiBi
+    assert spec.embedding_elements == spec.vocab_size * spec.embed_dim
+
+
+def test_invalid_head_config_rejected():
+    from repro.models.architectures import ModelSpec
+
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad", num_layers=2, hidden=10, ffn=40, num_heads=3,
+            num_kv_heads=3, vocab_size=100, max_position_embeddings=128,
+            embed_dim=10, learned_pos_embeddings=True, gated_mlp=False,
+            tie_word_embeddings=True,
+        )
+
+
+def test_list_models_sorted():
+    names = list_models()
+    assert names == tuple(sorted(names))
+
+
+def test_describe_contains_key_shapes():
+    d = get_model("opt-30b").describe()
+    assert "L=48" in d and "h1=7168" in d

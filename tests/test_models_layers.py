@@ -1,0 +1,140 @@
+"""Tests for per-layer compute/memory accounting."""
+
+import pytest
+
+from repro.models import (
+    arithmetic_intensity,
+    decode_bytes,
+    decode_flops,
+    embedding_bytes,
+    get_model,
+    hidden_state_bytes,
+    kv_bytes_per_token,
+    kv_cache_bytes,
+    lm_head_flops,
+    prefill_bytes,
+    prefill_flops,
+    weight_storage_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_model("opt-13b")
+
+
+def test_weight_bytes_scale_with_bits(spec):
+    w16 = weight_storage_bytes(spec, 16)
+    w8 = weight_storage_bytes(spec, 8)
+    w4 = weight_storage_bytes(spec, 4)
+    w3 = weight_storage_bytes(spec, 3)
+    assert w16 > w8 > w4 > w3
+    # One byte per linear element saved, minus the added scale metadata.
+    linear = spec.decoder_linear_elements
+    assert w16 - w8 > 0.95 * linear
+
+
+def test_weight_bytes_sub16_carry_scale_metadata(spec):
+    w4 = weight_storage_bytes(spec, 4)
+    body = spec.decoder_linear_elements * 4 // 8
+    norm = spec.decoder_norm_elements * 2
+    assert w4 > body + norm  # group scales/zeros present
+
+
+def test_invalid_bits_raise(spec):
+    with pytest.raises(ValueError):
+        weight_storage_bytes(spec, 5)
+
+
+def test_kv_cache_linear_in_batch_and_context(spec):
+    assert kv_cache_bytes(spec, 4, 100) == 2 * kv_cache_bytes(spec, 2, 100)
+    assert kv_cache_bytes(spec, 2, 200) == 2 * kv_cache_bytes(spec, 2, 100)
+
+
+def test_kv_quantization_halves_cache(spec):
+    assert kv_bytes_per_token(spec, 8) == kv_bytes_per_token(spec, 16) // 2
+
+
+def test_gqa_kv_smaller_than_mha():
+    qwen = get_model("qwen2.5-7b")
+    opt = get_model("opt-13b")
+    # Per token, GQA stores kv_dim < hidden.
+    assert kv_bytes_per_token(qwen) == 2 * qwen.kv_dim * 2
+    assert kv_bytes_per_token(opt) == 2 * opt.hidden * 2
+
+
+def test_prefill_flops_quadratic_in_seq(spec):
+    f1 = prefill_flops(spec, 1, 512)
+    f2 = prefill_flops(spec, 1, 1024)
+    # Doubling seq more than doubles FLOPs (attention s^2 term).
+    assert f2 > 2 * f1
+
+
+def test_prefill_flops_linear_in_batch(spec):
+    assert prefill_flops(spec, 8, 256) == pytest.approx(
+        8 * prefill_flops(spec, 1, 256)
+    )
+
+
+def test_decode_flops_linear_in_past(spec):
+    d1 = decode_flops(spec, 1, 100)
+    d2 = decode_flops(spec, 1, 200)
+    assert d2 > d1
+    # projection part dominates; growth is attention-only
+    assert d2 - d1 == pytest.approx(4.0 * 100 * spec.hidden)
+
+
+def test_decode_bytes_dominated_by_weights_at_small_batch(spec):
+    w = weight_storage_bytes(spec, 16)
+    total = decode_bytes(spec, 1, 128, 16)
+    assert w / total > 0.9
+
+
+def test_decode_bytes_kv_grows_with_batch(spec):
+    small = decode_bytes(spec, 1, 1024, 16)
+    big = decode_bytes(spec, 64, 1024, 16)
+    assert big > small * 2  # KV reads scale with batch
+
+
+def test_lower_bits_reduce_decode_bytes(spec):
+    assert decode_bytes(spec, 8, 512, 4) < decode_bytes(spec, 8, 512, 16)
+
+
+def test_arithmetic_intensity_phase_gap(spec):
+    """Sec. IV-A: prefill intensity orders of magnitude above decode."""
+    pre = arithmetic_intensity(spec, 32, 512, "prefill")
+    dec = arithmetic_intensity(spec, 32, 512, "decode")
+    assert pre / dec > 50
+    assert dec < 100  # decode is memory-bound territory
+
+
+def test_arithmetic_intensity_values_near_paper():
+    """Paper quotes decode intensity ~43 for OPT-30B at v=32, s=512."""
+    spec30 = get_model("opt-30b")
+    dec = arithmetic_intensity(spec30, 32, 512, "decode")
+    assert 10 < dec < 200
+
+
+def test_unknown_phase_raises(spec):
+    with pytest.raises(ValueError):
+        arithmetic_intensity(spec, 1, 128, "train")
+
+
+def test_embedding_bytes_fp16(spec):
+    assert embedding_bytes(spec) == (
+        spec.embedding_elements + spec.lm_head_elements
+    ) * 2
+
+
+def test_lm_head_flops_linear_in_tokens(spec):
+    assert lm_head_flops(spec, 10) == pytest.approx(10 * lm_head_flops(spec, 1))
+
+
+def test_hidden_state_bytes(spec):
+    assert hidden_state_bytes(spec, 4, 16) == 4 * 16 * spec.hidden * 2
+
+
+def test_prefill_bytes_include_kv_write(spec):
+    with_kv = prefill_bytes(spec, 8, 512, 16, bit_kv=16)
+    half_kv = prefill_bytes(spec, 8, 512, 16, bit_kv=8)
+    assert with_kv > half_kv

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.pipeline import EventLoop, Server
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.at(3.0, lambda: seen.append("c"))
+    loop.at(1.0, lambda: seen.append("a"))
+    loop.at(2.0, lambda: seen.append("b"))
+    loop.run()
+    assert seen == ["a", "b", "c"]
+    assert loop.now == 3.0
+
+
+def test_ties_run_in_insertion_order():
+    loop = EventLoop()
+    seen = []
+    loop.at(1.0, lambda: seen.append(1))
+    loop.at(1.0, lambda: seen.append(2))
+    loop.run()
+    assert seen == [1, 2]
+
+
+def test_schedule_relative():
+    loop = EventLoop()
+    loop.at(5.0, lambda: loop.schedule(2.0, lambda: None))
+    loop.run()
+    assert loop.now == 7.0
+
+
+def test_cannot_schedule_in_past():
+    loop = EventLoop()
+    loop.at(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.at(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        loop.schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_early():
+    loop = EventLoop()
+    seen = []
+    loop.at(1.0, lambda: seen.append(1))
+    loop.at(10.0, lambda: seen.append(2))
+    loop.run(until=5.0)
+    assert seen == [1]
+    assert loop.pending == 1
+
+
+def test_cascading_events():
+    loop = EventLoop()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 5:
+            loop.schedule(1.0, tick)
+
+    loop.schedule(0.0, tick)
+    loop.run()
+    assert count[0] == 5
+    assert loop.now == 4.0
+
+
+def test_server_serializes_jobs():
+    loop = EventLoop()
+    srv = Server(loop, "s")
+    done = []
+    srv.submit(2.0, lambda t: done.append(t))
+    srv.submit(3.0, lambda t: done.append(t))
+    loop.run()
+    assert done == [2.0, 5.0]
+    assert srv.busy_time == 5.0
+    assert srv.jobs_done == 2
+
+
+def test_server_not_before_delays_start():
+    loop = EventLoop()
+    srv = Server(loop, "s")
+    done = []
+    srv.submit(1.0, lambda t: done.append(t), not_before=10.0)
+    loop.run()
+    assert done == [11.0]
+
+
+def test_server_idle_gap():
+    loop = EventLoop()
+    srv = Server(loop, "s")
+    srv.submit(1.0, None)
+    srv.submit(1.0, None, not_before=5.0)
+    loop.run()
+    assert srv.free_at == 6.0
+    assert srv.utilization(6.0) == pytest.approx(2.0 / 6.0)
+
+
+def test_server_rejects_negative_duration():
+    loop = EventLoop()
+    srv = Server(loop, "s")
+    with pytest.raises(ValueError):
+        srv.submit(-1.0, None)
+
+
+def test_two_stage_pipeline_wavefront():
+    """Classic result: makespan = sum(stage times) + (M-1)*bottleneck."""
+    loop = EventLoop()
+    s0, s1 = Server(loop, "s0"), Server(loop, "s1")
+    finish = []
+
+    def chain(m):
+        s0.submit(1.0, lambda t: s1.submit(2.0, lambda u: finish.append(u),
+                                           not_before=t))
+
+    for m in range(4):
+        chain(m)
+    loop.run()
+    assert max(finish) == pytest.approx(1.0 + 2.0 + 3 * 2.0)
+
+
+def test_processed_counter():
+    loop = EventLoop()
+    for i in range(5):
+        loop.at(float(i), lambda: None)
+    assert loop.run() == 5
+    assert loop.processed == 5

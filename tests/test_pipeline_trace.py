@@ -1,0 +1,127 @@
+"""Tests for execution timelines and KV-quantized TinyLM."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import render_gantt, simulate_plan, trace_plan
+from repro.plan import uniform_plan
+from repro.quality import TinyLM, TinyLMConfig
+from repro.workloads import BatchWorkload
+
+
+def groups_of(cluster):
+    return [((d.device_id,), d.gpu.name) for d in cluster.devices]
+
+
+@pytest.fixture(scope="module")
+def timeline(small_cluster, opt13b, small_workload):
+    plan = uniform_plan(
+        opt13b.name, opt13b.num_layers, groups_of(small_cluster), 8, 4, 4
+    )
+    return trace_plan(plan, small_cluster, opt13b, small_workload)
+
+
+def test_timeline_covers_all_stages(timeline):
+    assert len(timeline.stages) == 2
+    for name, jobs in timeline.stages:
+        assert jobs
+        for start, finish, label in jobs:
+            assert 0 <= start <= finish <= timeline.makespan_s + 1e-9
+            assert label[0] in ("P", "D")
+
+
+def test_timeline_matches_plain_simulation(small_cluster, opt13b,
+                                           small_workload, timeline):
+    plan = uniform_plan(
+        opt13b.name, opt13b.num_layers, groups_of(small_cluster), 8, 4, 4
+    )
+    plain = simulate_plan(plan, small_cluster, opt13b, small_workload)
+    assert timeline.makespan_s == pytest.approx(plain.makespan_s)
+    assert timeline.result.throughput_tokens_s == pytest.approx(
+        plain.throughput_tokens_s
+    )
+
+
+def test_jobs_non_overlapping_per_stage(timeline):
+    for _, jobs in timeline.stages:
+        ordered = sorted(jobs)
+        for (s0, f0, _), (s1, _, _) in zip(ordered, ordered[1:]):
+            assert s1 >= f0 - 1e-12
+
+
+def test_prefill_before_decode(timeline):
+    for _, jobs in timeline.stages:
+        last_prefill = max(f for _, f, l in jobs if l.startswith("P"))
+        first_decode = min(s for s, _, l in jobs if l.startswith("D"))
+        assert first_decode >= last_prefill - 1e-9
+
+
+def test_idle_gaps_detected(timeline):
+    # Stage 1 (V100 behind the T4) necessarily idles during prefill fill.
+    total_gaps = sum(
+        len(timeline.idle_gaps(i)) for i in range(len(timeline.stages))
+    )
+    assert total_gaps >= 1
+
+
+def test_render_gantt_format(timeline):
+    text = render_gantt(timeline, width=60)
+    lines = text.splitlines()
+    assert len(lines) == len(timeline.stages) + 2
+    assert "#" in text and "=" in text
+    assert "prefill" in lines[-1]
+
+
+def test_render_gantt_custom_labels(timeline):
+    text = render_gantt(timeline, width=40, labels=["a", "b"])
+    assert text.splitlines()[0].lstrip().startswith("a ")
+    with pytest.raises(ValueError):
+        render_gantt(timeline, labels=["only-one"])
+    with pytest.raises(ValueError):
+        render_gantt(timeline, width=5)
+
+
+def test_server_class_restored_after_trace(small_cluster, opt13b,
+                                           small_workload):
+    from repro.pipeline import simulator as sim_module
+    from repro.pipeline.events import Server
+
+    assert sim_module.Server is Server
+
+
+# ---------------------------------------------------------------------------
+# KV-cache quantization on TinyLM (the measurable bit_kv counterpart).
+# ---------------------------------------------------------------------------
+
+
+def test_kv_bits_validation():
+    with pytest.raises(ValueError):
+        TinyLMConfig(kv_bits=5)
+
+
+def test_kv_quantization_degrades_gracefully(tiny_model, tiny_corpora):
+    corpus = tiny_corpora["c4"]
+    p16 = tiny_model.perplexity(corpus)
+    p8 = tiny_model.with_kv_bits(8).perplexity(corpus)
+    p4 = tiny_model.with_kv_bits(4).perplexity(corpus)
+    assert p16 <= p8 * 1.001
+    assert p8 < p4
+    assert (p8 - p16) / p16 < 0.01  # KV-8 near-lossless
+    assert (p4 - p16) / p16 < 0.10
+
+
+def test_kv_view_shares_weights(tiny_model):
+    view = tiny_model.with_kv_bits(8)
+    assert view.layers is tiny_model.layers
+    assert view.embed is tiny_model.embed
+    assert view.config.kv_bits == 8
+    assert tiny_model.config.kv_bits == 16  # original untouched
+
+
+def test_kv_quantized_generation_runs(tiny_model, rng):
+    view = tiny_model.with_kv_bits(8)
+    prompts = rng.integers(0, view.config.vocab, size=(2, 8))
+    logits, cache = view.prefill(prompts)
+    out, cache = view.decode_step(logits.argmax(axis=-1), cache)
+    assert np.all(np.isfinite(out))
+    assert cache.length == 9

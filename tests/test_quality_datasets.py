@@ -1,0 +1,62 @@
+"""Tests for the synthetic evaluation corpora."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    CORPUS_SPECS,
+    build_calibration_tokens,
+    build_eval_corpora,
+    zipfian_stream,
+)
+
+
+def test_three_paper_corpora(tiny_corpora):
+    assert set(tiny_corpora.names()) == {"wikitext2", "ptb", "c4"}
+    assert set(CORPUS_SPECS) == {"wikitext2", "ptb", "c4"}
+
+
+def test_corpora_shapes(tiny_corpora):
+    for name in tiny_corpora.names():
+        assert tiny_corpora[name].shape == (4, 48)
+
+
+def test_corpora_deterministic(tiny_model):
+    a = build_eval_corpora(tiny_model, n_seqs=2, seq_len=24)
+    b = build_eval_corpora(tiny_model, n_seqs=2, seq_len=24)
+    for name in a.names():
+        assert np.array_equal(a[name], b[name])
+
+
+def test_corpora_differ_between_names(tiny_corpora):
+    assert not np.array_equal(tiny_corpora["wikitext2"], tiny_corpora["ptb"])
+
+
+def test_tokens_in_vocab(tiny_model, tiny_corpora):
+    for name in tiny_corpora.names():
+        arr = tiny_corpora[name]
+        assert arr.min() >= 0 and arr.max() < tiny_model.config.vocab
+
+
+def test_calibration_tokens(tiny_model):
+    calib = build_calibration_tokens(tiny_model, n_seqs=3, seq_len=32)
+    assert calib.shape == (3, 32)
+
+
+def test_zipfian_marginals():
+    stream = zipfian_stream(vocab=100, n_seqs=50, seq_len=200, seed=0)
+    counts = np.bincount(stream.ravel(), minlength=100)
+    # Token 0 (rank 1) should be far more frequent than token 50.
+    assert counts[0] > 5 * counts[50]
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        zipfian_stream(vocab=1, n_seqs=1, seq_len=10)
+
+
+def test_harder_corpus_has_higher_ppl(tiny_model, tiny_corpora):
+    """Higher sampling temperature -> less predictable -> higher PPL."""
+    ppl_wiki = tiny_model.perplexity(tiny_corpora["wikitext2"])  # temp .75
+    ppl_c4 = tiny_model.perplexity(tiny_corpora["c4"])  # temp .95
+    assert ppl_c4 > ppl_wiki

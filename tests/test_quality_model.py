@@ -1,0 +1,113 @@
+"""Tests for the analytic quality model and perplexity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model
+from repro.quality import (
+    AnalyticQualityModel,
+    BASE_PPL,
+    evaluate_assignment,
+    evaluate_ppl,
+    next_token_accuracy,
+)
+
+BITS = (3, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def qm30():
+    return AnalyticQualityModel.for_model(get_model("opt-30b"), BITS)
+
+
+def test_fp16_gives_base_ppl(qm30):
+    assert qm30.uniform_ppl(16) == pytest.approx(BASE_PPL["opt-30b"])
+
+
+def test_ppl_ordering_over_uniform_bits(qm30):
+    assert (
+        qm30.uniform_ppl(16)
+        <= qm30.uniform_ppl(8)
+        < qm30.uniform_ppl(4)
+        < qm30.uniform_ppl(3)
+    )
+
+
+def test_int8_nearly_lossless(qm30):
+    """Sec. IV-B: INT8 incurs little degradation."""
+    rel = qm30.uniform_ppl(8) / qm30.uniform_ppl(16) - 1
+    assert rel < 0.005
+
+
+def test_int4_few_percent(qm30):
+    rel = qm30.uniform_ppl(4) / qm30.uniform_ppl(16) - 1
+    assert 0.005 < rel < 0.10
+
+
+def test_accuracy_inversely_tracks_ppl(qm30):
+    L = qm30.spec.num_layers
+    acc16 = qm30.accuracy([16] * L)
+    acc3 = qm30.accuracy([3] * L)
+    assert acc16 > acc3
+
+
+def test_mixed_better_than_uniform_low(qm30):
+    L = qm30.spec.num_layers
+    rng = np.random.default_rng(0)
+    mixed = [int(b) for b in rng.choice([4, 8], size=L)]
+    assert qm30.avg_ppl(mixed) < qm30.uniform_ppl(4)
+    assert qm30.avg_ppl(mixed) > qm30.uniform_ppl(8)
+
+
+def test_per_dataset_multipliers(qm30):
+    L = qm30.spec.num_layers
+    per = qm30.per_dataset_ppl([4] * L)
+    assert per["ptb"] > per["c4"] > per["wikitext2"]
+    assert np.mean(list(per.values())) == pytest.approx(
+        qm30.avg_ppl([4] * L), rel=0.01
+    )
+
+
+def test_wrong_assignment_length_rejected(qm30):
+    with pytest.raises(ValueError):
+        qm30.avg_ppl([4] * 3)
+
+
+def test_unknown_bitwidth_rejected(qm30):
+    with pytest.raises(ValueError):
+        qm30.avg_ppl([5] * qm30.spec.num_layers)
+
+
+def test_hidden_truth_differs_from_indicator(qm30):
+    """The planner's indicator must not equal the ground truth —
+    otherwise Table V would be trivial."""
+    from repro.quant import normalized_indicator_table
+
+    omega = normalized_indicator_table(qm30.spec, BITS)
+    ratio = qm30.true_sens[:, 1] / np.maximum(omega[:, 1], 1e-12)
+    assert np.std(ratio) > 0.05
+
+
+def test_truth_correlates_with_indicator(qm30):
+    from repro.quant import normalized_indicator_table
+
+    omega = normalized_indicator_table(qm30.spec, BITS)
+    corr = np.corrcoef(qm30.true_sens[:, 1], omega[:, 1])[0, 1]
+    assert corr > 0.6
+
+
+def test_evaluate_ppl_and_assignment(tiny_model, tiny_corpora):
+    ppls = evaluate_ppl(tiny_model, tiny_corpora)
+    assert set(ppls) == {"wikitext2", "ptb", "c4"}
+    rep = evaluate_assignment(
+        tiny_model, [4] * tiny_model.config.layers, tiny_corpora
+    )
+    assert rep.avg_ppl == pytest.approx(
+        np.mean(list(rep.per_corpus_ppl.values()))
+    )
+    assert 0.0 <= rep.accuracy <= 1.0
+
+
+def test_next_token_accuracy_beats_chance(tiny_model, tiny_corpora):
+    acc = next_token_accuracy(tiny_model, tiny_corpora["wikitext2"])
+    assert acc > 1.5 / tiny_model.config.vocab

@@ -1,0 +1,152 @@
+"""Tests for the TinyLM numpy transformer."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    LINEAR_OPS,
+    TinyLM,
+    TinyLMConfig,
+    layer_forward,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TinyLMConfig(hidden=50, heads=4)
+
+
+def test_logits_shape(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(3, 12))
+    logits = tiny_model.logits(toks)
+    assert logits.shape == (3, 12, tiny_model.config.vocab)
+    assert np.all(np.isfinite(logits))
+
+
+def test_deterministic_given_seed():
+    a = TinyLM(TinyLMConfig(seed=5, layers=2, hidden=32, ffn=64, vocab=50,
+                            heads=2))
+    b = TinyLM(TinyLMConfig(seed=5, layers=2, hidden=32, ffn=64, vocab=50,
+                            heads=2))
+    toks = np.arange(10).reshape(1, 10) % 50
+    assert np.allclose(a.logits(toks), b.logits(toks))
+
+
+def test_causality(tiny_model, rng):
+    """Changing a future token must not change past logits."""
+    toks = rng.integers(0, tiny_model.config.vocab, size=(1, 16))
+    base = tiny_model.logits(toks)
+    mod = toks.copy()
+    mod[0, 10] = (mod[0, 10] + 1) % tiny_model.config.vocab
+    out = tiny_model.logits(mod)
+    assert np.allclose(base[0, :10], out[0, :10])
+    assert not np.allclose(base[0, 10:], out[0, 10:])
+
+
+def test_kv_cache_matches_teacher_forcing(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(2, 20))
+    full = tiny_model.logits(toks)
+    logits, cache = tiny_model.prefill(toks[:, :8])
+    assert np.allclose(full[:, 7], logits, atol=1e-10)
+    for t in range(8, 20):
+        logits, cache = tiny_model.decode_step(toks[:, t], cache)
+        assert np.allclose(full[:, t], logits, atol=1e-9)
+
+
+def test_cache_length_tracks_tokens(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(1, 6))
+    _, cache = tiny_model.prefill(toks)
+    assert cache.length == 6
+    _, cache = tiny_model.decode_step(np.array([1]), cache)
+    assert cache.length == 7
+
+
+def test_max_seq_enforced(tiny_model):
+    toks = np.zeros((1, tiny_model.config.max_seq + 1), dtype=int)
+    with pytest.raises(ValueError, match="max_seq"):
+        tiny_model.logits(toks)
+
+
+def test_sample_shapes_and_range(tiny_model):
+    out = tiny_model.sample(batch=3, length=20, seed=0)
+    assert out.shape == (3, 20)
+    assert out.min() >= 0 and out.max() < tiny_model.config.vocab
+
+
+def test_sample_deterministic_per_seed(tiny_model):
+    a = tiny_model.sample(2, 15, seed=9)
+    b = tiny_model.sample(2, 15, seed=9)
+    assert np.array_equal(a, b)
+
+
+def test_perplexity_positive_and_below_vocab(tiny_model, tiny_corpora):
+    ppl = tiny_model.perplexity(tiny_corpora["wikitext2"])
+    assert 1.0 < ppl < tiny_model.config.vocab
+
+
+def test_model_beats_uniform_on_own_samples(tiny_model, tiny_corpora):
+    """Self-generated text has below-uniform perplexity — the property
+    that makes quantization damage measurable."""
+    ppl = tiny_model.perplexity(tiny_corpora["wikitext2"])
+    assert ppl < 0.95 * tiny_model.config.vocab
+
+
+def test_quantization_degrades_ppl_monotonically(tiny_model, tiny_corpora):
+    corpus = tiny_corpora["c4"]
+    ppl16 = tiny_model.perplexity(corpus)
+    ppls = {
+        b: tiny_model.quantized([b] * tiny_model.config.layers).perplexity(corpus)
+        for b in (8, 4, 3)
+    }
+    assert ppl16 <= ppls[8] * 1.001
+    assert ppls[8] < ppls[4] < ppls[3]
+
+
+def test_quantized_needs_bits_per_layer(tiny_model):
+    with pytest.raises(ValueError):
+        tiny_model.quantized([4, 4])  # wrong length
+    with pytest.raises(ValueError):
+        tiny_model.quantized([4] * tiny_model.config.layers, method="awq")
+
+
+def test_fp16_layers_shared_not_copied(tiny_model):
+    q = tiny_model.quantized([16] * tiny_model.config.layers)
+    assert q.layers[0] is tiny_model.layers[0]
+
+
+def test_gptq_requires_calibration(tiny_model):
+    with pytest.raises(ValueError, match="calib"):
+        tiny_model.quantized([4] * tiny_model.config.layers, method="gptq")
+
+
+def test_capture_layer_inputs_shapes(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(2, 24))
+    caps = tiny_model.capture_layer_inputs(toks, max_samples=40)
+    assert len(caps) == tiny_model.config.layers
+    for cap in caps:
+        assert "wq" in cap and "w1" in cap and "w2" in cap
+        assert cap["wq"].shape[0] == tiny_model.config.hidden
+        assert cap["wq"].shape[1] <= 40
+        assert cap["w2"].shape[0] == tiny_model.config.ffn
+
+
+def test_layer_operator_stats(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(2, 24))
+    stats = tiny_model.layer_operator_stats(toks)
+    assert len(stats) == tiny_model.config.layers
+    for ops in stats:
+        assert all(op.omega(4) > 0 for op in ops)
+        assert all(op.omega(16) == 0 for op in ops)
+
+
+def test_layer_forward_free_function_matches_model(tiny_model, rng):
+    toks = rng.integers(0, tiny_model.config.vocab, size=(1, 10))
+    x = tiny_model.embed_tokens(toks)
+    via_fn = x
+    for lw in tiny_model.layers:
+        via_fn, _ = layer_forward(tiny_model.config, lw, via_fn)
+    assert np.allclose(tiny_model.lm_head(via_fn), tiny_model.logits(toks))
+
+
+def test_linear_ops_constant():
+    assert LINEAR_OPS == ("wq", "wk", "wv", "wo", "w1", "w2")

@@ -1,0 +1,67 @@
+"""Tests for AWQ activation-aware quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quant import QuantConfig, awq_quantize
+
+
+@pytest.fixture(scope="module")
+def salient_case():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((48, 64)) * 0.1
+    x = rng.standard_normal((64, 256))
+    x[7] *= 25.0  # a salient input channel
+    x[21] *= 12.0
+    return w, x
+
+
+def test_awq_beats_rtn_with_salient_channels(salient_case):
+    w, x = salient_case
+    for bits in (3, 4):
+        cfg = QuantConfig(bits=bits, granularity="group", group_size=32)
+        res = awq_quantize(w, x, cfg)
+        assert res.loss < res.rtn_loss * 0.7, bits
+
+
+def test_awq_chooses_nonzero_alpha_for_outliers(salient_case):
+    w, x = salient_case
+    res = awq_quantize(w, x)
+    assert res.alpha > 0.0
+
+
+def test_awq_neutral_without_outliers():
+    rng = np.random.default_rng(1)
+    w = rng.standard_normal((32, 48)) * 0.1
+    x = rng.standard_normal((48, 256))
+    res = awq_quantize(w, x)
+    # Uniform activations: scaling cannot be much better than RTN.
+    assert res.loss <= res.rtn_loss * 1.001
+
+
+def test_scales_geometric_mean_one(salient_case):
+    w, x = salient_case
+    res = awq_quantize(w, x)
+    assert np.exp(np.mean(np.log(res.scales))) == pytest.approx(1.0)
+
+
+def test_effective_weight_close_to_original(salient_case):
+    w, x = salient_case
+    res = awq_quantize(w, x, QuantConfig(bits=8, granularity="group",
+                                         group_size=32))
+    rel = np.linalg.norm(res.weight - w) / np.linalg.norm(w)
+    assert rel < 0.02
+
+
+def test_input_validation(salient_case):
+    w, x = salient_case
+    with pytest.raises(ValueError):
+        awq_quantize(w[0], x)
+    with pytest.raises(ValueError):
+        awq_quantize(w, x[:5])
+
+
+def test_custom_alpha_grid(salient_case):
+    w, x = salient_case
+    res = awq_quantize(w, x, alpha_grid=(0.0, 0.5))
+    assert res.alpha in (0.0, 0.5)

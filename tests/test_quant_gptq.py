@@ -1,0 +1,87 @@
+"""Tests for the GPTQ implementation."""
+
+import numpy as np
+import pytest
+
+from repro.quant import QuantConfig, gptq_quantize, hessian_from_inputs
+from repro.quant.schemes import quantize_dequantize
+
+
+@pytest.fixture(scope="module")
+def wx():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((48, 64)) * 0.1
+    x = rng.standard_normal((64, 256))
+    return w, x
+
+
+def test_gptq_beats_rtn_on_layer_loss(wx):
+    w, x = wx
+    for bits in (3, 4):
+        cfg = QuantConfig(bits=bits, granularity="group", group_size=32)
+        res = gptq_quantize(w, x, cfg)
+        rtn = quantize_dequantize(w, cfg)
+        rtn_loss = float(np.sum(((w - rtn) @ x) ** 2) / x.shape[1])
+        assert res.loss < rtn_loss, f"{bits}-bit"
+
+
+def test_gptq_loss_decreases_with_bits(wx):
+    w, x = wx
+    losses = {}
+    for bits in (3, 4, 8):
+        cfg = QuantConfig(bits=bits, granularity="group", group_size=32)
+        losses[bits] = gptq_quantize(w, x, cfg).loss
+    assert losses[8] < losses[4] < losses[3]
+
+
+def test_codes_within_range(wx):
+    w, x = wx
+    cfg = QuantConfig(bits=3, granularity="group", group_size=32)
+    res = gptq_quantize(w, x, cfg)
+    assert res.quantized.q.min() >= cfg.qmin
+    assert res.quantized.q.max() <= cfg.qmax
+
+
+def test_correlated_inputs_amplify_gptq_advantage(wx):
+    """Error compensation matters most when input dims correlate."""
+    rng = np.random.default_rng(1)
+    w, _ = wx
+    base = rng.standard_normal((8, 256))
+    mix = rng.standard_normal((64, 8))
+    x_corr = mix @ base + 0.05 * rng.standard_normal((64, 256))
+    cfg = QuantConfig(bits=3, granularity="group", group_size=32)
+    res = gptq_quantize(w, x_corr, cfg)
+    assert res.loss < res.rtn_loss * 0.9
+
+
+def test_hessian_is_spd(wx):
+    _, x = wx
+    h = hessian_from_inputs(x)
+    assert np.allclose(h, h.T)
+    eigvals = np.linalg.eigvalsh(h)
+    assert eigvals.min() > 0
+
+
+def test_input_validation(wx):
+    w, x = wx
+    cfg = QuantConfig(bits=4)
+    with pytest.raises(ValueError):
+        gptq_quantize(w[0], x, cfg)  # 1-D weight
+    with pytest.raises(ValueError):
+        gptq_quantize(w, x[:10], cfg)  # misaligned calibration
+
+
+def test_gptq_dequantized_close_to_original(wx):
+    w, x = wx
+    cfg = QuantConfig(bits=8, granularity="group", group_size=32)
+    res = gptq_quantize(w, x, cfg)
+    rel = np.linalg.norm(res.quantized.dequantize() - w) / np.linalg.norm(w)
+    assert rel < 0.02
+
+
+def test_deterministic(wx):
+    w, x = wx
+    cfg = QuantConfig(bits=4, granularity="group", group_size=32)
+    a = gptq_quantize(w, x, cfg)
+    b = gptq_quantize(w, x, cfg)
+    assert np.array_equal(a.quantized.q, b.quantized.q)

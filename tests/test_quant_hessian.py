@@ -1,0 +1,64 @@
+"""Tests for the Hessian-based sensitivity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    hessian_flops,
+    hessian_indicator_table,
+    hessian_sensitivity,
+    top_eigenvalue,
+    variance_indicator_flops,
+)
+
+
+def test_power_iteration_matches_numpy():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((32, 32))
+    h = a @ a.T
+    lam = top_eigenvalue(h, iters=100)
+    assert lam == pytest.approx(np.linalg.eigvalsh(h).max(), rel=1e-4)
+
+
+def test_power_iteration_zero_matrix():
+    assert top_eigenvalue(np.zeros((8, 8))) == 0.0
+
+
+def test_power_iteration_rejects_nonsquare():
+    with pytest.raises(ValueError):
+        top_eigenvalue(np.zeros((4, 5)))
+
+
+def test_sensitivity_monotone_in_bits():
+    rng = np.random.default_rng(1)
+    w = rng.standard_normal((16, 32)) * 0.1
+    x = rng.standard_normal((32, 128))
+    s3 = hessian_sensitivity(w, x, 3)
+    s4 = hessian_sensitivity(w, x, 4)
+    s8 = hessian_sensitivity(w, x, 8)
+    assert s3 > s4 > s8 > 0
+
+
+def test_indicator_table_fp16_zero():
+    rng = np.random.default_rng(2)
+    ws = [rng.standard_normal((8, 16)) for _ in range(3)]
+    xs = [rng.standard_normal((16, 64)) for _ in range(3)]
+    table = hessian_indicator_table(ws, xs, (3, 4, 8, 16))
+    assert table.shape == (3, 4)
+    assert np.all(table[:, 3] == 0)
+    assert np.all(table[:, 0] > table[:, 1])
+
+
+def test_hessian_vs_variance_cost_gap():
+    """The complexity claim of Sec. IV-B: quadratic vs linear in D_X."""
+    d_w, d_x, n = 9216, 9216, 262_144
+    ratio = hessian_flops(d_w, d_x, n) / variance_indicator_flops(d_w, n)
+    assert ratio > 1000
+
+
+def test_hessian_correlates_with_weight_magnitude():
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((16, 128))
+    small = hessian_sensitivity(rng.standard_normal((8, 16)) * 0.01, x, 4)
+    large = hessian_sensitivity(rng.standard_normal((8, 16)) * 1.0, x, 4)
+    assert large > small

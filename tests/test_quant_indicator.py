@@ -1,0 +1,138 @@
+"""Tests for Theorem 1 and the Proposition 1 variance indicator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    OperatorStats,
+    empirical_quant_variance,
+    g_statistic,
+    indicator_table,
+    layer_indicator,
+    operator_stats_from_arrays,
+    random_indicator_table,
+    scaling_factor,
+    theorem1_variance_bound,
+)
+
+BITS = (3, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def wx():
+    rng = np.random.default_rng(7)
+    w = rng.standard_normal((32, 64)) * 0.1
+    x = rng.standard_normal((64, 512))
+    return w, x
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    bits=st.sampled_from([3, 4, 8]),
+)
+@settings(max_examples=30, deadline=None)
+def test_theorem1_deterministic_bound_holds(seed, bits):
+    """Property: the worst-case deterministic bound dominates measurement."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((16, 32)) * rng.uniform(0.01, 1.0)
+    x = rng.standard_normal((32, 256))
+    bound = theorem1_variance_bound(w, x, bits, "deterministic")
+    emp = empirical_quant_variance(w, x, bits, "deterministic", seed=seed)
+    assert emp <= bound * 1.01
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    bits=st.sampled_from([3, 4, 8]),
+)
+@settings(max_examples=30, deadline=None)
+def test_theorem1_stochastic_estimate_tracks_measurement(seed, bits):
+    """The stochastic form is an average-case estimate (uniform fractional
+    parts), so it should track the measurement within a modest factor."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((16, 32)) * rng.uniform(0.01, 1.0)
+    x = rng.standard_normal((32, 256))
+    est = theorem1_variance_bound(w, x, bits, "stochastic")
+    emp = empirical_quant_variance(w, x, bits, "stochastic", seed=seed)
+    assert emp <= est * 2.0
+    assert emp >= est / 10.0
+
+
+def test_bound_not_vacuous(wx):
+    """Deterministic-rounding error is uniform-ish: ~1/3 of the bound."""
+    w, x = wx
+    bound = theorem1_variance_bound(w, x, 4, "deterministic")
+    emp = empirical_quant_variance(w, x, 4, "deterministic")
+    assert emp > bound / 10
+
+
+def test_scaling_factor_definitions(wx):
+    w, _ = wx
+    s_sym = scaling_factor(w, 4, symmetric=True)
+    assert s_sym == pytest.approx(np.max(np.abs(w)) / 7)
+    s_asym = scaling_factor(w, 4, symmetric=False)
+    assert s_asym == pytest.approx((w.max() - w.min()) / 15)
+
+
+def test_g_statistic_forms(wx):
+    _, x = wx
+    det = g_statistic(x, "deterministic")
+    sto = g_statistic(x, "stochastic")
+    assert det == pytest.approx(np.var(x) / 4)
+    assert sto == pytest.approx((np.mean(x) ** 2 + np.var(x)) / 6)
+    with pytest.raises(ValueError):
+        g_statistic(x, "banker")
+
+
+def test_operator_stats_capture(wx):
+    w, x = wx
+    st_ = operator_stats_from_arrays(w, x)
+    assert st_.d_w == 64
+    assert st_.w_absmax == pytest.approx(np.max(np.abs(w)))
+    assert st_.omega(16) == 0.0
+    assert st_.omega(3) > st_.omega(4) > st_.omega(8) > 0
+
+
+def test_layer_indicator_sums_operators(wx):
+    w, x = wx
+    ops = [operator_stats_from_arrays(w, x)] * 3
+    assert layer_indicator(ops, 4) == pytest.approx(3 * ops[0].omega(4))
+
+
+def test_indicator_table_shape_and_monotonicity(wx):
+    w, x = wx
+    layers = [[operator_stats_from_arrays(w * (i + 1), x)] for i in range(4)]
+    table = indicator_table(layers, BITS)
+    assert table.shape == (4, 4)
+    # Monotone in bits within a layer.
+    for i in range(4):
+        assert table[i, 0] > table[i, 1] > table[i, 2] > table[i, 3] == 0
+    # Larger weight range -> larger indicator.
+    assert np.all(np.diff(table[:, 0]) > 0)
+
+
+def test_indicator_scales_with_scale_squared():
+    a = OperatorStats(d_w=100, w_absmax=0.1, x_mean=0.0, x_var=1.0)
+    b = OperatorStats(d_w=100, w_absmax=0.2, x_mean=0.0, x_var=1.0)
+    assert b.omega(4) == pytest.approx(4 * a.omega(4))
+
+
+def test_random_indicator_table_properties():
+    table = random_indicator_table(10, BITS, seed=0)
+    assert table.shape == (10, 4)
+    # FP16 column zero, and higher bits never above lower bits.
+    assert np.all(table[:, 3] == 0)
+    for i in range(10):
+        assert table[i, 0] >= table[i, 1] >= table[i, 2] >= 0
+    # Different from the deterministic indicator: uniform draws.
+    other = random_indicator_table(10, BITS, seed=1)
+    assert not np.allclose(table, other)
+
+
+def test_stochastic_vs_deterministic_bounds_differ(wx):
+    w, x = wx
+    det = theorem1_variance_bound(w, x, 4, "deterministic")
+    sto = theorem1_variance_bound(w, x, 4, "stochastic")
+    assert det != sto

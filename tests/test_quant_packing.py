@@ -1,0 +1,88 @@
+"""Property-based tests for sub-byte bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    pack_bits,
+    pack_tensor,
+    packed_nbytes,
+    unpack_bits,
+    unpack_tensor,
+)
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=16),
+    n=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_unsigned(bits, n, seed):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 1 << bits, size=n).astype(np.int32)
+    words = pack_bits(codes, bits)
+    rec = unpack_bits(words, bits, n)
+    assert np.array_equal(rec, codes)
+
+
+@given(
+    bits=st.sampled_from([3, 4, 8]),
+    n=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_signed_with_qmin(bits, n, seed):
+    rng = np.random.default_rng(seed)
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    codes = rng.integers(qmin, qmax + 1, size=n).astype(np.int32)
+    words = pack_bits(codes, bits, qmin=qmin)
+    rec = unpack_bits(words, bits, n, qmin=qmin)
+    assert np.array_equal(rec, codes)
+
+
+def test_packed_size_is_dense():
+    n = 1000
+    assert packed_nbytes(n, 3) == 4 * ((3 * n + 31) // 32)
+    # 3-bit packing uses ~3/16 the bytes of int16 storage.
+    assert packed_nbytes(n, 3) < n * 2 * 0.2
+
+
+def test_out_of_range_codes_rejected():
+    with pytest.raises(ValueError):
+        pack_bits(np.array([8]), 3)  # 8 needs 4 bits
+    with pytest.raises(ValueError):
+        pack_bits(np.array([-1]), 3)
+
+
+def test_bad_bitwidths_rejected():
+    with pytest.raises(ValueError):
+        pack_bits(np.array([0]), 0)
+    with pytest.raises(ValueError):
+        unpack_bits(np.array([0], dtype=np.uint32), 17, 1)
+
+
+def test_tensor_roundtrip_preserves_shape():
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 8, size=(7, 13)).astype(np.int32)
+    words, shape = pack_tensor(codes, 3)
+    rec = unpack_tensor(words, 3, shape)
+    assert rec.shape == (7, 13)
+    assert np.array_equal(rec, codes)
+
+
+def test_boundary_straddling_values():
+    """Codes crossing 32-bit word boundaries survive exactly."""
+    codes = np.array([5] * 11 + [2], dtype=np.int32)  # 12 x 3 = 36 bits
+    words = pack_bits(codes, 3)
+    assert len(words) == 2
+    assert np.array_equal(unpack_bits(words, 3, 12), codes)
+
+
+def test_empty_input():
+    words = pack_bits(np.array([], dtype=np.int32), 4)
+    assert words.size == 0
+    assert unpack_bits(words, 4, 0).size == 0

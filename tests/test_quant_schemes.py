@@ -1,0 +1,139 @@
+"""Tests (incl. property-based) for the core quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    QuantConfig,
+    compute_scale_zero,
+    quantization_mse,
+    quantize,
+    quantize_dequantize,
+)
+
+_float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=24),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        QuantConfig(bits=1)
+    with pytest.raises(ValueError):
+        QuantConfig(bits=4, granularity="blockwise")
+    with pytest.raises(ValueError):
+        QuantConfig(bits=4, rounding="nearest-even")
+    with pytest.raises(ValueError):
+        QuantConfig(bits=4, granularity="group", group_size=0)
+
+
+def test_qmin_qmax_symmetric():
+    cfg = QuantConfig(bits=4, symmetric=True)
+    assert (cfg.qmin, cfg.qmax) == (-8, 7)
+    cfg = QuantConfig(bits=8, symmetric=False)
+    assert (cfg.qmin, cfg.qmax) == (0, 255)
+
+
+@given(w=_float_arrays, bits=st.sampled_from([3, 4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_error_bounded_by_scale(w, bits):
+    """|w - dq(q(w))| <= scale/2 elementwise (deterministic rounding)."""
+    cfg = QuantConfig(bits=bits, symmetric=True, granularity="tensor")
+    qt = quantize(w, cfg)
+    err = np.abs(qt.dequantize() - w)
+    assert np.all(err <= qt.scale * 0.5 + 1e-12)
+
+
+@given(w=_float_arrays)
+@settings(max_examples=25, deadline=None)
+def test_codes_within_range(w):
+    cfg = QuantConfig(bits=4, symmetric=True, granularity="channel")
+    qt = quantize(w, cfg)
+    assert qt.q.min() >= cfg.qmin
+    assert qt.q.max() <= cfg.qmax
+
+
+@pytest.mark.parametrize("bits1,bits2", [(3, 4), (4, 8), (8, 16), (3, 8)])
+def test_more_bits_less_error(bits1, bits2):
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((32, 64))
+    lo = quantization_mse(w, QuantConfig(bits=bits1))
+    hi = quantization_mse(w, QuantConfig(bits=bits2))
+    assert hi < lo
+
+
+def test_finer_granularity_less_error():
+    rng = np.random.default_rng(1)
+    w = rng.standard_normal((16, 128)) * np.linspace(0.1, 3.0, 16)[:, None]
+    t = quantization_mse(w, QuantConfig(bits=4, granularity="tensor"))
+    c = quantization_mse(w, QuantConfig(bits=4, granularity="channel"))
+    g = quantization_mse(
+        w, QuantConfig(bits=4, granularity="group", group_size=32)
+    )
+    assert c < t
+    assert g <= c * 1.05
+
+
+def test_asymmetric_handles_shifted_data():
+    rng = np.random.default_rng(2)
+    w = rng.random((8, 64)) + 5.0  # all-positive, offset
+    sym = quantization_mse(w, QuantConfig(bits=4, symmetric=True))
+    asym = quantization_mse(w, QuantConfig(bits=4, symmetric=False))
+    assert asym < sym
+
+
+def test_constant_tensor_exact():
+    w = np.full((4, 8), 3.25)
+    out = quantize_dequantize(w, QuantConfig(bits=4, symmetric=False))
+    assert np.allclose(out, w)
+
+
+def test_zero_tensor_survives():
+    w = np.zeros((4, 4))
+    out = quantize_dequantize(w, QuantConfig(bits=3))
+    assert np.allclose(out, 0.0)
+
+
+def test_stochastic_rounding_unbiased():
+    rng = np.random.default_rng(3)
+    w = rng.standard_normal((16, 16))
+    cfg = QuantConfig(bits=4, rounding="stochastic", granularity="tensor")
+    outs = [
+        quantize_dequantize(w, cfg, np.random.default_rng(s)) for s in range(200)
+    ]
+    bias = np.mean([np.mean(o - w) for o in outs])
+    assert abs(bias) < 5e-3
+
+
+def test_scale_zero_shapes_by_granularity():
+    w = np.ones((6, 90))
+    s, z = compute_scale_zero(w, QuantConfig(bits=4, granularity="tensor"))
+    assert s.shape == () or s.shape == (1,) or s.size == 1
+    s, z = compute_scale_zero(w, QuantConfig(bits=4, granularity="channel"))
+    assert s.shape == (6, 1)
+    s, z = compute_scale_zero(
+        w, QuantConfig(bits=4, granularity="group", group_size=32)
+    )
+    assert s.shape == w.shape  # broadcast elementwise for ragged groups
+
+
+def test_group_size_not_dividing_last_axis():
+    rng = np.random.default_rng(4)
+    w = rng.standard_normal((4, 50))  # 50 % 32 != 0
+    out = quantize_dequantize(
+        w, QuantConfig(bits=4, granularity="group", group_size=32)
+    )
+    assert out.shape == w.shape
+    assert np.abs(out - w).max() < 1.0
+
+
+def test_nbytes_ideal_counts_bits():
+    rng = np.random.default_rng(5)
+    w = rng.standard_normal((16, 64))
+    qt = quantize(w, QuantConfig(bits=4, granularity="tensor"))
+    assert qt.nbytes_ideal < w.size  # < 1 byte per element + tiny meta

@@ -1,0 +1,76 @@
+"""Tests for synthetic big-model sensitivity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model
+from repro.quant import (
+    model_indicator_table,
+    normalized_indicator_table,
+    synthesize_layer_stats,
+)
+
+BITS = (3, 4, 8, 16)
+
+
+def test_stats_shape_matches_architecture(opt13b):
+    stats = synthesize_layer_stats(opt13b)
+    assert len(stats) == opt13b.num_layers
+    assert all(len(ops) == len(opt13b.linear_shapes) for ops in stats)
+
+
+def test_deterministic_per_model(opt13b):
+    a = model_indicator_table(opt13b, BITS)
+    b = model_indicator_table(opt13b, BITS)
+    assert np.array_equal(a, b)
+
+
+def test_different_models_different_profiles(opt13b, opt30b):
+    a = model_indicator_table(opt13b, BITS)
+    b = model_indicator_table(opt30b, BITS)
+    assert a.shape != b.shape or not np.allclose(a, b)
+
+
+def test_depth_trend_matches_table_i(opt30b):
+    """Table I: later layers are more quantization-sensitive."""
+    table = model_indicator_table(opt30b, BITS)
+    L = opt30b.num_layers
+    early = table[: L // 3, 1].mean()
+    late = table[-L // 3 :, 1].mean()
+    assert late > early
+
+
+def test_bit_monotonicity(opt30b):
+    table = model_indicator_table(opt30b, BITS)
+    assert np.all(table[:, 0] > table[:, 1])
+    assert np.all(table[:, 1] > table[:, 2])
+    assert np.all(table[:, 2] > table[:, 3])
+    assert np.all(table[:, 3] == 0)
+
+
+def test_normalization_uniform4_sums_to_layers(opt30b):
+    table = normalized_indicator_table(opt30b, BITS)
+    assert table[:, 1].sum() == pytest.approx(opt30b.num_layers)
+
+
+def test_normalized_preserves_ratios(opt30b):
+    raw = model_indicator_table(opt30b, BITS)
+    norm = normalized_indicator_table(opt30b, BITS)
+    r_raw = raw[3, 0] / raw[7, 1]
+    r_norm = norm[3, 0] / norm[7, 1]
+    assert r_raw == pytest.approx(r_norm)
+
+
+def test_seed_override_changes_profile(opt13b):
+    a = model_indicator_table(opt13b, BITS, seed=1)
+    b = model_indicator_table(opt13b, BITS, seed=2)
+    assert not np.allclose(a, b)
+
+
+def test_gqa_model_operator_widths():
+    qwen = get_model("qwen2.5-7b")
+    stats = synthesize_layer_stats(qwen)
+    widths = {op.d_w for op in stats[0]}
+    # q/k/v take hidden; down takes ffn.
+    assert qwen.hidden in widths
+    assert qwen.ffn in widths

@@ -1,0 +1,65 @@
+"""Tests for SmoothQuant-style activation smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    smooth_linear,
+    smoothing_scales,
+    w8a8_matmul_error,
+)
+
+
+@pytest.fixture(scope="module")
+def outlier_case():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((32, 64)) * 0.1
+    x = rng.standard_normal((64, 256))
+    x[5] *= 40.0  # one outlier input channel, the SmoothQuant motif
+    return w, x
+
+
+def test_smoothing_is_mathematically_identity(outlier_case):
+    w, x = outlier_case
+    sm = smooth_linear(w, np.abs(x).max(axis=1))
+    out_ref = w @ x
+    out_sm = sm.weight @ (x / sm.smoothing[:, None])
+    assert np.allclose(out_ref, out_sm)
+
+
+def test_smoothing_reduces_w8a8_error(outlier_case):
+    w, x = outlier_case
+    plain = w8a8_matmul_error(w, x, use_smoothing=False)
+    smooth = w8a8_matmul_error(w, x, use_smoothing=True)
+    assert smooth < plain * 0.6
+
+
+def test_error_small_without_outliers():
+    rng = np.random.default_rng(1)
+    w = rng.standard_normal((32, 64)) * 0.1
+    x = rng.standard_normal((64, 256))
+    assert w8a8_matmul_error(w, x, use_smoothing=True) < 0.02
+
+
+def test_alpha_bounds():
+    rng = np.random.default_rng(2)
+    w = rng.standard_normal((4, 8))
+    with pytest.raises(ValueError):
+        smoothing_scales(np.ones(8), w, alpha=1.5)
+
+
+def test_alpha_zero_and_one_extremes(outlier_case):
+    w, x = outlier_case
+    amax = np.abs(x).max(axis=1)
+    s0 = smoothing_scales(amax, w, alpha=0.0)
+    s1 = smoothing_scales(amax, w, alpha=1.0)
+    # alpha=1: scales proportional to activation ranges.
+    assert s1[5] / s1[0] == pytest.approx(amax[5] / amax[0], rel=1e-6)
+    # alpha=0: scales ignore activations entirely.
+    assert not np.allclose(s0[5] / s0[0], amax[5] / amax[0])
+
+
+def test_scales_positive(outlier_case):
+    w, x = outlier_case
+    s = smoothing_scales(np.abs(x).max(axis=1), w)
+    assert np.all(s > 0)

@@ -1,0 +1,199 @@
+"""Tests for the threaded master/worker runtime."""
+
+import numpy as np
+import pytest
+
+from repro.plan import ExecutionPlan, StagePlan
+from repro.runtime import (
+    Channel,
+    ChannelClosed,
+    PipelineEngine,
+    reference_generate,
+)
+
+
+def tiny_plan(layers_per_stage, bits=8, mb=2):
+    stages = []
+    start = 0
+    for i, n in enumerate(layers_per_stage):
+        stages.append(
+            StagePlan((i,), "T4-16G", start, (bits,) * n)
+        )
+        start += n
+    return ExecutionPlan(
+        model_name="tiny", stages=tuple(stages),
+        prefill_microbatch=mb, decode_microbatch=mb,
+    )
+
+
+def test_channel_send_recv():
+    ch = Channel("t")
+    ch.send(42)
+    assert ch.recv(timeout=1.0) == 42
+
+
+def test_channel_timeout():
+    ch = Channel("t")
+    with pytest.raises(TimeoutError):
+        ch.recv(timeout=0.05)
+
+
+def test_channel_close():
+    ch = Channel("t")
+    ch.close()
+    with pytest.raises(ChannelClosed):
+        ch.recv(timeout=1.0)
+
+
+def test_pipeline_matches_reference(tiny_model, rng):
+    plan = tiny_plan([2, 2], bits=8)
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(5, 10))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=6)
+    ref = reference_generate(
+        tiny_model.quantized([8, 8, 8, 8]), prompts, 6
+    )
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_mixed_precision_pipeline_matches_reference(tiny_model, rng):
+    plan = ExecutionPlan(
+        model_name="tiny",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (4, 16)),
+            StagePlan((1,), "V100-32G", 2, (8, 3)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=2,
+    )
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(4, 8))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=5)
+    ref = reference_generate(tiny_model.quantized([4, 16, 8, 3]), prompts, 5)
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_result_telemetry(tiny_model, rng):
+    plan = tiny_plan([1, 3])
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(4, 8))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=4)
+    assert res.tokens.shape == (4, 12)
+    assert res.prefill_time_s > 0
+    assert res.decode_time_s > 0
+    assert len(res.stage_busy_s) == 2
+    assert all(b > 0 for b in res.stage_busy_s)
+    assert res.microbatch == 2
+
+
+def test_single_stage_pipeline(tiny_model, rng):
+    plan = tiny_plan([4], mb=4)
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(3, 6))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=3)
+    ref = reference_generate(tiny_model.quantized([8] * 4), prompts, 3)
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_uneven_microbatch_split(tiny_model, rng):
+    """B=5 with mb=2 -> micro-batches of 2, 2, 1."""
+    plan = tiny_plan([2, 2], mb=2)
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(5, 7))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=4, microbatch=2)
+    ref = reference_generate(tiny_model.quantized([8] * 4), prompts, 4)
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_engine_reusable_across_generations(tiny_model, rng):
+    plan = tiny_plan([2, 2])
+    p1 = rng.integers(0, tiny_model.config.vocab, size=(2, 6))
+    p2 = rng.integers(0, tiny_model.config.vocab, size=(3, 9))
+    with PipelineEngine(tiny_model, plan) as eng:
+        r1 = eng.generate(p1, n_tokens=3)
+        r2 = eng.generate(p2, n_tokens=4)
+    ref2 = reference_generate(tiny_model.quantized([8] * 4), p2, 4)
+    assert np.array_equal(r2.tokens, ref2)
+
+
+def test_plan_layer_mismatch_rejected(tiny_model):
+    plan = tiny_plan([2, 3])  # 5 layers vs model's 4
+    with pytest.raises(ValueError, match="layers"):
+        PipelineEngine(tiny_model, plan)
+
+
+def test_generate_requires_start(tiny_model, rng):
+    plan = tiny_plan([2, 2])
+    eng = PipelineEngine(tiny_model, plan)
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(2, 6))
+    with pytest.raises(RuntimeError, match="not started"):
+        eng.generate(prompts, n_tokens=2)
+
+
+def test_fp16_pipeline_bit_exact_with_base_model(tiny_model, rng):
+    plan = tiny_plan([2, 2], bits=16)
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(2, 6))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=4)
+    ref = reference_generate(tiny_model, prompts, 4)
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_phase_switch_regroups_caches(tiny_model, rng):
+    """Prefill at eta=1, decode at xi=4: the master regroups KV caches at
+    the phase boundary (Fig. 6's dynamic micro-batch adaptation) and the
+    output stays bit-exact."""
+    plan = ExecutionPlan(
+        model_name="tiny",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (8, 8)),
+            StagePlan((1,), "T4-16G", 2, (8, 8)),
+        ),
+        prefill_microbatch=1,
+        decode_microbatch=4,
+    )
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(6, 9))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=5)
+    ref = reference_generate(tiny_model.quantized([8] * 4), prompts, 5)
+    assert np.array_equal(res.tokens, ref)
+    assert res.microbatch == 4
+
+
+def test_phase_switch_split_direction(tiny_model, rng):
+    """Prefill at eta=4, decode at xi=2: splitting caches also works."""
+    plan = ExecutionPlan(
+        model_name="tiny",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (16, 16)),
+            StagePlan((1,), "T4-16G", 2, (16, 16)),
+        ),
+        prefill_microbatch=4,
+        decode_microbatch=2,
+    )
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(7, 8))
+    with PipelineEngine(tiny_model, plan) as eng:
+        res = eng.generate(prompts, n_tokens=4)
+    ref = reference_generate(tiny_model, prompts, 4)
+    assert np.array_equal(res.tokens, ref)
+
+
+def test_regroup_cache_lengths(tiny_model, rng):
+    """After regrouping, per-worker caches hold the decode micro-batches."""
+    plan = ExecutionPlan(
+        model_name="tiny",
+        stages=(
+            StagePlan((0,), "T4-16G", 0, (16, 16)),
+            StagePlan((1,), "T4-16G", 2, (16, 16)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=3,
+    )
+    prompts = rng.integers(0, tiny_model.config.vocab, size=(6, 8))
+    with PipelineEngine(tiny_model, plan) as eng:
+        eng.generate(prompts, n_tokens=3)
+        worker = eng._workers[0]
+        # 6 requests at xi=3 -> micro-batches of 3 and 3.
+        assert worker.cache_tokens(0) > 0
+        sizes = [worker._caches[m][0][0].shape[0] for m in sorted(worker._caches)]
+        assert sizes == [3, 3]

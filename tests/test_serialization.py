@@ -1,0 +1,87 @@
+"""Tests for plan JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.plan import ExecutionPlan, StagePlan
+from repro.serialization import (
+    SCHEMA_VERSION,
+    dumps_plan,
+    load_plan,
+    loads_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+
+
+@pytest.fixture
+def plan():
+    return ExecutionPlan(
+        model_name="opt-30b",
+        stages=(
+            StagePlan((0, 1), "T4-16G", 0, (4, 4, 8)),
+            StagePlan((2,), "V100-32G", 3, (16,)),
+        ),
+        prefill_microbatch=8,
+        decode_microbatch=16,
+        bit_kv=8,
+    )
+
+
+def test_roundtrip_exact(plan):
+    assert loads_plan(dumps_plan(plan)) == plan
+
+
+def test_dict_roundtrip(plan):
+    assert plan_from_dict(plan_to_dict(plan)) == plan
+
+
+def test_json_is_valid_and_versioned(plan):
+    data = json.loads(dumps_plan(plan))
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["model_name"] == "opt-30b"
+    assert len(data["stages"]) == 2
+
+
+def test_file_roundtrip(plan, tmp_path):
+    path = tmp_path / "plan.json"
+    save_plan(plan, path)
+    assert load_plan(path) == plan
+
+
+def test_unknown_schema_rejected(plan):
+    data = plan_to_dict(plan)
+    data["schema_version"] = 999
+    with pytest.raises(ValueError, match="schema version"):
+        plan_from_dict(data)
+
+
+def test_bit_kv_default(plan):
+    data = plan_to_dict(plan)
+    del data["bit_kv"]
+    restored = plan_from_dict(data)
+    assert restored.bit_kv == 16
+
+
+def test_corrupt_plan_rejected(plan):
+    data = plan_to_dict(plan)
+    data["stages"][1]["layer_start"] = 7  # breaks contiguity
+    with pytest.raises(ValueError):
+        plan_from_dict(data)
+
+
+def test_planner_output_serializes(opt13b, small_cluster, cost_model_13b,
+                                   small_workload, tmp_path):
+    from repro.core import PlannerConfig, SplitQuantPlanner
+
+    cfg = PlannerConfig(group_size=5, max_orderings=2,
+                        microbatch_candidates=(4,), time_limit_s=10.0,
+                        verify_top_k=1)
+    res = SplitQuantPlanner(
+        opt13b, small_cluster, cfg, cost_model=cost_model_13b
+    ).plan(small_workload)
+    path = tmp_path / "p.json"
+    save_plan(res.plan, path)
+    assert load_plan(path) == res.plan

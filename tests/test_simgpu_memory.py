@@ -1,0 +1,94 @@
+"""Tests for the simulated device-memory allocator."""
+
+import pytest
+
+from repro.simgpu import PAGE_BYTES, DeviceMemory, OutOfMemoryError
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(name="gpu0", capacity_bytes=100 * PAGE_BYTES)
+
+
+def test_allocate_and_free(mem):
+    mem.allocate("weights", 10 * PAGE_BYTES)
+    assert mem.used_bytes == 10 * PAGE_BYTES
+    freed = mem.free("weights")
+    assert freed == 10 * PAGE_BYTES
+    assert mem.used_bytes == 0
+
+
+def test_page_rounding(mem):
+    mem.allocate("x", 1)
+    assert mem.used_bytes == PAGE_BYTES
+
+
+def test_oom_raises_with_details(mem):
+    mem.allocate("weights", 90 * PAGE_BYTES)
+    with pytest.raises(OutOfMemoryError) as exc:
+        mem.allocate("kv", 20 * PAGE_BYTES)
+    assert exc.value.device == "gpu0"
+    assert exc.value.requested == 20 * PAGE_BYTES
+    assert "OOM on gpu0" in str(exc.value)
+
+
+def test_oom_leaves_state_unchanged(mem):
+    mem.allocate("a", 50 * PAGE_BYTES)
+    with pytest.raises(OutOfMemoryError):
+        mem.allocate("b", 60 * PAGE_BYTES)
+    assert mem.used_bytes == 50 * PAGE_BYTES
+    assert "b" not in mem.usage()
+
+
+def test_duplicate_tag_rejected(mem):
+    mem.allocate("kv", PAGE_BYTES)
+    with pytest.raises(ValueError):
+        mem.allocate("kv", PAGE_BYTES)
+
+
+def test_free_unknown_tag(mem):
+    with pytest.raises(KeyError):
+        mem.free("nope")
+
+
+def test_resize_grows_and_shrinks(mem):
+    mem.allocate("kv", 10 * PAGE_BYTES)
+    mem.resize("kv", 20 * PAGE_BYTES)
+    assert mem.used_bytes == 20 * PAGE_BYTES
+    mem.resize("kv", 5 * PAGE_BYTES)
+    assert mem.used_bytes == 5 * PAGE_BYTES
+
+
+def test_resize_oom(mem):
+    mem.allocate("kv", 10 * PAGE_BYTES)
+    mem.allocate("w", 80 * PAGE_BYTES)
+    with pytest.raises(OutOfMemoryError):
+        mem.resize("kv", 30 * PAGE_BYTES)
+
+
+def test_resize_unknown_tag(mem):
+    with pytest.raises(KeyError):
+        mem.resize("nope", PAGE_BYTES)
+
+
+def test_negative_allocation_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.allocate("x", -1)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        DeviceMemory(name="bad", capacity_bytes=0)
+
+
+def test_reset_clears_everything(mem):
+    mem.allocate("a", PAGE_BYTES)
+    mem.allocate("b", PAGE_BYTES)
+    mem.reset()
+    assert mem.used_bytes == 0
+    assert mem.usage() == {}
+
+
+def test_available_plus_used_is_capacity(mem):
+    mem.allocate("a", 33 * PAGE_BYTES)
+    assert mem.available_bytes + mem.used_bytes == mem.capacity_bytes

@@ -1,0 +1,59 @@
+"""Tests for the noisy measurement front-end."""
+
+import numpy as np
+import pytest
+
+from repro.models import kv_cache_bytes, weight_storage_bytes
+from repro.simgpu import LatencySample, Profiler, layer_time
+
+
+def test_measurements_near_truth(opt13b, v100):
+    prof = Profiler(seed=0)
+    truth = layer_time(v100, opt13b, 16, "prefill", 8, 512)
+    vals = [
+        prof.measure_layer(v100, opt13b, 16, "prefill", 8, 512)
+        for _ in range(30)
+    ]
+    assert abs(np.mean(vals) - truth) / truth < 0.05
+    assert np.std(vals) > 0  # it is actually noisy
+
+
+def test_deterministic_per_seed(opt13b, v100):
+    a = Profiler(seed=42).measure_layer(v100, opt13b, 4, "decode", 4, 256)
+    b = Profiler(seed=42).measure_layer(v100, opt13b, 4, "decode", 4, 256)
+    assert a == b
+
+
+def test_different_seeds_differ(opt13b, v100):
+    a = Profiler(seed=1).measure_layer(v100, opt13b, 4, "decode", 4, 256)
+    b = Profiler(seed=2).measure_layer(v100, opt13b, 4, "decode", 4, 256)
+    assert a != b
+
+
+def test_profile_grid_covers_cartesian(opt13b, t4):
+    prof = Profiler(seed=0)
+    samples = prof.profile_grid(
+        t4, opt13b, 16, "prefill", batches=(1, 2), seqs=(64, 128, 256)
+    )
+    assert len(samples) == 6
+    assert {(s.batch, s.seq) for s in samples} == {
+        (1, 64), (1, 128), (1, 256), (2, 64), (2, 128), (2, 256)
+    }
+    assert all(isinstance(s, LatencySample) and s.time_s > 0 for s in samples)
+
+
+def test_measure_memory_close_to_ideal(opt13b):
+    prof = Profiler(seed=0)
+    bits = [16, 8, 4, 3] * 3
+    measured = prof.measure_memory(opt13b, bits, batch=4, context=600)
+    ideal = sum(weight_storage_bytes(opt13b, b) for b in bits) + len(
+        bits
+    ) * kv_cache_bytes(opt13b, 4, 600)
+    assert 0 <= (measured - ideal) / ideal < 0.001  # page rounding only
+
+
+def test_measure_memory_monotone_in_context(opt13b):
+    prof = Profiler(seed=0)
+    a = prof.measure_memory(opt13b, [8] * 4, batch=4, context=300)
+    b = prof.measure_memory(opt13b, [8] * 4, batch=4, context=600)
+    assert b > a

@@ -1,0 +1,128 @@
+"""Tests for the roofline kernel model — the simulated testbed's physics."""
+
+import pytest
+
+from repro.simgpu import (
+    effective_bandwidth,
+    embedding_time,
+    layer_time,
+    lm_head_time,
+    tp_layer_time,
+)
+from repro.hardware.interconnect import intra_node_link
+
+
+def test_prefill_ratio_p100_v100_matches_paper(opt13b, v100, p100):
+    """Fig. 3: ~14.53x FP16 prefill gap at v=8, s=512."""
+    ratio = layer_time(p100, opt13b, 16, "prefill", 8, 512) / layer_time(
+        v100, opt13b, 16, "prefill", 8, 512
+    )
+    assert 13.0 < ratio < 16.0
+
+
+def test_decode_ratio_p100_v100_matches_paper(opt13b, v100, p100):
+    """Fig. 3: ~7.29x FP16 decode gap at v=8, s=512."""
+    ratio = layer_time(p100, opt13b, 16, "decode", 8, 512) / layer_time(
+        v100, opt13b, 16, "decode", 8, 512
+    )
+    assert 6.0 < ratio < 8.5
+
+
+def test_phase_ratios_differ(opt30b, v100, p100):
+    """The core phase-awareness motivation: per-phase device ratios differ."""
+    pre = layer_time(p100, opt30b, 16, "prefill", 8, 512) / layer_time(
+        v100, opt30b, 16, "prefill", 8, 512
+    )
+    dec = layer_time(p100, opt30b, 16, "decode", 8, 512) / layer_time(
+        v100, opt30b, 16, "decode", 8, 512
+    )
+    assert pre / dec > 1.5
+
+
+def test_fp16_beats_low_bits_in_prefill(opt30b, v100):
+    """Fig. 5: dequant overhead makes 3/4-bit slower in prefill."""
+    fp16 = layer_time(v100, opt30b, 16, "prefill", 8, 512)
+    assert layer_time(v100, opt30b, 4, "prefill", 8, 512) >= fp16
+    assert layer_time(v100, opt30b, 3, "prefill", 8, 512) >= fp16
+
+
+def test_low_bits_win_decode(opt30b, v100, t4, a100):
+    """Fig. 5: decode is memory-bound; fewer weight bytes win."""
+    for gpu in (v100, t4, a100):
+        fp16 = layer_time(gpu, opt30b, 16, "decode", 8, 512)
+        four = layer_time(gpu, opt30b, 4, "decode", 8, 512)
+        assert four < fp16 / 1.5
+
+
+def test_t4_int8_fast_v100_int8_slow_prefill(opt30b, t4, v100):
+    """Sec. II-E: tensor cores make T4 INT8 competitive; V100 not."""
+    assert layer_time(t4, opt30b, 8, "prefill", 8, 512) < layer_time(
+        t4, opt30b, 16, "prefill", 8, 512
+    )
+    assert layer_time(v100, opt30b, 8, "prefill", 8, 512) > layer_time(
+        v100, opt30b, 16, "prefill", 8, 512
+    )
+
+
+def test_decode_time_grows_with_context(opt30b, v100):
+    t1 = layer_time(v100, opt30b, 16, "decode", 8, 256)
+    t2 = layer_time(v100, opt30b, 16, "decode", 8, 4096)
+    assert t2 > t1
+
+
+def test_prefill_time_superlinear_in_seq(opt13b, a100):
+    t1 = layer_time(a100, opt13b, 16, "prefill", 4, 512)
+    t2 = layer_time(a100, opt13b, 16, "prefill", 4, 2048)
+    assert t2 > 3.9 * t1
+
+
+def test_invalid_args(opt13b, v100):
+    with pytest.raises(ValueError):
+        layer_time(v100, opt13b, 16, "prefill", 0, 128)
+    with pytest.raises(ValueError):
+        layer_time(v100, opt13b, 16, "train", 1, 128)
+
+
+def test_effective_bandwidth_saturates(v100):
+    small = effective_bandwidth(v100, 1024)
+    mid = effective_bandwidth(v100, 8 * 1024 * 1024)
+    big = effective_bandwidth(v100, 10 * 1024**3)
+    assert small < mid < big <= v100.mem_bw_gbps * 1e9
+    assert mid == pytest.approx(v100.mem_bw_decode_gbps * 1e9, rel=0.01)
+
+
+def test_embedding_and_head_times_positive(opt13b, t4):
+    assert embedding_time(t4, opt13b, 1024) > 0
+    assert lm_head_time(t4, opt13b, 8) > 0
+    # Small token counts are weight-read bound (flat); large counts are
+    # compute-bound and grow with the token count.
+    assert lm_head_time(t4, opt13b, 4096) > lm_head_time(t4, opt13b, 8)
+
+
+def test_tp_reduces_prefill_time(opt30b, v100):
+    bw = intra_node_link(v100.name).bandwidth_bytes_s
+    t1 = tp_layer_time(v100, opt30b, 16, "prefill", 8, 512, 1, bw)
+    t2 = tp_layer_time(v100, opt30b, 16, "prefill", 8, 512, 2, bw)
+    t4_ = tp_layer_time(v100, opt30b, 16, "prefill", 8, 512, 4, bw)
+    assert t2 < t1
+    assert t4_ < t2
+    # Sub-linear scaling: comm + overheads eat into the ideal 2x.
+    assert t2 > t1 / 2
+
+
+def test_tp1_equals_plain_layer_time(opt30b, v100):
+    bw = intra_node_link(v100.name).bandwidth_bytes_s
+    assert tp_layer_time(v100, opt30b, 16, "decode", 8, 512, 1, bw) == layer_time(
+        v100, opt30b, 16, "decode", 8, 512
+    )
+
+
+def test_tp_invalid_degree(opt30b, v100):
+    with pytest.raises(ValueError):
+        tp_layer_time(v100, opt30b, 16, "decode", 8, 512, 0, 1e9)
+
+
+def test_bigger_model_layer_slower(v100, opt13b, opt30b):
+    assert layer_time(v100, opt30b, 16, "decode", 8, 512) > layer_time(
+        v100, opt13b, 16, "decode", 8, 512
+    )

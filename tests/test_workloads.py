@@ -1,0 +1,121 @@
+"""Tests for workload distributions, batch synthesis and specs."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model
+from repro.workloads import (
+    BatchWorkload,
+    WorkloadConfig,
+    cnn_dailymail_lengths,
+    filter_by_context,
+    length_histogram,
+    loogle_lengths,
+    representative_workload,
+    sample_dataset,
+    sharegpt_lengths,
+    synthesize_batches,
+)
+
+
+def test_batch_workload_chunking():
+    wl = BatchWorkload(batch=8, prompt_len=5000, output_len=100,
+                       chunk_tokens=2048)
+    assert wl.kappa == 3
+    assert wl.chunk_len == 1667
+    assert wl.context_len == 5100
+    assert wl.total_output_tokens == 800
+
+
+def test_batch_workload_short_prompt_single_chunk():
+    wl = BatchWorkload(batch=8, prompt_len=512, output_len=64)
+    assert wl.kappa == 1
+    assert wl.chunk_len == 512
+
+
+def test_batch_workload_validation():
+    with pytest.raises(ValueError):
+        BatchWorkload(batch=0, prompt_len=10, output_len=10)
+    with pytest.raises(ValueError):
+        BatchWorkload(batch=1, prompt_len=0, output_len=10)
+    with pytest.raises(ValueError):
+        BatchWorkload(batch=1, prompt_len=10, output_len=10, chunk_tokens=0)
+
+
+def test_cnn_statistics_match_paper():
+    s = cnn_dailymail_lengths(5000, seed=0)
+    assert 700 < s.mean_prompt() < 900
+    assert 270 < s.mean_output() < 330  # paper: ~299 output tokens
+
+
+def test_loogle_statistics_match_paper():
+    s = loogle_lengths(5000, seed=0)
+    assert 80_000 < s.mean_prompt() < 115_000  # paper: avg ~97k
+    assert 50 < s.mean_output() < 80  # paper: avg ~63
+
+
+def test_sharegpt_bucket_shares():
+    s = sharegpt_lengths(20_000, seed=0)
+    hist = length_histogram(s.prompt_lens)
+    assert abs(hist["1-128"] - 0.1420) < 0.02
+    assert abs(hist["129-512"] - 0.2052) < 0.02
+    assert abs(hist[">2048"] - 0.3651) < 0.02
+
+
+def test_sample_dataset_dispatch():
+    s = sample_dataset("cnn_dailymail", 10, seed=1)
+    assert s.n == 10
+    with pytest.raises(KeyError):
+        sample_dataset("imagenet", 10)
+
+
+def test_deterministic_sampling():
+    a = sample_dataset("loogle", 100, seed=5)
+    b = sample_dataset("loogle", 100, seed=5)
+    assert np.array_equal(a.prompt_lens, b.prompt_lens)
+
+
+def test_filter_by_context():
+    spec = get_model("opt-13b")  # 2048 context
+    s = loogle_lengths(500, seed=0)  # all way beyond 2048
+    kept = filter_by_context(s, spec)
+    assert kept.n == 0
+    c = cnn_dailymail_lengths(500, seed=0)
+    kept_c = filter_by_context(c, spec)
+    assert 0 < kept_c.n <= 500
+    assert np.all(
+        kept_c.prompt_lens + kept_c.output_lens <= spec.max_position_embeddings
+    )
+
+
+def test_synthesize_batches_shapes():
+    spec = get_model("qwen2.5-7b")
+    cfg = WorkloadConfig(dataset="cnn_dailymail", batch_size=64, seed=0)
+    batches = synthesize_batches(spec, cfg, n_requests=256)
+    assert len(batches) >= 3
+    for b in batches:
+        assert b.batch <= 64
+        assert b.prompt_len >= 16
+        assert b.chunk_tokens == 2048
+
+
+def test_synthesize_raises_when_nothing_fits():
+    spec = get_model("opt-13b")
+    cfg = WorkloadConfig(dataset="loogle", batch_size=8, seed=0)
+    with pytest.raises(ValueError, match="fits"):
+        synthesize_batches(spec, cfg, n_requests=64)
+
+
+def test_representative_workload_is_median_shaped():
+    spec = get_model("qwen2.5-7b")
+    cfg = WorkloadConfig(dataset="cnn_dailymail", batch_size=32, seed=0)
+    wl = representative_workload(spec, cfg, n_requests=512)
+    assert wl.batch == 32
+    assert 500 < wl.prompt_len < 2048
+    assert 100 < wl.output_len < 600
+
+
+def test_length_histogram_sums_to_one():
+    s = sharegpt_lengths(1000, seed=2)
+    hist = length_histogram(s.prompt_lens)
+    assert sum(hist.values()) == pytest.approx(1.0)
