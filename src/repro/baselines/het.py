@@ -17,6 +17,7 @@ from ..costmodel.latency import LatencyCostModel
 from ..hardware.cluster import ClusterSpec
 from ..models.architectures import ModelSpec
 from ..pipeline.simulator import check_plan_memory
+from ..pipeline.stage import CostModelTiming, MemoizedTiming
 from ..plan import ExecutionPlan, StagePlan
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload
@@ -112,24 +113,34 @@ def plan_het_baseline(
 ) -> Optional[BaselineResult]:
     """Best workload-balanced uniform-precision plan across orderings."""
     best: Optional[Tuple[float, ExecutionPlan, int]] = None
+    # One timing memo across all orderings: identical (gpu, tp) stage
+    # groups recur between orderings, so unit layer costs are shared.
+    timing = MemoizedTiming(
+        CostModelTiming(cost_model=cost_model, spec=spec)
+    )
+    omega_zero = np.zeros((spec.num_layers, len(bit_choices)))
     for ordering in candidate_orderings(
         cluster, enable_tp=enable_tp, max_orderings=max_orderings
     ):
         mb = microbatch or default_microbatch(workload.batch, len(ordering))
+        # The planning problem carries *every* bitwidth's cost/memory
+        # tensors, so it is loop-invariant in `bits`: build it once per
+        # ordering instead of once per (ordering, bits).
+        problem = build_problem(
+            spec,
+            cluster,
+            ordering,
+            workload,
+            cost_model,
+            omega_layers=omega_zero,
+            eta=mb,
+            xi=mb,
+            bit_choices=tuple(sorted(bit_choices)),
+            group_size=1,
+            bit_kv=bit_kv,
+            timing=timing,
+        )
         for bits in sorted(bit_choices, reverse=True):
-            problem = build_problem(
-                spec,
-                cluster,
-                ordering,
-                workload,
-                cost_model,
-                omega_layers=np.zeros((spec.num_layers, len(bit_choices))),
-                eta=mb,
-                xi=mb,
-                bit_choices=tuple(sorted(bit_choices)),
-                group_size=1,
-                bit_kv=bit_kv,
-            )
             k = tuple(sorted(bit_choices)).index(bits)
             # Phase-unaware balancing: split on prefill speed only.
             speeds = [1.0 / max(problem.l_pre[0, j, k], 1e-12) for j in

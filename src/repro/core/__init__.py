@@ -9,12 +9,24 @@ from .enumeration import (
 )
 from .exhaustive import brute_force_solve
 from .heuristic import bitwidth_transfer
-from .ilp import ILPSolution, solve_adabits, solve_partition_ilp
+from .ilp import (
+    ILPSolution,
+    solve_adabits,
+    solve_partition_ilp,
+    solve_partition_lp_relaxation,
+)
 from .planner import (
     CandidateStat,
     PlannerResult,
     SplitQuantPlanner,
     solution_to_plan,
+)
+from .search import (
+    CandidateSearchEngine,
+    SearchOutcome,
+    SearchStats,
+    analytic_lower_bound,
+    mckp_lp_min_cost,
 )
 
 __all__ = [
@@ -31,6 +43,12 @@ __all__ = [
     "ILPSolution",
     "solve_adabits",
     "solve_partition_ilp",
+    "solve_partition_lp_relaxation",
+    "CandidateSearchEngine",
+    "SearchOutcome",
+    "SearchStats",
+    "analytic_lower_bound",
+    "mckp_lp_min_cost",
     "CandidateStat",
     "PlannerResult",
     "SplitQuantPlanner",

@@ -43,6 +43,17 @@ class PlannerConfig:
     #: Ablation: plan with phase-blind costs (prefill ratios for both
     #: phases), disabling the paper's phase-aware partitioning.
     phase_blind: bool = False
+    #: Worker threads for candidate solving in the search engine; 1 keeps
+    #: the solve loop serial.  The chosen plan is bit-identical either way
+    #: (deterministic reduction on (score, enumeration index)).
+    parallelism: int = 1
+    #: Skip candidates whose admissible lower bound proves they cannot
+    #: enter the verified top-k.  Never changes the chosen plan.
+    prune: bool = True
+    #: Lower-bound family for pruning: "auto" picks "lp" (exact-MILP LP
+    #: relaxation) for the ILP backend and "analytic" (MCKP + structural
+    #: bounds) for the heuristic; "none" disables bounding entirely.
+    bound: str = "auto"
     seed: int = 0
 
     def __post_init__(self):
@@ -56,3 +67,9 @@ class PlannerConfig:
             raise ValueError("group_size must be positive")
         if self.time_limit_s <= 0:
             raise ValueError("time_limit_s must be positive")
+        if self.parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        if self.bound not in ("auto", "lp", "analytic", "none"):
+            raise ValueError(
+                "bound must be one of 'auto', 'lp', 'analytic', 'none'"
+            )

@@ -10,7 +10,7 @@ bitwidth) memory, per-group quality indicators, per-stage constants
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..hardware.gpus import GPUSpec
 from ..hardware.interconnect import LinkSpec
 from ..models.architectures import ModelSpec
 from ..models import layers as L
-from ..pipeline.stage import CostModelTiming
+from ..pipeline.stage import CostModelTiming, TimingSource
 from ..simgpu import roofline
 from ..workloads.spec import BatchWorkload
 
@@ -179,6 +179,87 @@ def group_indicator(
     return out
 
 
+@dataclass
+class ProblemInvariants:
+    """Everything about a candidate subproblem that does NOT depend on
+    the micro-batch pair ``(eta, xi)``.
+
+    The planner sweeps a grid of micro-batch pairs per (ordering, KV
+    bitwidth); the memory table, grouped indicator, stage capacities and
+    inter-stage links are identical across that whole grid.  The search
+    engine materializes these once per (ordering, bit_kv) and specializes
+    only the eta/xi-dependent arrays per candidate — the arrays here are
+    shared read-only between candidates (and solver threads), never
+    mutated.
+    """
+
+    ordering: Tuple[StageGroup, ...]
+    bit_choices: Tuple[int, ...]
+    group_sizes: Tuple[int, ...]
+    #: mem[g, k]: weights + KV reservation of group g at bits k.
+    mem: np.ndarray
+    #: omega[g, k]: grouped variance indicator.
+    omega: np.ndarray
+    #: Raw per-stage capacity before eta-dependent deductions.
+    cap_base: np.ndarray
+    #: Inter-stage links (n_stages - 1 of them).
+    links: Tuple[LinkSpec, ...]
+
+
+def problem_invariants(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    ordering: Sequence[StageGroup],
+    workload: BatchWorkload,
+    omega_layers: np.ndarray,
+    bit_choices: Sequence[int],
+    group_size: int = 1,
+    bit_kv: int = 16,
+) -> ProblemInvariants:
+    """Precompute the (eta, xi)-independent parts of a subproblem."""
+    ordering = tuple(ordering)
+    n_stages = len(ordering)
+    bit_choices = tuple(bit_choices)
+    group_sizes = group_layers(spec.num_layers, group_size)
+    gs = np.array(group_sizes, dtype=float)
+
+    mem_model = MemoryCostModel(
+        spec=spec,
+        batch=workload.batch,
+        context=workload.context_len,
+        bit_kv=bit_kv,
+        chunk_tokens=workload.chunk_tokens,
+    )
+    mem = np.zeros((len(group_sizes), len(bit_choices)))
+    for k, b in enumerate(bit_choices):
+        per_layer = mem_model.layer_bytes(b)
+        mem[:, k] = gs * per_layer
+
+    omega = group_indicator(omega_layers, group_sizes)
+
+    cap_base = np.array(
+        [float(sg.capacity_bytes) for sg in ordering], dtype=float
+    )
+
+    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
+    links = tuple(
+        cluster.link_between(
+            by_id[ordering[j].device_ids[0]],
+            by_id[ordering[j + 1].device_ids[0]],
+        )
+        for j in range(n_stages - 1)
+    )
+    return ProblemInvariants(
+        ordering=ordering,
+        bit_choices=bit_choices,
+        group_sizes=group_sizes,
+        mem=mem,
+        omega=omega,
+        cap_base=cap_base,
+        links=links,
+    )
+
+
 def build_problem(
     spec: ModelSpec,
     cluster: ClusterSpec,
@@ -192,6 +273,8 @@ def build_problem(
     group_size: int = 1,
     bit_kv: int = 16,
     phase_blind: bool = False,
+    timing: Optional[TimingSource] = None,
+    invariants: Optional[ProblemInvariants] = None,
 ) -> PlanningProblem:
     """Materialize the planning subproblem for one candidate configuration.
 
@@ -200,17 +283,34 @@ def build_problem(
     prefill costs rescaled to the same total magnitude, so partitioning
     balances on prefill ratios alone (what encoder-oriented heterogeneous
     partitioners do, Sec. II-B).
+
+    ``timing`` lets a caller inject a (possibly memoized) timing source;
+    ``invariants`` reuses precomputed (eta, xi)-independent tensors from
+    :func:`problem_invariants`.  Both produce bit-identical problems to
+    the self-contained call — the cached values are the very floats the
+    uncached path computes.
     """
     if eta <= 0 or xi <= 0:
         raise ValueError("micro-batch sizes must be positive")
     ordering = tuple(ordering)
     n_stages = len(ordering)
     bit_choices = tuple(bit_choices)
-    group_sizes = group_layers(spec.num_layers, group_size)
-    n_groups = len(group_sizes)
+    if invariants is None:
+        invariants = problem_invariants(
+            spec,
+            cluster,
+            ordering,
+            workload,
+            omega_layers,
+            bit_choices,
+            group_size=group_size,
+            bit_kv=bit_kv,
+        )
+    group_sizes = invariants.group_sizes
     n_bits = len(bit_choices)
 
-    timing = CostModelTiming(cost_model=cost_model, spec=spec)
+    if timing is None:
+        timing = CostModelTiming(cost_model=cost_model, spec=spec)
     chunk = workload.chunk_len
     avg_ctx = workload.prompt_len + workload.output_len // 2
 
@@ -230,19 +330,8 @@ def build_problem(
     l_pre = gs[:, None, None] * unit_pre[None, :, :]
     l_dec = gs[:, None, None] * unit_dec[None, :, :]
 
-    mem_model = MemoryCostModel(
-        spec=spec,
-        batch=workload.batch,
-        context=workload.context_len,
-        bit_kv=bit_kv,
-        chunk_tokens=workload.chunk_tokens,
-    )
-    mem = np.zeros((n_groups, n_bits))
-    for k, b in enumerate(bit_choices):
-        per_layer = mem_model.layer_bytes(b)
-        mem[:, k] = gs * per_layer
-
-    omega = group_indicator(omega_layers, group_sizes)
+    mem = invariants.mem
+    omega = invariants.omega
 
     const_pre = np.zeros(n_stages)
     const_dec = np.zeros(n_stages)
@@ -251,23 +340,19 @@ def build_problem(
     const_pre[-1] += roofline.lm_head_time(ordering[-1].gpu, spec, eta)
     const_dec[-1] += roofline.lm_head_time(ordering[-1].gpu, spec, xi)
 
-    capacity = np.zeros(n_stages)
     ws = activation_workspace_bytes(spec, eta, min(chunk, workload.context_len))
-    for j, sg in enumerate(ordering):
-        capacity[j] = sg.capacity_bytes - ws
+    capacity = invariants.cap_base - ws
     capacity[0] -= embedding_memory_bytes(spec, eta)
     if n_stages > 1:
         capacity[-1] -= spec.lm_head_elements * L.FP16_BYTES
 
-    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
     comm_pre = np.zeros(max(n_stages - 1, 0))
     comm_dec = np.zeros(max(n_stages - 1, 0))
-    for j in range(n_stages - 1):
-        link: LinkSpec = cluster.link_between(
-            by_id[ordering[j].device_ids[0]], by_id[ordering[j + 1].device_ids[0]]
-        )
-        comm_pre[j] = link.transfer_time(L.hidden_state_bytes(spec, eta, chunk))
-        comm_dec[j] = link.transfer_time(L.hidden_state_bytes(spec, xi, 1))
+    pre_bytes = L.hidden_state_bytes(spec, eta, chunk)
+    dec_bytes = L.hidden_state_bytes(spec, xi, 1)
+    for j, link in enumerate(invariants.links):
+        comm_pre[j] = link.transfer_time(pre_bytes)
+        comm_dec[j] = link.transfer_time(dec_bytes)
 
     return PlanningProblem(
         spec=spec,

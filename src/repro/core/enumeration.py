@@ -102,10 +102,13 @@ def microbatch_candidates(
     if batch <= 0:
         raise ValueError("batch must be positive")
     if given is not None:
-        vals = sorted({v for v in given if 1 <= v <= batch})
+        vals = sorted({int(v) for v in given if 1 <= v <= batch})
         if not vals:
             raise ValueError("no valid micro-batch candidate")
-        return tuple(vals)
+        # The cap applies to user-given sets too: enumeration cost is
+        # quadratic in this list, so an oversized `given` must be pruned
+        # the same way the derived power-of-two set is (largest first).
+        return tuple(vals[-max_candidates:])
     cands: List[int] = []
     v = 1
     while v <= batch:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -25,26 +26,46 @@ from scipy.sparse import lil_matrix
 
 from .costs import PlanningProblem
 
+#: Re-entrancy state for :func:`_silenced_stdout`.  The search engine may
+#: run several HiGHS solves concurrently; naive per-thread ``dup2`` juggling
+#: races (one thread can "restore" another thread's devnull as the real
+#: stdout and permanently swallow fd 1), so redirection is reference-counted
+#: under a lock: the first solver in redirects, the last one out restores.
+_silence_lock = threading.Lock()
+_silence_depth = 0
+_silence_saved_fd: Optional[int] = None
+_silence_devnull = None
+
 
 @contextlib.contextmanager
 def _silenced_stdout():
-    """Mute HiGHS's C-level debug chatter during a solve.
+    """Mute HiGHS's C-level debug chatter during a solve (thread-safe).
 
     Some HiGHS builds print internal diagnostics straight to fd 1, which
     scipy's ``disp=False`` cannot suppress.
     """
+    global _silence_depth, _silence_saved_fd, _silence_devnull
+    with _silence_lock:
+        if _silence_depth == 0:
+            try:
+                _silence_saved_fd = os.dup(1)
+            except OSError:  # exotic environments without a real fd 1
+                _silence_saved_fd = None
+            if _silence_saved_fd is not None:
+                _silence_devnull = open(os.devnull, "wb")
+                os.dup2(_silence_devnull.fileno(), 1)
+        _silence_depth += 1
     try:
-        stdout_fd = os.dup(1)
-    except OSError:  # exotic environments without a real fd 1
-        yield
-        return
-    try:
-        with open(os.devnull, "wb") as devnull:
-            os.dup2(devnull.fileno(), 1)
         yield
     finally:
-        os.dup2(stdout_fd, 1)
-        os.close(stdout_fd)
+        with _silence_lock:
+            _silence_depth -= 1
+            if _silence_depth == 0 and _silence_saved_fd is not None:
+                os.dup2(_silence_saved_fd, 1)
+                os.close(_silence_saved_fd)
+                _silence_saved_fd = None
+                _silence_devnull.close()
+                _silence_devnull = None
 
 
 @dataclass(frozen=True)
@@ -71,19 +92,18 @@ def _zidx(problem: PlanningProblem, g: int, j: int, k: int) -> int:
     return (g * problem.n_stages + j) * problem.n_bits + k
 
 
-def solve_partition_ilp(
+def _build_milp(
     problem: PlanningProblem,
-    theta: float = 10.0,
-    quality_budget: Optional[float] = None,
-    time_limit_s: float = 60.0,
+    theta: float,
+    quality_budget: Optional[float],
     latency_objective: bool = True,
-) -> Optional[ILPSolution]:
-    """Solve one planning subproblem; ``None`` when infeasible.
+) -> Tuple[np.ndarray, List[LinearConstraint], np.ndarray, Bounds]:
+    """Assemble objective (4) + constraints (5)-(16) for one subproblem.
 
-    ``latency_objective=False`` yields the *adabits* problem: minimize the
-    quality indicator only (the latency epigraphs are dropped).
+    Shared between the exact branch-and-bound solve and the LP relaxation
+    the search engine uses as an admissible pruning bound — both must see
+    bit-identical matrices for the bound to be sound.
     """
-    t0 = time.perf_counter()
     G, N, K = problem.n_groups, problem.n_stages, problem.n_bits
     n = problem.workload.output_len
     nz, i_pre, i_dec, i_d = _var_layout(problem)
@@ -207,13 +227,34 @@ def solve_partition_ilp(
     if problem.comm_pre.size:
         lb[i_pre] = float(problem.comm_pre.max())
         lb[i_dec] = float(problem.comm_dec.max())
+    return c, constraints, integrality, Bounds(lb, ub_v)
+
+
+def solve_partition_ilp(
+    problem: PlanningProblem,
+    theta: float = 10.0,
+    quality_budget: Optional[float] = None,
+    time_limit_s: float = 60.0,
+    latency_objective: bool = True,
+) -> Optional[ILPSolution]:
+    """Solve one planning subproblem; ``None`` when infeasible.
+
+    ``latency_objective=False`` yields the *adabits* problem: minimize the
+    quality indicator only (the latency epigraphs are dropped).
+    """
+    t0 = time.perf_counter()
+    G, N, K = problem.n_groups, problem.n_stages, problem.n_bits
+    nz, _, _, _ = _var_layout(problem)
+    c, constraints, integrality, bounds = _build_milp(
+        problem, theta, quality_budget, latency_objective
+    )
 
     with _silenced_stdout():
         res = milp(
             c,
             constraints=constraints,
             integrality=integrality,
-            bounds=Bounds(lb, ub_v),
+            bounds=bounds,
             options={"time_limit": time_limit_s, "mip_rel_gap": 1e-4},
         )
     solve_time = time.perf_counter() - t0
@@ -252,4 +293,43 @@ def solve_adabits(
         quality_budget=quality_budget,
         time_limit_s=time_limit_s,
         latency_objective=False,
+    )
+
+
+def solve_partition_lp_relaxation(
+    problem: PlanningProblem,
+    theta: float = 10.0,
+    quality_budget: Optional[float] = None,
+    time_limit_s: float = 60.0,
+) -> Optional[float]:
+    """LP relaxation of the partition MILP: an admissible score bound.
+
+    Every feasible integer assignment scores
+    ``latency + theta * quality  =  c @ z  +  sum(const_pre) +
+    sum(comm_pre)`` (the epigraph variables are tight at a minimizer and
+    the prefill constants/communication enter the score but not the
+    objective vector), so the relaxation's optimum plus those constants
+    lower-bounds the score of *any* solution a per-candidate solve can
+    return.  Returns ``inf`` when the relaxation is provably infeasible
+    (the integer problem then is too) and ``None`` when no bound could
+    be computed (e.g. the LP hit the time limit) — callers must not
+    prune on ``None``.
+    """
+    c, constraints, integrality, bounds = _build_milp(
+        problem, theta, quality_budget, latency_objective=True
+    )
+    with _silenced_stdout():
+        res = milp(
+            c,
+            constraints=constraints,
+            integrality=np.zeros_like(integrality),
+            bounds=bounds,
+            options={"time_limit": time_limit_s},
+        )
+    if res.status == 2:  # LP infeasible => the ILP is infeasible as well
+        return float("inf")
+    if res.x is None:
+        return None
+    return float(res.fun) + float(
+        problem.const_pre.sum() + problem.comm_pre.sum()
     )

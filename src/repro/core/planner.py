@@ -27,19 +27,14 @@ from .costs import PlanningProblem, StageGroup, build_problem
 from .enumeration import candidate_orderings, microbatch_candidates
 from .heuristic import bitwidth_transfer
 from .ilp import ILPSolution, solve_adabits, solve_partition_ilp
+from .search import CandidateSearchEngine, CandidateStat, SearchStats
 
-
-@dataclass(frozen=True)
-class CandidateStat:
-    """Solve record for one (ordering, eta, xi) candidate."""
-
-    ordering_key: Tuple[Tuple[str, int], ...]
-    eta: int
-    xi: int
-    status: str
-    latency_s: float
-    quality: float
-    solve_time_s: float
+__all__ = [
+    "CandidateStat",
+    "PlannerResult",
+    "SplitQuantPlanner",
+    "solution_to_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +48,8 @@ class PlannerResult:
     solve_time_s: float
     candidates_tried: int
     stats: Tuple[CandidateStat, ...]
+    #: Search-engine observability (``None`` for the naive reference path).
+    search: Optional[SearchStats] = None
 
 
 def solution_to_plan(
@@ -205,7 +202,32 @@ class SplitQuantPlanner:
         return best if best is not None else top[0]
 
     def plan(self, workload: BatchWorkload) -> Optional[PlannerResult]:
-        """Plan serving of ``workload``; ``None`` when nothing fits."""
+        """Plan serving of ``workload``; ``None`` when nothing fits.
+
+        Routed through the :class:`~repro.core.search.CandidateSearchEngine`
+        (memoized costs, admissible bound pruning, optional parallel
+        solving).  The chosen plan is bit-identical to :meth:`plan_naive`.
+        """
+        t0 = time.perf_counter()
+        engine = CandidateSearchEngine(
+            self.spec,
+            self.cluster,
+            self.config,
+            self.omega_layers,
+            self.cost_model_for_kv,
+            self._solve_one,
+        )
+        outcome = engine.search(workload)
+        return self._finish(
+            outcome.ranked, outcome.stats, workload, t0, search=outcome.search
+        )
+
+    def plan_naive(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+        """The exhaustive serial reference search (no memo, bounds or pool).
+
+        Kept as the ground truth for determinism regression tests and the
+        scaling benchmark: :meth:`plan` must return an identical plan.
+        """
         cfg = self.config
         t0 = time.perf_counter()
         orderings = candidate_orderings(
@@ -225,19 +247,18 @@ class SplitQuantPlanner:
                 int,
             ]
         ] = []
-        min_bits = min(cfg.bit_choices)
+        # Loop-invariant feasibility floor: even all-min-bits weights must
+        # fit in a candidate ordering's total capacity.
+        from ..models.layers import weight_storage_bytes
+
+        min_weights = self.spec.num_layers * weight_storage_bytes(
+            self.spec, min(cfg.bit_choices)
+        )
 
         for bit_kv in kv_choices:
             cost_model = self.cost_model_for_kv(bit_kv)
             for ordering in orderings:
-                # Cheap prune: even all-min-bits weights must fit in total.
-                total_cap = sum(sg.capacity_bytes for sg in ordering)
-                from ..models.layers import weight_storage_bytes
-
-                min_weights = self.spec.num_layers * weight_storage_bytes(
-                    self.spec, min_bits
-                )
-                if min_weights > total_cap:
+                if min_weights > sum(sg.capacity_bytes for sg in ordering):
                     continue
                 adabits_start: Optional[ILPSolution] = None
                 for eta in mbs:
@@ -292,13 +313,25 @@ class SplitQuantPlanner:
                              eta, xi, bit_kv)
                         )
 
-        if not candidates:
+        candidates.sort(key=lambda c: c[0])  # stable: ties keep loop order
+        return self._finish(candidates, stats, workload, t0, search=None)
+
+    def _finish(
+        self,
+        ranked,
+        stats: Sequence[CandidateStat],
+        workload: BatchWorkload,
+        t0: float,
+        search: Optional[SearchStats] = None,
+    ) -> Optional[PlannerResult]:
+        """Shared tail of both search paths: verify, expand, report."""
+        cfg = self.config
+        if not ranked:
             return None
-        candidates.sort(key=lambda c: c[0])
-        best = candidates[0]
-        if cfg.verify_top_k > 1 and len(candidates) > 1:
+        best = ranked[0]
+        if cfg.verify_top_k > 1 and len(ranked) > 1:
             best = self._verify_candidates(
-                candidates[: cfg.verify_top_k], workload
+                ranked[: cfg.verify_top_k], workload
             )
         _, sol, ordering, group_sizes, eta, xi, bit_kv = best
         plan = solution_to_plan(
@@ -315,4 +348,5 @@ class SplitQuantPlanner:
             solve_time_s=time.perf_counter() - t0,
             candidates_tried=len(stats),
             stats=tuple(stats),
+            search=search,
         )

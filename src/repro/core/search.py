@@ -1,0 +1,631 @@
+"""The candidate search engine: memoized, bound-pruned, parallel solving.
+
+``SplitQuantPlanner.plan()`` must enumerate device orderings x (eta, xi)
+micro-batch pairs x KV bitwidths and run an exact MILP (or the
+bitwidth-transfer heuristic) per candidate inside the paper's 60 s solver
+budget (Table VI).  Done naively that is a serial quadruple loop that
+rebuilds every cost tensor from scratch and solves every candidate even
+when it provably cannot win — and planner wall-clock is the dominant cost
+of the whole Fig. 9-12 benchmark sweep.  This module is the fast path.
+Four layers:
+
+1. **Memoized cost kernels** — unit layer costs depend only on
+   ``(gpu, tp, bits, micro-batch, chunk/context, bit_kv)``, so identical
+   ``(gpu, tp)`` stage groups across orderings and repeated ``(eta, xi)``
+   pairs hit a :class:`~repro.pipeline.stage.MemoizedTiming` cache, and
+   the (eta, xi)-independent tensors of each subproblem (memory table,
+   grouped indicator, capacities, links) are materialized once per
+   (ordering, bit_kv) via :func:`~repro.core.costs.problem_invariants`.
+
+2. **Admissible lower-bound pruning** — before paying a solve, each
+   candidate gets a cheap analytic bound (multiple-choice-knapsack LP
+   relaxation of the bit assignment + pipeline structural terms) and,
+   when the exact ILP backend is in use, the LP relaxation of the full
+   MILP.  Both bounds never exceed the score of any feasible solution,
+   so skipping candidates whose bound exceeds the incumbent provably
+   cannot change the chosen plan.  Candidates are solved best-bound-first
+   so the incumbent tightens early.
+
+3. **Parallel candidate solving** — solves fan out over a
+   ``concurrent.futures`` thread pool (``PlannerConfig.parallelism``,
+   default serial) while problem construction and bound evaluation stay
+   on the coordinating thread; the reduction sorts on
+   ``(score, enumeration index)`` so the chosen plan is bit-identical to
+   the serial search regardless of completion order.
+
+4. **Observability** — every candidate's fate (solved / pruned /
+   infeasible), its bound, cache hit rates and wall-vs-cumulative solve
+   time are reported through :class:`SearchStats` /
+   :class:`CandidateStat` and surfaced on ``PlannerResult``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..models.layers import weight_storage_bytes
+from ..pipeline.stage import CostModelTiming, MemoizedTiming
+from ..workloads.spec import BatchWorkload
+from .config import PlannerConfig
+from .costs import (
+    PlanningProblem,
+    StageGroup,
+    build_problem,
+    problem_invariants,
+)
+from .enumeration import candidate_orderings, microbatch_candidates
+from .ilp import ILPSolution, solve_adabits, solve_partition_lp_relaxation
+
+
+@dataclass(frozen=True)
+class CandidateStat:
+    """Solve record for one (ordering, eta, xi, bit_kv) candidate."""
+
+    ordering_key: Tuple[Tuple[str, int], ...]
+    eta: int
+    xi: int
+    status: str
+    latency_s: float
+    quality: float
+    solve_time_s: float
+    #: Admissible lower bound on the candidate's score (0 when unused).
+    bound_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Aggregate observability counters for one search."""
+
+    #: Candidates enumerated (after the total-capacity ordering skip).
+    enumerated: int
+    #: Candidates actually handed to the ILP / heuristic backend.
+    solved: int
+    #: Candidates skipped because their lower bound beat the incumbent.
+    pruned: int
+    #: Solved candidates the backend declared infeasible.
+    infeasible: int
+    #: Unit-cost timing cache hits / misses across all KV cost models.
+    cache_hits: int
+    cache_misses: int
+    #: Exact-MILP LP relaxations evaluated for pruning.
+    lp_bounds: int
+    #: Adabits warm-start solves performed (heuristic mode).
+    warm_starts: int
+    #: Mean (bound / score) over solved candidates — 1.0 is a perfect
+    #: bound, small values mean the bound is loose and prunes little.
+    mean_bound_tightness: float
+    #: Wall-clock of the whole search vs. cumulative backend solve time.
+    wall_time_s: float
+    cum_solve_time_s: float
+    #: Time spent computing bounds (analytic + LP).
+    bound_time_s: float
+    parallelism: int
+
+
+#: Relative slack applied before pruning on a bound, so solver-side float
+#: tolerance in the LP relaxation can never evict a candidate that ties
+#: the incumbent (pruning stays conservative, parity stays exact).
+_PRUNE_REL_SLACK = 1e-7
+_PRUNE_ABS_SLACK = 1e-9
+
+
+def mckp_lp_min_cost(
+    cost: np.ndarray, weight: np.ndarray, budget: float
+) -> float:
+    """LP bound of the multiple-choice knapsack: minimize total cost with
+    every group picking one choice, subject to total weight <= budget.
+
+    Classic Sinha-Zoltners/Zemel construction: per group keep the Pareto
+    frontier of (weight, cost) choices, take its convex hull, then greedily
+    buy weight reduction from the globally cheapest hull segments until the
+    budget is met (fractionally on the last segment).  Returns ``inf`` when
+    even the maximal reduction cannot meet the budget — the integer problem
+    is then infeasible too.
+    """
+    base = 0.0
+    need = -float(budget)
+    segments: List[Tuple[float, float]] = []  # (cost per unit weight, dw)
+    for g in range(cost.shape[0]):
+        pts = sorted(zip(weight[g].tolist(), cost[g].tolist()))
+        # Pareto filter: scanning weight ascending, keep strictly
+        # improving (decreasing) costs.
+        frontier: List[Tuple[float, float]] = []
+        best_c = float("inf")
+        for w, c in pts:
+            if c < best_c:
+                frontier.append((w, c))
+                best_c = c
+        frontier.reverse()  # weight desc, cost asc; [0] = min-cost choice
+        w0, c0 = frontier[0]
+        base += c0
+        need += w0
+        # Lower convex hull: slopes (dc / d(-w)) must increase.
+        hull = [(w0, c0)]
+        for w, c in frontier[1:]:
+            while len(hull) >= 2:
+                w1, c1 = hull[-1]
+                w2, c2 = hull[-2]
+                if (c - c1) * (w2 - w1) <= (c1 - c2) * (w1 - w):
+                    hull.pop()
+                else:
+                    break
+            hull.append((w, c))
+        for (wa, ca), (wb, cb) in zip(hull, hull[1:]):
+            segments.append(((cb - ca) / (wa - wb), wa - wb))
+    if need <= 0:
+        return base
+    segments.sort()
+    lb = base
+    for slope, dw in segments:
+        take = dw if dw < need else need
+        lb += slope * take
+        need -= take
+        if need <= 0:
+            return lb
+    return float("inf")
+
+
+def analytic_lower_bound(
+    problem: PlanningProblem,
+    theta: float,
+    quality_budget: Optional[float],
+) -> float:
+    """Cheap admissible lower bound on a candidate's score.
+
+    Relaxes stage memory to a single total-capacity knapsack, drops
+    contiguity, and lets every group take its best device — then rebuilds
+    the analytic latency formula from per-term minima:
+
+    * sum terms via the MCKP LP bound (quality budget and total memory
+      each constrain how many groups can take their fastest bitwidth);
+    * bottleneck terms via the max of the mean bound (max >= sum / stages),
+      the per-stage "at least one group" bound, the pigeonhole bound
+      (some stage holds >= ceil(G/N) groups), and inter-stage
+      communication floors.
+
+    Every term lower-bounds the corresponding component of
+    :meth:`PlanningProblem.latency_estimate` for *any* feasible
+    assignment, so the total never exceeds the score any solve returns.
+    """
+    n = problem.workload.output_len
+    n_stages = problem.n_stages
+    cap_total = float(problem.capacity.sum())
+    cmin_pre = problem.l_pre.min(axis=1)  # (G, K): best device per bit
+    cmin_dec = problem.l_dec.min(axis=1)
+
+    def group_sum_bound(cmin: np.ndarray) -> float:
+        best = float(cmin.min(axis=1).sum())
+        if quality_budget is not None:
+            best = max(
+                best, mckp_lp_min_cost(cmin, problem.omega, quality_budget)
+            )
+        best = max(best, mckp_lp_min_cost(cmin, problem.mem, cap_total))
+        return best
+
+    s_pre = float(problem.const_pre.sum()) + group_sum_bound(cmin_pre)
+    s_dec = float(problem.const_dec.sum()) + group_sum_bound(cmin_dec)
+    comm_pre_max = (
+        float(problem.comm_pre.max()) if problem.comm_pre.size else 0.0
+    )
+    comm_dec_max = (
+        float(problem.comm_dec.max()) if problem.comm_dec.size else 0.0
+    )
+    per_stage_pre = problem.const_pre + problem.l_pre.min(axis=(0, 2))
+    per_stage_dec = problem.const_dec + problem.l_dec.min(axis=(0, 2))
+    m_heavy = -(-problem.n_groups // n_stages)
+    heavy_pre = float(np.sort(problem.l_pre.min(axis=(1, 2)))[:m_heavy].sum())
+    heavy_dec = float(np.sort(problem.l_dec.min(axis=(1, 2)))[:m_heavy].sum())
+    pre_b = max(
+        comm_pre_max, s_pre / n_stages, float(per_stage_pre.max()), heavy_pre
+    )
+    dec_b = max(
+        comm_dec_max, s_dec / n_stages, float(per_stage_dec.max()), heavy_dec
+    )
+    prefill = (
+        s_pre
+        + float(problem.comm_pre.sum())
+        + (problem.prefill_jobs - 1) * pre_b
+    )
+    round_trip = s_dec + float(problem.comm_dec.sum())
+    decode = (n - 1) * max(problem.mu_dec * dec_b, round_trip)
+    bound = prefill + decode
+    if quality_budget is None and theta > 0.0:
+        quality_lb = max(
+            float(problem.omega.min(axis=1).sum()),
+            mckp_lp_min_cost(problem.omega, problem.mem, cap_total),
+        )
+        bound += theta * quality_lb
+    return bound
+
+
+@dataclass
+class _Candidate:
+    """One enumerated (ordering, eta, xi, bit_kv) configuration."""
+
+    index: int  # global enumeration index (the serial tie-break key)
+    kv_index: int
+    ord_index: int
+    ordering: Tuple[StageGroup, ...]
+    bit_kv: int
+    eta: int
+    xi: int
+    problem: PlanningProblem
+    bound: float = float("-inf")  # analytic admissible bound
+    lp_bound: Optional[float] = None  # exact-MILP LP relaxation (lazy)
+    sol: Optional[ILPSolution] = None
+    status: str = "pending"
+    score: float = float("inf")
+
+    @property
+    def best_bound(self) -> float:
+        if self.lp_bound is not None:
+            return max(self.bound, self.lp_bound)
+        return self.bound
+
+
+#: Ranked candidate tuple, shaped like the planner's verify list:
+#: (score, solution, ordering, group_sizes, eta, xi, bit_kv).
+RankedCandidate = Tuple[
+    float,
+    ILPSolution,
+    Tuple[StageGroup, ...],
+    Tuple[int, ...],
+    int,
+    int,
+    int,
+]
+
+
+@dataclass
+class SearchOutcome:
+    """Everything ``plan()`` needs from one search."""
+
+    #: Solved candidates sorted by (score, enumeration index) — the same
+    #: order a stable sort of the exhaustive serial search produces.
+    ranked: List[RankedCandidate]
+    #: Per-candidate records in enumeration order.
+    stats: List[CandidateStat]
+    search: SearchStats
+
+
+class CandidateSearchEngine:
+    """Enumerate, bound, prune and solve planner candidates.
+
+    The engine owns enumeration and scheduling; the *meaning* of a solve
+    stays with the caller through two callbacks: ``cost_model_for_kv``
+    (lazily fitted per KV bitwidth) and ``solve_one(problem, warm_start)``
+    (the ILP or heuristic backend).  Guarantee: for any configuration, the
+    ranked output equals the exhaustive serial search's stable
+    score-sorted candidate list restricted to its top, so the chosen plan
+    is bit-identical — pruning only ever removes candidates whose
+    admissible bound proves they cannot enter the verified top-k.
+    """
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        cluster: ClusterSpec,
+        config: PlannerConfig,
+        omega_layers: np.ndarray,
+        cost_model_for_kv: Callable[[int], LatencyCostModel],
+        solve_one: Callable[
+            [PlanningProblem, Optional[ILPSolution]], Optional[ILPSolution]
+        ],
+    ) -> None:
+        self.spec = spec
+        self.cluster = cluster
+        self.config = config
+        self.omega_layers = omega_layers
+        self.cost_model_for_kv = cost_model_for_kv
+        self.solve_one = solve_one
+        self._timings: List[MemoizedTiming] = []
+
+    # -- enumeration ---------------------------------------------------
+
+    def _enumerate(
+        self, workload: BatchWorkload
+    ) -> Tuple[List[_Candidate], Dict[Tuple[int, int], List[_Candidate]]]:
+        cfg = self.config
+        orderings = candidate_orderings(
+            self.cluster,
+            enable_tp=cfg.enable_tp,
+            max_orderings=cfg.max_orderings,
+        )
+        mbs = microbatch_candidates(workload.batch, cfg.microbatch_candidates)
+        kv_choices = cfg.kv_bit_choices or (cfg.bit_kv,)
+        # Loop-invariant feasibility floor: even all-min-bits weights must
+        # fit in the cluster's total capacity (hoisted out of the loops).
+        min_weights = self.spec.num_layers * weight_storage_bytes(
+            self.spec, min(cfg.bit_choices)
+        )
+        candidates: List[_Candidate] = []
+        groups: Dict[Tuple[int, int], List[_Candidate]] = {}
+        for kv_i, bit_kv in enumerate(kv_choices):
+            cost_model = self.cost_model_for_kv(bit_kv)
+            timing = MemoizedTiming(
+                CostModelTiming(cost_model=cost_model, spec=self.spec)
+            )
+            self._timings.append(timing)
+            for ord_i, ordering in enumerate(orderings):
+                if min_weights > sum(sg.capacity_bytes for sg in ordering):
+                    continue
+                inv = problem_invariants(
+                    self.spec,
+                    self.cluster,
+                    ordering,
+                    workload,
+                    self.omega_layers,
+                    cfg.bit_choices,
+                    group_size=cfg.group_size,
+                    bit_kv=bit_kv,
+                )
+                for eta in mbs:
+                    for xi in mbs:
+                        if cfg.tie_microbatches and xi != eta:
+                            continue
+                        problem = build_problem(
+                            self.spec,
+                            self.cluster,
+                            ordering,
+                            workload,
+                            cost_model,
+                            self.omega_layers,
+                            eta,
+                            xi,
+                            cfg.bit_choices,
+                            group_size=cfg.group_size,
+                            bit_kv=bit_kv,
+                            phase_blind=cfg.phase_blind,
+                            timing=timing,
+                            invariants=inv,
+                        )
+                        cand = _Candidate(
+                            index=len(candidates),
+                            kv_index=kv_i,
+                            ord_index=ord_i,
+                            ordering=tuple(ordering),
+                            bit_kv=bit_kv,
+                            eta=eta,
+                            xi=xi,
+                            problem=problem,
+                        )
+                        candidates.append(cand)
+                        groups.setdefault((kv_i, ord_i), []).append(cand)
+        return candidates, groups
+
+    # -- warm starts (heuristic mode) ----------------------------------
+
+    def _warm_start_for(
+        self,
+        cand: _Candidate,
+        group: List[_Candidate],
+        attempts: Dict[int, Optional[ILPSolution]],
+    ) -> Optional[ILPSolution]:
+        """Replicate the serial loop's adabits warm-start protocol.
+
+        The serial search tries ``solve_adabits`` at each candidate of an
+        ordering (in enumeration order) until one succeeds, then reuses
+        that single solution for the rest of the ordering.  To stay
+        bit-identical under out-of-order solving, the warm start for a
+        candidate is the first successful attempt at an index <= its own,
+        with every attempt memoized so each is made exactly once.
+        """
+        cfg = self.config
+        self._warm_starts_done = getattr(self, "_warm_starts_done", 0)
+        for member in group:
+            if member.index > cand.index:
+                break
+            if member.index not in attempts:
+                attempts[member.index] = solve_adabits(
+                    member.problem,
+                    quality_budget=cfg.quality_budget,
+                    time_limit_s=cfg.time_limit_s,
+                )
+                self._warm_starts_done += 1
+            if attempts[member.index] is not None:
+                return attempts[member.index]
+        return None
+
+    # -- the search ----------------------------------------------------
+
+    def search(self, workload: BatchWorkload) -> SearchOutcome:
+        cfg = self.config
+        t0 = time.perf_counter()
+        theta_eff = 0.0 if cfg.quality_budget is not None else cfg.theta
+        bound_mode = cfg.bound
+        if bound_mode == "auto":
+            bound_mode = "analytic" if cfg.use_heuristic else "lp"
+        prune = cfg.prune and bound_mode != "none"
+
+        candidates, groups = self._enumerate(workload)
+        bound_time = 0.0
+        lp_bounds = 0
+        if prune:
+            tb = time.perf_counter()
+            for cand in candidates:
+                cand.bound = analytic_lower_bound(
+                    cand.problem, theta_eff, cfg.quality_budget
+                )
+            bound_time += time.perf_counter() - tb
+
+        # Best-bound-first tightens the incumbent early; enumeration order
+        # breaks ties so serial replay is reproducible.
+        order = (
+            sorted(candidates, key=lambda c: (c.bound, c.index))
+            if prune
+            else list(candidates)
+        )
+
+        # The incumbent threshold is the k-th best solved score: anything
+        # whose admissible bound exceeds it cannot enter the verified
+        # top-k, so skipping it cannot change the final plan.
+        k_keep = cfg.verify_top_k if cfg.verify_top_k > 1 else 1
+        solved_scores: List[float] = []
+
+        def threshold() -> float:
+            if len(solved_scores) < k_keep:
+                return float("inf")
+            return sorted(solved_scores)[k_keep - 1]
+
+        def try_prune(cand: _Candidate) -> bool:
+            nonlocal bound_time, lp_bounds
+            if not prune:
+                return False
+            if cand.bound == float("inf"):
+                return True  # provably infeasible
+            thr = threshold()
+            if thr == float("inf"):
+                return False
+            slack = _PRUNE_ABS_SLACK + _PRUNE_REL_SLACK * abs(thr)
+            if cand.bound > thr + slack:
+                return True
+            if bound_mode == "lp":
+                if cand.lp_bound is None:
+                    tb = time.perf_counter()
+                    lp = solve_partition_lp_relaxation(
+                        cand.problem,
+                        theta=theta_eff,
+                        quality_budget=cfg.quality_budget,
+                        time_limit_s=cfg.time_limit_s,
+                    )
+                    bound_time += time.perf_counter() - tb
+                    lp_bounds += 1
+                    # None (no bound available) must never prune.
+                    cand.lp_bound = float("-inf") if lp is None else lp
+                if cand.lp_bound == float("inf"):
+                    return True  # LP infeasible => ILP infeasible
+                if cand.lp_bound > thr + slack:
+                    return True
+            return False
+
+        warm_attempts: Dict[Tuple[int, int], Dict[int, Optional[ILPSolution]]]
+        warm_attempts = {}
+        self._warm_starts_done = 0
+
+        def record(cand: _Candidate, sol: Optional[ILPSolution]) -> None:
+            cand.sol = sol
+            if sol is None:
+                cand.status = "infeasible"
+                return
+            cand.status = "solved"
+            score = sol.latency_s + cfg.theta * sol.quality
+            if cfg.quality_budget is not None:
+                score = sol.latency_s
+            cand.score = score
+            solved_scores.append(score)
+
+        def prep(cand: _Candidate) -> Optional[ILPSolution]:
+            """Pre-solve work that must stay on the coordinating thread."""
+            if not cfg.use_heuristic:
+                return None
+            key = (cand.kv_index, cand.ord_index)
+            return self._warm_start_for(
+                cand, groups[key], warm_attempts.setdefault(key, {})
+            )
+
+        if cfg.parallelism <= 1:
+            for cand in order:
+                if try_prune(cand):
+                    cand.status = "pruned"
+                    continue
+                record(cand, self.solve_one(cand.problem, prep(cand)))
+        else:
+            with ThreadPoolExecutor(max_workers=cfg.parallelism) as pool:
+                i = 0
+                while i < len(order):
+                    batch = []
+                    while i < len(order) and len(batch) < cfg.parallelism:
+                        cand = order[i]
+                        i += 1
+                        if try_prune(cand):
+                            cand.status = "pruned"
+                            continue
+                        warm = prep(cand)
+                        batch.append(
+                            (
+                                cand,
+                                pool.submit(
+                                    self.solve_one, cand.problem, warm
+                                ),
+                            )
+                        )
+                    for cand, fut in batch:
+                        record(cand, fut.result())
+
+        # Deterministic reduction: a stable sort on (score, enumeration
+        # index) reproduces the serial search's stable score sort exactly.
+        solved = [c for c in candidates if c.status == "solved"]
+        solved.sort(key=lambda c: (c.score, c.index))
+        ranked: List[RankedCandidate] = [
+            (
+                c.score,
+                c.sol,
+                c.ordering,
+                c.problem.group_sizes,
+                c.eta,
+                c.xi,
+                c.bit_kv,
+            )
+            for c in solved
+        ]
+
+        stats: List[CandidateStat] = []
+        for c in candidates:
+            key = tuple(sg.key() for sg in c.ordering)
+            bound_s = max(c.best_bound, 0.0)
+            if c.status == "solved":
+                stats.append(
+                    CandidateStat(
+                        key,
+                        c.eta,
+                        c.xi,
+                        c.sol.status,
+                        c.sol.latency_s,
+                        c.sol.quality,
+                        c.sol.solve_time_s,
+                        bound_s=bound_s,
+                    )
+                )
+            else:
+                stats.append(
+                    CandidateStat(
+                        key, c.eta, c.xi, c.status, 0.0, 0.0, 0.0,
+                        bound_s=bound_s,
+                    )
+                )
+
+        tightness = [
+            c.best_bound / c.score
+            for c in solved
+            if np.isfinite(c.best_bound) and c.score > 0
+        ]
+        search_stats = SearchStats(
+            enumerated=len(candidates),
+            solved=len(solved),
+            pruned=sum(1 for c in candidates if c.status == "pruned"),
+            infeasible=sum(
+                1 for c in candidates if c.status == "infeasible"
+            ),
+            cache_hits=sum(t.hits for t in self._timings),
+            cache_misses=sum(t.misses for t in self._timings),
+            lp_bounds=lp_bounds,
+            warm_starts=self._warm_starts_done,
+            mean_bound_tightness=(
+                float(np.mean(tightness)) if tightness else 0.0
+            ),
+            wall_time_s=time.perf_counter() - t0,
+            cum_solve_time_s=sum(
+                c.sol.solve_time_s for c in candidates if c.sol is not None
+            ),
+            bound_time_s=bound_time,
+            parallelism=cfg.parallelism,
+        )
+        return SearchOutcome(ranked=ranked, stats=stats, search=search_stats)

@@ -48,13 +48,21 @@ class PhaseRegression:
     phase: str
     coef: np.ndarray
 
+    def __post_init__(self) -> None:
+        # Scalar coefficient tuple: `predict` sits on the planner's hottest
+        # path (every candidate cost tensor and every simulator dry-run goes
+        # through it), where allocating feature arrays and dispatching a
+        # BLAS dot for 4-5 terms costs more than the arithmetic itself.
+        self._c = tuple(float(x) for x in self.coef)
+
     def predict(self, batch: float, seq: float) -> float:
-        feats = (
-            prefill_features(batch, seq)
-            if self.phase == "prefill"
-            else decode_features(batch, seq)
-        )
-        return float(max(feats @ self.coef, 0.0))
+        v, s = float(batch), float(seq)
+        c = self._c
+        if self.phase == "prefill":
+            val = c[0] + c[1] * v + c[2] * s + c[3] * (v * s) + c[4] * (v * s * s)
+        else:
+            val = c[0] + c[1] * v + c[2] * (v * s) + c[3] * s
+        return val if val > 0.0 else 0.0
 
 
 def fit_phase(samples: Sequence[LatencySample], phase: str) -> PhaseRegression:

@@ -19,6 +19,7 @@ from ..models.architectures import ModelSpec, get_model
 from ..models import layers as L
 from ..pipeline import simulate_plan
 from ..plan import ExecutionPlan
+from ..quant.sensitivity import normalized_indicator_table
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload
 
@@ -158,12 +159,18 @@ def compare_policies(
         microbatch_candidates=microbatch_grid(workload.batch),
         time_limit_s=20.0,
     )
-    planner = SplitQuantPlanner(spec, cluster, cfg, cost_model=cm)
+    # Derive the quality budget *before* building the planner: constructing
+    # twice re-derives the indicator table (and would refit any lazily
+    # built cost models) for nothing.
+    omega = normalized_indicator_table(spec, cfg.bit_choices)
     if quality_match_uniform:
         ref_bits = uni.bits if uni is not None else min(BITS)
-        budget = planner.uniform_quality(ref_bits)
+        k = list(cfg.bit_choices).index(ref_bits)
+        budget = float(omega[:, k].sum())
         cfg = dataclasses.replace(cfg, quality_budget=budget)
-        planner = SplitQuantPlanner(spec, cluster, cfg, cost_model=cm)
+    planner = SplitQuantPlanner(
+        spec, cluster, cfg, cost_model=cm, omega_layers=omega
+    )
     result = planner.plan(workload)
 
     return ServingComparison(

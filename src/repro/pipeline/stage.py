@@ -94,6 +94,58 @@ class CostModelTiming:
 
 
 @dataclass
+class MemoizedTiming:
+    """A memo layer over any :class:`TimingSource` (the planner's cache).
+
+    Unit layer costs depend only on ``(phase, gpu model, bits, batch,
+    seq/context, tp degree)``, yet the candidate search evaluates the same
+    tuples over and over: identical ``(gpu, tp)`` stage groups recur across
+    device orderings, and each ``(eta, xi)`` micro-batch pair revisits every
+    bitwidth.  Wrapping the timing source in a dict makes repeat lookups
+    free *and* bit-identical to the uncached call — the cached value is the
+    very float the source returned — so a memoized search stays exactly
+    reproducible against the naive one.
+
+    Not thread-safe by design: the search engine builds problems on the
+    coordinating thread only and hands workers fully-materialized cost
+    tensors.
+    """
+
+    source: TimingSource
+
+    def __post_init__(self) -> None:
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def prefill(
+        self, gpu: GPUSpec, bits: int, batch: int, seq: int, tp: int = 1
+    ) -> float:
+        key = ("p", gpu.name, bits, batch, seq, tp)
+        val = self._cache.get(key)
+        if val is None:
+            val = self.source.prefill(gpu, bits, batch, seq, tp)
+            self._cache[key] = val
+            self.misses += 1
+        else:
+            self.hits += 1
+        return val
+
+    def decode(
+        self, gpu: GPUSpec, bits: int, batch: int, context: int, tp: int = 1
+    ) -> float:
+        key = ("d", gpu.name, bits, batch, context, tp)
+        val = self._cache.get(key)
+        if val is None:
+            val = self.source.decode(gpu, bits, batch, context, tp)
+            self._cache[key] = val
+            self.misses += 1
+        else:
+            self.hits += 1
+        return val
+
+
+@dataclass
 class StageExecutionModel:
     """Timing of one pipeline stage under a plan."""
 

@@ -1,0 +1,248 @@
+"""Tests for the candidate search engine (bounds, pruning, parity)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlannerConfig,
+    SplitQuantPlanner,
+    analytic_lower_bound,
+    mckp_lp_min_cost,
+    solve_partition_ilp,
+    solve_partition_lp_relaxation,
+)
+from repro.core.costs import build_problem
+from repro.core.enumeration import candidate_orderings
+from repro.workloads import BatchWorkload
+
+FAST = PlannerConfig(
+    group_size=5,
+    max_orderings=2,
+    microbatch_candidates=(4, 8),
+    time_limit_s=10.0,
+    verify_top_k=1,
+)
+
+
+def _assert_same_plan(a, b):
+    assert a is not None and b is not None
+    assert a.plan == b.plan
+    assert a.predicted_latency_s == b.predicted_latency_s
+    assert a.predicted_quality == b.predicted_quality
+
+
+# -- determinism regression: engine == naive serial search ---------------
+
+
+@pytest.mark.parametrize("use_heuristic", [False, True])
+def test_engine_matches_naive_small(opt13b, small_cluster, cost_model_13b,
+                                    small_workload, use_heuristic):
+    cfg = dataclasses.replace(FAST, use_heuristic=use_heuristic,
+                              verify_top_k=2)
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    _assert_same_plan(planner.plan(small_workload),
+                      planner.plan_naive(small_workload))
+
+
+def test_engine_matches_naive_cluster5(opt30b, cluster5):
+    """Second model/cluster pair, hard-budget mode (Sec. VI-C)."""
+    base = PlannerConfig(group_size=8, max_orderings=3,
+                         microbatch_candidates=(4, 8), time_limit_s=10.0,
+                         verify_top_k=1)
+    seed_planner = SplitQuantPlanner(opt30b, cluster5, base)
+    budget = seed_planner.uniform_quality(4)
+    cfg = dataclasses.replace(base, quality_budget=budget)
+    planner = SplitQuantPlanner(
+        opt30b, cluster5, cfg, cost_model=seed_planner.cost_model,
+        omega_layers=seed_planner.omega_layers,
+    )
+    wl = BatchWorkload(batch=16, prompt_len=256, output_len=32)
+    _assert_same_plan(planner.plan(wl), planner.plan_naive(wl))
+
+
+def test_engine_parallel_matches_serial(opt13b, small_cluster,
+                                        cost_model_13b, small_workload):
+    serial = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                               cost_model=cost_model_13b)
+    par_cfg = dataclasses.replace(FAST, parallelism=4)
+    par = SplitQuantPlanner(opt13b, small_cluster, par_cfg,
+                            cost_model=cost_model_13b)
+    _assert_same_plan(par.plan(small_workload), serial.plan(small_workload))
+
+
+def test_engine_prune_off_matches(opt13b, small_cluster, cost_model_13b,
+                                  small_workload):
+    on = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                           cost_model=cost_model_13b)
+    off_cfg = dataclasses.replace(FAST, prune=False)
+    off = SplitQuantPlanner(opt13b, small_cluster, off_cfg,
+                            cost_model=cost_model_13b)
+    r_on, r_off = on.plan(small_workload), off.plan(small_workload)
+    _assert_same_plan(r_on, r_off)
+    assert r_off.search.pruned == 0
+    assert r_off.search.solved == r_off.search.enumerated - \
+        r_off.search.infeasible
+
+
+# -- admissibility: bounds never exceed a solved candidate's score -------
+
+
+def _fuzz_problems(opt13b, cost_model_13b, small_cluster, n=4):
+    rng = np.random.default_rng(7)
+    omega = np.abs(rng.normal(size=(opt13b.num_layers, 4)))
+    omega = np.sort(omega, axis=1)[:, ::-1].copy()  # decreasing in bits
+    orderings = candidate_orderings(small_cluster, max_orderings=2)
+    problems = []
+    for i in range(n):
+        wl = BatchWorkload(
+            batch=int(rng.choice([8, 16])),
+            prompt_len=int(rng.choice([128, 256])),
+            output_len=int(rng.choice([16, 32])),
+        )
+        eta = int(rng.choice([4, 8]))
+        xi = int(rng.choice([4, 8]))
+        problems.append(build_problem(
+            opt13b, small_cluster, orderings[i % len(orderings)], wl,
+            cost_model_13b, omega, eta, xi, (3, 4, 8, 16), group_size=8,
+        ))
+    return problems
+
+
+@pytest.mark.parametrize("theta,budget", [(10.0, None), (0.0, 30.0)])
+def test_bounds_admissible_on_fuzzed_problems(opt13b, cost_model_13b,
+                                              small_cluster, theta, budget):
+    for problem in _fuzz_problems(opt13b, cost_model_13b, small_cluster):
+        sol = solve_partition_ilp(problem, theta=theta,
+                                  quality_budget=budget, time_limit_s=10.0)
+        if sol is None:
+            continue
+        score = sol.latency_s + theta * sol.quality
+        analytic = analytic_lower_bound(problem, theta, budget)
+        assert analytic <= score * (1 + 1e-6) + 1e-9, (analytic, score)
+        lp = solve_partition_lp_relaxation(problem, theta=theta,
+                                           quality_budget=budget)
+        assert lp is not None
+        assert lp <= score * (1 + 1e-6) + 1e-9, (lp, score)
+
+
+def test_lp_relaxation_flags_infeasible(opt13b, cost_model_13b,
+                                        small_cluster):
+    problem = _fuzz_problems(opt13b, cost_model_13b, small_cluster, n=1)[0]
+    # Impossible quality budget: even all-16-bit quality exceeds it.
+    assert solve_partition_lp_relaxation(
+        problem, theta=0.0, quality_budget=-1.0
+    ) == float("inf")
+
+
+# -- the MCKP LP bound ---------------------------------------------------
+
+
+def _mckp_exact(cost, weight, budget):
+    """Integer optimum by brute force (tiny instances only)."""
+    from itertools import product
+
+    best = float("inf")
+    G, K = cost.shape
+    for picks in product(range(K), repeat=G):
+        w = sum(weight[g, k] for g, k in enumerate(picks))
+        if w <= budget:
+            best = min(best, sum(cost[g, k] for g, k in enumerate(picks)))
+    return best
+
+
+def test_mckp_lp_lower_bounds_integer_optimum():
+    rng = np.random.default_rng(3)
+    for _ in range(25):
+        cost = rng.uniform(0.1, 5.0, size=(3, 4))
+        weight = rng.uniform(0.1, 5.0, size=(3, 4))
+        budget = float(rng.uniform(1.0, 10.0))
+        lp = mckp_lp_min_cost(cost, weight, budget)
+        exact = _mckp_exact(cost, weight, budget)
+        if exact == float("inf"):
+            # LP may still be feasible fractionally, but if it is inf the
+            # integer problem must be too (checked the other way below).
+            continue
+        assert lp <= exact + 1e-9
+
+
+def test_mckp_lp_infeasible_when_weights_cannot_fit():
+    cost = np.array([[1.0, 2.0]])
+    weight = np.array([[5.0, 6.0]])
+    assert mckp_lp_min_cost(cost, weight, 4.0) == float("inf")
+    assert mckp_lp_min_cost(cost, weight, 5.0) == 1.0
+
+
+def test_mckp_lp_unconstrained_picks_min_cost():
+    cost = np.array([[3.0, 1.0], [2.0, 5.0]])
+    weight = np.array([[1.0, 2.0], [1.0, 2.0]])
+    assert mckp_lp_min_cost(cost, weight, 100.0) == pytest.approx(3.0)
+
+
+# -- observability -------------------------------------------------------
+
+
+def test_search_stats_surface_on_result(opt13b, small_cluster,
+                                        cost_model_13b, small_workload):
+    planner = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    s = res.search
+    assert s is not None
+    assert s.enumerated == res.candidates_tried == len(res.stats)
+    assert s.enumerated == s.solved + s.pruned + s.infeasible
+    assert s.cache_hits > 0  # repeated (eta, xi) shapes must hit the memo
+    assert s.cache_misses > 0
+    assert s.wall_time_s > 0
+    assert s.parallelism == 1
+    statuses = {st.status for st in res.stats}
+    assert statuses <= {"optimal", "pruned", "infeasible", "heuristic"} | {
+        st.status for st in res.stats if st.status.startswith("status-")
+    }
+    # Naive path reports no search stats.
+    assert planner.plan_naive(small_workload).search is None
+
+
+def test_search_prunes_on_budget_config(opt13b, small_cluster,
+                                        cost_model_13b, small_workload):
+    """Hard-budget mode: the LP bound is tight enough to prune."""
+    base = SplitQuantPlanner(opt13b, small_cluster, FAST,
+                             cost_model=cost_model_13b)
+    cfg = dataclasses.replace(
+        FAST, quality_budget=base.uniform_quality(4),
+        microbatch_candidates=(2, 4, 8),
+    )
+    planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
+                                cost_model=cost_model_13b)
+    res = planner.plan(small_workload)
+    assert res is not None
+    s = res.search
+    assert s.pruned > 0
+    assert 0.0 < s.mean_bound_tightness <= 1.0 + 1e-6
+    pruned_stats = [st for st in res.stats if st.status == "pruned"]
+    assert len(pruned_stats) == s.pruned
+    assert all(st.bound_s > 0 for st in pruned_stats)
+    _assert_same_plan(res, planner.plan_naive(small_workload))
+
+
+def test_config_validates_search_knobs():
+    with pytest.raises(ValueError, match="parallelism"):
+        PlannerConfig(parallelism=0)
+    with pytest.raises(ValueError, match="bound"):
+        PlannerConfig(bound="magic")
+
+
+def test_microbatch_given_capped_and_deduped():
+    from repro.core import microbatch_candidates
+
+    # Oversized user-given sets are deduped, sorted and capped like the
+    # derived power-of-two set (largest kept).
+    assert microbatch_candidates(64, (1, 2, 4, 8, 16, 32, 64)) == \
+        (8, 16, 32, 64)
+    assert microbatch_candidates(64, (16, 8, 16, 8)) == (8, 16)
+    assert microbatch_candidates(
+        64, (1, 2, 4, 8, 16), max_candidates=2) == (8, 16)
+    with pytest.raises(ValueError):
+        microbatch_candidates(4, (8, 16))
