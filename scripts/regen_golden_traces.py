@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures in tests/data/.
+
+Run after an *intentional* change to the discrete-event simulator or the
+degraded-recovery mirror, then review the fixture diffs like any other
+code change:
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+``tests/test_golden_traces.py`` compares these files byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.golden_utils import regenerate_all  # noqa: E402
+
+
+def main() -> int:
+    for name, path in regenerate_all().items():
+        print(f"wrote {path.relative_to(REPO)}  ({name})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

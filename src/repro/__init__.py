@@ -34,13 +34,16 @@ from .hardware import (
 )
 from .models import ModelSpec, get_model, list_models
 from .pipeline import (
+    DegradedSimResult,
     PipelineSimResult,
     render_gantt,
+    simulate_degraded,
     simulate_plan,
     simulate_plan_variable,
     trace_plan,
 )
-from .plan import ExecutionPlan, StagePlan, uniform_plan
+from .plan import ExecutionPlan, InfeasibleError, StagePlan, uniform_plan
+from .runtime import FaultPlan, FaultSpec, PipelineEngine
 from .serialization import load_plan, save_plan
 from .workloads import (
     BatchWorkload,
@@ -63,16 +66,22 @@ __all__ = [
     "ModelSpec",
     "get_model",
     "list_models",
+    "DegradedSimResult",
     "PipelineSimResult",
     "render_gantt",
+    "simulate_degraded",
     "simulate_plan",
     "simulate_plan_variable",
     "trace_plan",
     "load_plan",
     "save_plan",
     "ExecutionPlan",
+    "InfeasibleError",
     "StagePlan",
     "uniform_plan",
+    "FaultPlan",
+    "FaultSpec",
+    "PipelineEngine",
     "BatchWorkload",
     "VariableBatchWorkload",
     "WorkloadConfig",

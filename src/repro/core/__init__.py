@@ -19,6 +19,8 @@ from .planner import (
     CandidateStat,
     PlannerResult,
     SplitQuantPlanner,
+    degrade_execution_plan,
+    reduced_cluster,
     solution_to_plan,
 )
 from .search import (

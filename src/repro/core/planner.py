@@ -17,9 +17,15 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..costmodel.latency import LatencyCostModel
+from ..costmodel.memory import (
+    MemoryCostModel,
+    activation_workspace_bytes,
+    embedding_memory_bytes,
+)
 from ..hardware.cluster import ClusterSpec
 from ..models.architectures import ModelSpec
-from ..plan import ExecutionPlan, StagePlan
+from ..models import layers as _L
+from ..plan import ExecutionPlan, InfeasibleError, StagePlan, degrade_plan
 from ..quant.sensitivity import normalized_indicator_table
 from ..workloads.spec import BatchWorkload
 from .config import PlannerConfig
@@ -33,8 +39,104 @@ __all__ = [
     "CandidateStat",
     "PlannerResult",
     "SplitQuantPlanner",
+    "degrade_execution_plan",
+    "reduced_cluster",
     "solution_to_plan",
 ]
+
+
+def reduced_cluster(
+    cluster: ClusterSpec, surviving_device_ids: Sequence[int]
+) -> ClusterSpec:
+    """The cluster restricted to the surviving devices.
+
+    The degrade-and-replan entry point plans against this after GPU
+    failures.  Raises :class:`InfeasibleError` when nothing survives.
+    """
+    surviving = set(surviving_device_ids)
+    devices = tuple(d for d in cluster.devices if d.device_id in surviving)
+    if not devices:
+        raise InfeasibleError(
+            f"cluster {cluster.name!r}: no surviving devices"
+        )
+    return ClusterSpec(
+        name=f"{cluster.name}-degraded",
+        devices=devices,
+        cross_node_link=cluster.cross_node_link,
+    )
+
+
+def degrade_execution_plan(
+    plan: ExecutionPlan,
+    surviving_device_ids: Sequence[int],
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> ExecutionPlan:
+    """Re-partition a plan over the surviving devices, memory-checked.
+
+    Keeps the per-layer bitwidths fixed (the quantized weights already
+    exist; re-quantization is offline work) and re-partitions under the
+    paper's memory cost model: per-layer cost is weights + KV reservation
+    at the plan's ``bit_kv``, and each group's capacity is its usable
+    HBM minus the activation workspace and (for the first/last group) the
+    embedding / LM-head residency — matching
+    :func:`repro.pipeline.simulator.check_plan_memory`, which the result
+    is validated against.  Raises :class:`InfeasibleError` when no
+    memory-respecting contiguous partition exists.
+    """
+    from ..pipeline.simulator import check_plan_memory
+    from ..simgpu.memory import OutOfMemoryError
+
+    mem = MemoryCostModel(
+        spec=spec,
+        batch=workload.batch,
+        context=workload.context_len,
+        bit_kv=plan.bit_kv,
+        chunk_tokens=workload.chunk_len,
+    )
+    by_id = {d.device_id: d for d in cluster.devices}
+    surviving = [d for d in surviving_device_ids if d in by_id]
+    groups = [
+        st
+        for st in plan.stages
+        if all(d in surviving for d in st.device_ids)
+    ]
+    if not groups:
+        raise InfeasibleError(
+            f"no surviving stage groups (survivors={sorted(surviving)})"
+        )
+    overhead = activation_workspace_bytes(
+        spec, plan.prefill_microbatch, min(workload.chunk_len, workload.context_len)
+    )
+    capacity: Dict[int, int] = {}
+    for g_idx, g in enumerate(groups):
+        group_cap = sum(by_id[d].gpu.usable_mem_bytes for d in g.device_ids)
+        group_cap -= overhead
+        if g_idx == 0:
+            group_cap -= embedding_memory_bytes(
+                spec, plan.prefill_microbatch
+            )
+        if g_idx == len(groups) - 1 and len(groups) > 1:
+            group_cap -= spec.lm_head_elements * _L.FP16_BYTES
+        # Spread the group's effective capacity over its devices so
+        # degrade_plan's per-group sums reproduce it.
+        per_dev, rem = divmod(max(group_cap, 0), len(g.device_ids))
+        for k, d in enumerate(g.device_ids):
+            capacity[d] = per_dev + (rem if k == 0 else 0)
+    new_plan = degrade_plan(
+        plan,
+        surviving,
+        capacity_bytes=capacity,
+        layer_cost=lambda i, b: mem.layer_bytes(b),
+    )
+    try:
+        check_plan_memory(new_plan, cluster, spec, workload)
+    except OutOfMemoryError as exc:
+        raise InfeasibleError(
+            f"degraded plan fails the memory model: {exc}"
+        ) from exc
+    return new_plan
 
 
 @dataclass(frozen=True)
@@ -221,6 +323,37 @@ class SplitQuantPlanner:
         return self._finish(
             outcome.ranked, outcome.stats, workload, t0, search=outcome.search
         )
+
+    def replan(
+        self,
+        workload: BatchWorkload,
+        surviving_device_ids: Sequence[int],
+    ) -> PlannerResult:
+        """Full re-plan on the reduced cluster of surviving GPUs.
+
+        Unlike :func:`degrade_execution_plan` (which keeps per-layer
+        bitwidths fixed so an in-flight generation stays bit-exact), this
+        runs the complete joint optimization from scratch over the
+        survivors — bitwidths, partition and micro-batching may all
+        change.  Intended for the offline path: the next batch after a
+        permanent GPU loss.  Raises :class:`InfeasibleError` when no plan
+        fits on the survivors.
+        """
+        reduced = reduced_cluster(self.cluster, surviving_device_ids)
+        planner = SplitQuantPlanner(
+            self.spec,
+            reduced,
+            self.config,
+            cost_model=self.cost_model,
+            omega_layers=self.omega_layers,
+        )
+        result = planner.plan(workload)
+        if result is None:
+            raise InfeasibleError(
+                "no feasible plan on surviving devices "
+                f"{sorted(surviving_device_ids)}"
+            )
+        return result
 
     def plan_naive(self, workload: BatchWorkload) -> Optional[PlannerResult]:
         """The exhaustive serial reference search (no memo, bounds or pool).

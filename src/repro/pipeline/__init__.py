@@ -1,9 +1,11 @@
 """Pipeline serving: discrete-event engine, stage timing, simulator."""
 
-from .events import EventLoop, Server
+from .events import EventLoop, FaultEvent, Server
 from .simulator import (
+    DegradedSimResult,
     PipelineSimResult,
     check_plan_memory,
+    simulate_degraded,
     simulate_plan,
     simulate_plan_variable,
 )
@@ -17,9 +19,12 @@ from .stage import (
 
 __all__ = [
     "EventLoop",
+    "FaultEvent",
     "Server",
+    "DegradedSimResult",
     "PipelineSimResult",
     "check_plan_memory",
+    "simulate_degraded",
     "simulate_plan",
     "simulate_plan_variable",
     "Timeline",

@@ -58,6 +58,26 @@ class EventLoop:
         return self._processed
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """A failure (or recovery trigger) observed at a point in sim time.
+
+    The discrete-event mirror of the runtime's
+    :class:`repro.runtime.faults.FaultRecord`: ``kind`` is the injected
+    fault class (``kill``/``slow``/``drop``), ``stage`` the pipeline stage
+    it hit, ``phase``/``step`` when it fired, and ``action`` what the
+    simulated engine did about it (``replan``/``rebuild``/``absorb``).
+    """
+
+    time_s: float
+    kind: str
+    stage: int
+    phase: str
+    step: int
+    action: str = ""
+    detail: str = ""
+
+
 @dataclass
 class Server:
     """A serial FIFO resource (one pipeline stage's compute).

@@ -15,8 +15,8 @@ hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,8 +27,11 @@ from ..models import layers as L
 from ..plan import ExecutionPlan
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload, VariableBatchWorkload
-from .events import EventLoop, Server
+from .events import EventLoop, FaultEvent, Server
 from .stage import RooflineTiming, StageExecutionModel, TimingSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.faults import FaultPlan
 
 #: Bytes of sampled token ids fed back from LM head to the first stage.
 _FEEDBACK_BYTES_PER_REQ = 4
@@ -268,6 +271,169 @@ def simulate_plan(
         stage_busy_s=tuple(s.busy_time for s in servers),
         stage_memory_bytes=stage_mem,
         events_processed=loop.processed,
+    )
+
+
+@dataclass(frozen=True)
+class DegradedSimResult:
+    """Outcome of simulating a batch through a plan *with faults*.
+
+    Mirrors the fault-tolerant runtime's recovery semantics in discrete
+    event time so planned-vs-executed degradation can be cross-validated:
+    each fault splits the run into segments (the partial attempt lost to
+    the fault, then the replayed attempt on the degraded plan), and the
+    makespan is the sum of segment spans plus detection overheads.
+    """
+
+    makespan_s: float
+    total_tokens: int
+    #: Recovery attempts (replan or rebuild), as the runtime counts them.
+    replans: int
+    #: Plan per attempt, initial plan first — comparable 1:1 against
+    #: :attr:`repro.runtime.engine.PipelineEngine.plan_history`.
+    plans: Tuple[ExecutionPlan, ...]
+    #: Per-segment simulation results (lost attempts, then the final one).
+    segments: Tuple[PipelineSimResult, ...]
+    fault_events: Tuple[FaultEvent, ...]
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def degradation_overhead_s(self) -> float:
+        """Extra wall-clock versus running the final plan fault-free."""
+        return self.makespan_s - self.segments[-1].makespan_s
+
+
+def _surviving_devices(
+    plan: ExecutionPlan, dead: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Device ids of ``plan`` minus ``dead`` — identical expression to the
+    runtime engine's, so plan sequences line up bit-for-bit."""
+    dead_set = set(dead)
+    return tuple(
+        d
+        for st in plan.stages
+        for d in st.device_ids
+        if d not in dead_set
+    )
+
+
+def simulate_degraded(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    fault_plan: "FaultPlan",
+    timing: Optional[TimingSource] = None,
+    check_memory: bool = True,
+    detection_overhead_s: float = 0.0,
+    replan: Optional[
+        Callable[[ExecutionPlan, Tuple[int, ...]], ExecutionPlan]
+    ] = None,
+) -> DegradedSimResult:
+    """Simulate serving under an injected :class:`FaultPlan`.
+
+    The mirror of :meth:`repro.runtime.engine.PipelineEngine.generate`'s
+    recovery loop: ``kill`` faults cost the partial attempt up to the last
+    committed token, a detection overhead, then a full replayed attempt on
+    the degraded plan (the runtime re-prefills and replays the committed
+    prefix, so the recovered attempt is a from-scratch run); ``drop``
+    faults rebuild the same plan; ``slow`` faults are absorbed as a pure
+    delay.  Raises :class:`repro.plan.InfeasibleError` (via ``replan``)
+    when no degraded plan fits — exactly when the runtime would.
+
+    The partial span of a fault hitting prefill is approximated by a full
+    prefill pass (conservative: the wavefront is mostly through by the
+    time a late stage dies).
+    """
+    if replan is None:
+        from ..core.planner import degrade_execution_plan
+
+        def replan(
+            cur: ExecutionPlan, surviving: Tuple[int, ...]
+        ) -> ExecutionPlan:
+            return degrade_execution_plan(
+                cur, surviving, cluster, spec, workload
+            )
+
+    current = plan
+    plans: List[ExecutionPlan] = [plan]
+    segments: List[PipelineSimResult] = []
+    events: List[FaultEvent] = []
+    t_acc = 0.0
+    replans = 0
+    for fs in fault_plan.in_order():
+        if fs.kind == "slow":
+            # Absorbed by recv retry/backoff: a pure serial delay.
+            t_acc += fs.delay_s
+            events.append(
+                FaultEvent(
+                    time_s=t_acc,
+                    kind="slow",
+                    stage=fs.stage,
+                    phase=fs.phase,
+                    step=fs.step,
+                    action="absorb",
+                    detail=f"delay {fs.delay_s:.3g}s",
+                )
+            )
+            continue
+        if fs.stage >= current.num_stages:
+            continue  # the degraded pipeline no longer has this stage
+        if fs.phase == "decode" and fs.step >= workload.output_len:
+            continue  # beyond the generation horizon: never fires
+        committed = 0 if fs.phase == "prefill" else fs.step
+        lost_wl = replace(workload, output_len=max(committed, 1))
+        lost = simulate_plan(
+            current, cluster, spec, lost_wl,
+            timing=timing, check_memory=False,
+        )
+        segments.append(lost)
+        t_acc += lost.makespan_s + detection_overhead_s
+        if fs.kind == "kill":
+            dead = current.stages[fs.stage].device_ids
+            events.append(
+                FaultEvent(
+                    time_s=t_acc,
+                    kind="kill",
+                    stage=fs.stage,
+                    phase=fs.phase,
+                    step=fs.step,
+                    action="replan",
+                    detail=f"devices {dead} removed",
+                )
+            )
+            current = replan(current, _surviving_devices(current, dead))
+        else:  # drop: same devices, fresh pipeline + replay
+            events.append(
+                FaultEvent(
+                    time_s=t_acc,
+                    kind="drop",
+                    stage=fs.stage,
+                    phase=fs.phase,
+                    step=fs.step,
+                    action="rebuild",
+                )
+            )
+        replans += 1
+        plans.append(current)
+
+    final = simulate_plan(
+        current, cluster, spec, workload,
+        timing=timing, check_memory=check_memory,
+    )
+    segments.append(final)
+    return DegradedSimResult(
+        makespan_s=t_acc + final.makespan_s,
+        total_tokens=workload.total_output_tokens,
+        replans=replans,
+        plans=tuple(plans),
+        segments=tuple(segments),
+        fault_events=tuple(events),
     )
 
 

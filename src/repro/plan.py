@@ -9,7 +9,16 @@ the prefill/decode micro-batch sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class InfeasibleError(RuntimeError):
+    """No execution plan satisfies the constraints (memory/quality/devices).
+
+    Raised instead of returning a silently-wrong plan: callers asking for a
+    degraded plan after GPU failures must either get a feasible plan or
+    this explicit error — never a crash or a constraint violation.
+    """
 
 
 @dataclass(frozen=True)
@@ -164,4 +173,136 @@ def uniform_plan(
         prefill_microbatch=prefill_microbatch,
         decode_microbatch=decode_microbatch,
         bit_kv=bit_kv,
+    )
+
+
+def degrade_plan(
+    plan: ExecutionPlan,
+    surviving_device_ids: Iterable[int],
+    capacity_bytes: Optional[Dict[int, int]] = None,
+    layer_cost: Optional[Callable[[int, int], int]] = None,
+) -> ExecutionPlan:
+    """Redistribute a plan's layers over the surviving devices.
+
+    The fault-tolerant runtime calls this when stage workers die mid-batch:
+    every stage whose devices all survive keeps its device group, stages
+    touching a dead device are dropped, and the *same* per-layer bitwidth
+    sequence (quantized weights already exist — re-quantization is an
+    offline operation) is re-partitioned contiguously over the surviving
+    groups in pipeline order.  Keeping the bitwidths fixed is what makes
+    degraded generation bit-exact against the fault-free reference.
+
+    ``capacity_bytes`` maps device id to usable bytes and ``layer_cost``
+    maps ``(layer_index, bits)`` to that layer's resident bytes; when both
+    are given the partition respects the per-group memory caps.  An exact
+    suffix-feasibility table (contiguous-partition DP, cheap at these
+    sizes) guarantees a cap-respecting partition is found whenever one
+    exists, with boundaries placed as close to a capacity-proportional
+    balance as feasibility allows.  Raises :class:`InfeasibleError` when
+    no surviving group remains or the layers cannot fit.
+    """
+    surviving = set(surviving_device_ids)
+    groups: List[StagePlan] = [
+        st for st in plan.stages if all(d in surviving for d in st.device_ids)
+    ]
+    if not groups:
+        raise InfeasibleError(
+            f"no surviving stage groups (survivors={sorted(surviving)})"
+        )
+    bits = plan.bits_per_layer
+    L = len(bits)
+    G = len(groups)
+    if L < G:
+        groups = groups[:L]
+        G = L
+
+    def cost(i: int) -> float:
+        if layer_cost is not None:
+            return float(layer_cost(i, bits[i]))
+        return float(bits[i])  # proxy weight: resident bytes scale with bits
+
+    weights = [cost(i) for i in range(L)]
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+    caps: List[float]
+    if capacity_bytes is not None:
+        caps = [
+            float(sum(capacity_bytes.get(d, 0) for d in g.device_ids))
+            for g in groups
+        ]
+        total_cap = sum(caps)
+    else:
+        caps = [float("inf")] * G
+        total_cap = float(G)
+
+    def load(a: int, b: int) -> float:
+        return prefix[b] - prefix[a]
+
+    # feasible[j][i]: layers[i:] can be contiguously assigned to
+    # groups[j:] with >= 1 layer per group and per-group capacity held.
+    feasible = [[False] * (L + 1) for _ in range(G + 1)]
+    feasible[G][L] = True
+    for j in range(G - 1, -1, -1):
+        for i in range(L - 1, -1, -1):
+            for k in range(i + 1, L + 1):
+                if load(i, k) > caps[j]:
+                    break
+                if feasible[j + 1][k]:
+                    feasible[j][i] = True
+                    break
+    if not feasible[0][0]:
+        raise InfeasibleError(
+            f"{load(0, L):.3g} bytes of layers do not fit any contiguous "
+            f"partition over {G} surviving stage group(s) "
+            f"(total capacity {total_cap:.3g})"
+        )
+
+    counts: List[int] = []
+    start = 0
+    for j in range(G):
+        left = L - start
+        if j == G - 1:
+            counts.append(left)
+            start = L
+            continue
+        share = (
+            (caps[j] / total_cap)
+            if capacity_bytes is not None
+            else 1.0 / G
+        )
+        target = min(max(round(L * share), 1), left - (G - j - 1))
+        # Admissible counts: fit this group's cap and leave a feasible
+        # suffix.  Pick the admissible count closest to the balanced
+        # target (ties toward taking fewer layers here).
+        best: Optional[int] = None
+        for count in range(1, left):  # later groups still need >= 1 layer
+            if load(start, start + count) > caps[j]:
+                break
+            if not feasible[j + 1][start + count]:
+                continue
+            if best is None or abs(count - target) < abs(best - target):
+                best = count
+        assert best is not None, "DP said feasible but no admissible count"
+        counts.append(best)
+        start += best
+
+    stages: List[StagePlan] = []
+    start = 0
+    for g, count in zip(groups, counts):
+        stages.append(
+            StagePlan(
+                device_ids=g.device_ids,
+                gpu_name=g.gpu_name,
+                layer_start=start,
+                layer_bits=tuple(bits[start : start + count]),
+            )
+        )
+        start += count
+    return ExecutionPlan(
+        model_name=plan.model_name,
+        stages=tuple(stages),
+        prefill_microbatch=plan.prefill_microbatch,
+        decode_microbatch=plan.decode_microbatch,
+        bit_kv=plan.bit_kv,
     )

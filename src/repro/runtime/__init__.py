@@ -1,16 +1,40 @@
-"""Threaded master/worker runtime executing plans on TinyLM."""
+"""Threaded master/worker runtime executing plans on TinyLM.
 
-from .comm import Channel, ChannelClosed
-from .engine import GenerationResult, PipelineEngine, reference_generate
+Fault-tolerant: see :mod:`repro.runtime.faults` for the deterministic
+failure-injection model and :class:`PipelineEngine` for the
+checkpoint/degrade-and-replan recovery path.
+"""
+
+from .comm import Channel, ChannelClosed, StageFailure
+from .engine import (
+    GenerationResult,
+    PipelineEngine,
+    reference_generate,
+    tinylm_layer_bytes,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+    InjectedFault,
+)
 from .worker import RegroupMessage, StageMessage, StageWorker
 
 __all__ = [
     "Channel",
     "ChannelClosed",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
     "GenerationResult",
+    "InjectedFault",
     "PipelineEngine",
     "reference_generate",
     "RegroupMessage",
+    "StageFailure",
     "StageMessage",
     "StageWorker",
+    "tinylm_layer_bytes",
 ]

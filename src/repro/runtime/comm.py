@@ -1,21 +1,52 @@
 """Inter-stage communication channels for the threaded runtime.
 
-Thin typed wrapper over ``queue.Queue``: activation messages flow forward
-through the pipeline, a sentinel closes a channel, and receives time out
-rather than deadlock silently when a worker dies.
+Thin typed wrapper over ``queue.Queue`` with failure semantics the
+fault-tolerant engine relies on:
+
+* ``recv`` polls with exponential backoff instead of a single blocking
+  wait, re-checking the *sender's* health between polls — so a receive on
+  a channel whose producing worker died raises :class:`StageFailure`
+  carrying the worker's real exception (with the stage name), never a
+  bare ``TimeoutError`` 30 seconds later.
+* ``send`` consults an optional fault hook (see
+  :mod:`repro.runtime.faults`) that can drop a message in transit — the
+  injection point for lost-message campaigns.
+* A sentinel closes a channel; a close caused by a sender failure is
+  translated into that failure at the receiver.
 """
 
 from __future__ import annotations
 
 import queue
+import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 _CLOSE = object()
 
+#: recv() poll schedule: start fast, back off geometrically to a cap so a
+#: healthy-but-slow pipeline costs microseconds and a dead one is noticed
+#: within one poll interval of the sender dying.
+_POLL_INITIAL_S = 0.002
+_POLL_MAX_S = 0.1
+_POLL_BACKOFF = 2.0
+
 
 class ChannelClosed(RuntimeError):
-    """Receiving from a channel whose sender has shut down."""
+    """Receiving from a channel whose sender has shut down cleanly."""
+
+
+class StageFailure(RuntimeError):
+    """The sending side of a channel failed; carries the real error.
+
+    ``stage`` is the pipeline stage index of the failed sender (or -1
+    when unknown).  The worker's original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, stage: int = -1) -> None:
+        super().__init__(message)
+        self.stage = stage
 
 
 @dataclass
@@ -24,24 +55,95 @@ class Channel:
 
     name: str
     maxsize: int = 0
+    #: Stage index of the sending worker (-1 = the master / unknown).
+    sender_stage: int = -1
+    #: Returns the sender's captured exception, if it failed.
+    sender_error: Optional[Callable[[], Optional[BaseException]]] = None
+    #: Fault-injection hook: ``(phase, step, mb_id) -> drop this send?``.
+    fault_hook: Optional[Callable[[str, int, int], bool]] = None
+    #: Telemetry: messages dropped by fault injection.
+    dropped: int = 0
+    #: Telemetry: empty polls survived across all recv() calls.
+    recv_retries: int = 0
     _q: queue.Queue = field(init=False, repr=False)
 
     def __post_init__(self):
         self._q = queue.Queue(maxsize=self.maxsize)
 
+    def bind_sender(
+        self,
+        stage: int,
+        error: Callable[[], Optional[BaseException]],
+        fault_hook: Optional[Callable[[str, int, int], bool]] = None,
+    ) -> None:
+        """Attach the producing worker's identity and health probe."""
+        self.sender_stage = stage
+        self.sender_error = error
+        self.fault_hook = fault_hook
+
+    def _sender_failure(self) -> Optional[StageFailure]:
+        if self.sender_error is None:
+            return None
+        err = self.sender_error()
+        if err is None:
+            return None
+        failure = StageFailure(
+            f"channel {self.name!r}: sender stage-{self.sender_stage} "
+            f"failed: {err!r}",
+            stage=self.sender_stage,
+        )
+        failure.__cause__ = err
+        return failure
+
     def send(self, msg: Any) -> None:
+        if self.fault_hook is not None:
+            phase = getattr(msg, "phase", None)
+            if phase is not None and self.fault_hook(
+                phase, getattr(msg, "step", 0), getattr(msg, "mb_id", -1)
+            ):
+                self.dropped += 1
+                return
         self._q.put(msg)
 
     def recv(self, timeout: Optional[float] = 30.0) -> Any:
-        try:
-            msg = self._q.get(timeout=timeout)
-        except queue.Empty:
-            raise TimeoutError(
-                f"channel {self.name!r}: no message within {timeout}s"
-            ) from None
-        if msg is _CLOSE:
-            raise ChannelClosed(f"channel {self.name!r} closed")
-        return msg
+        """Receive with backoff polling and sender-health checks.
+
+        Raises :class:`StageFailure` (with the sender's real exception
+        chained) when the producing worker has died, :class:`ChannelClosed`
+        on a clean shutdown, and ``TimeoutError`` only when the sender is
+        healthy yet silent for the full ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        poll = _POLL_INITIAL_S
+        while True:
+            wait = poll
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    failure = self._sender_failure()
+                    if failure is not None:
+                        raise failure
+                    raise TimeoutError(
+                        f"channel {self.name!r}: no message within {timeout}s"
+                    ) from None
+                wait = min(poll, remaining)
+            try:
+                msg = self._q.get(timeout=wait)
+            except queue.Empty:
+                self.recv_retries += 1
+                failure = self._sender_failure()
+                if failure is not None:
+                    raise failure
+                poll = min(poll * _POLL_BACKOFF, _POLL_MAX_S)
+                continue
+            if msg is _CLOSE:
+                # A close triggered by a dying worker surfaces the real
+                # error, not the sentinel.
+                failure = self._sender_failure()
+                if failure is not None:
+                    raise failure
+                raise ChannelClosed(f"channel {self.name!r} closed")
+            return msg
 
     def close(self) -> None:
         self._q.put(_CLOSE)

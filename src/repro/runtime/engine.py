@@ -8,20 +8,50 @@ steps iterate with the autoregressive feedback at the master.
 
 Generation is greedy and bit-exact against a single-process reference on
 the same quantized weights, which the test suite asserts.
+
+Fault tolerance (offline serving on shared clusters means GPUs die
+mid-batch): the master checkpoints every fully-committed token.  When a
+stage worker fails — injected via :mod:`repro.runtime.faults` or for real
+— the engine classifies the break (worker death, hang, or a stalled
+pipeline with healthy workers), removes the dead stage's devices, asks
+the planner for a degraded plan over the survivors
+(:func:`repro.plan.degrade_plan` by default: same per-layer bitwidths,
+re-partitioned under the memory caps), rebuilds the thread pipeline, and
+*replays* the committed prefix before continuing.  Replay re-executes the
+exact reference computation (prefill, then decode steps feeding the
+committed tokens), so degraded generation stays bit-identical to the
+fault-free single-process reference.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..plan import ExecutionPlan
-from ..quality.tinylm import TinyLM
-from .comm import Channel
+from ..plan import ExecutionPlan, InfeasibleError, degrade_plan
+from ..quality.tinylm import TinyLM, TinyLMConfig
+from .comm import Channel, ChannelClosed, StageFailure
+from .faults import FaultInjector, FaultPlan, FaultRecord
 from .worker import RegroupMessage, StageMessage, StageWorker
+
+#: Bytes per float64 parameter (TinyLM runs in numpy float64).
+_F64 = 8
+
+
+def tinylm_layer_bytes(config: TinyLMConfig, bits: int) -> int:
+    """Resident bytes of one TinyLM decoder layer quantized at ``bits``.
+
+    The runtime's analogue of the paper's per-layer weight term: linear
+    weights at the layer's bitwidth plus the FP layer norms.  Used as the
+    ``layer_cost`` for memory-capped degraded replanning.
+    """
+    h, f = config.hidden, config.ffn
+    linear = 4 * h * h + 2 * h * f
+    norms = 4 * h
+    return int(linear * bits / 8) + norms * _F64
 
 
 @dataclass(frozen=True)
@@ -33,6 +63,12 @@ class GenerationResult:
     decode_time_s: float
     stage_busy_s: Tuple[float, ...]
     microbatch: int
+    #: Recovery attempts performed during this generation.
+    replans: int = 0
+    #: One record per recovery action, in order.
+    fault_events: Tuple[FaultRecord, ...] = ()
+    #: The plan the final (successful) attempt executed under.
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def total_time_s(self) -> float:
@@ -55,10 +91,37 @@ def reference_generate(
     return np.concatenate(out, axis=1)
 
 
+@dataclass
+class _Checkpoint:
+    """Master-side committed state: one (B,) token array per step."""
+
+    committed: List[np.ndarray] = field(default_factory=list)
+
+    def commit(self, tokens: np.ndarray) -> None:
+        self.committed.append(tokens)
+
+    @property
+    def steps(self) -> int:
+        return len(self.committed)
+
+
 class PipelineEngine:
     """Distributed (threaded) inference runtime for one execution plan."""
 
-    def __init__(self, model: TinyLM, plan: ExecutionPlan) -> None:
+    def __init__(
+        self,
+        model: TinyLM,
+        plan: ExecutionPlan,
+        fault_plan: Optional[FaultPlan] = None,
+        replan: Optional[
+            Callable[[ExecutionPlan, Tuple[int, ...]], ExecutionPlan]
+        ] = None,
+        device_capacity_bytes: Optional[Dict[int, int]] = None,
+        max_replans: int = 2,
+        recv_timeout_s: float = 30.0,
+        stall_timeout_s: float = 1.0,
+        worker_poll_s: float = 0.05,
+    ) -> None:
         if plan.num_layers != model.config.layers:
             raise ValueError(
                 f"plan has {plan.num_layers} layers, model has "
@@ -68,26 +131,73 @@ class PipelineEngine:
         #: The quantized model (kept for reference checks and the LM head).
         self.model = model.quantized(list(plan.bits_per_layer))
         self.config = model.config
+        self.injector = FaultInjector(fault_plan)
+        self.device_capacity_bytes = device_capacity_bytes
+        self.max_replans = max_replans
+        self.recv_timeout_s = recv_timeout_s
+        self.stall_timeout_s = stall_timeout_s
+        self.worker_poll_s = worker_poll_s
+        self._replan_fn = replan or self._default_replan
+        #: Every plan this engine has executed under, initial plan first.
+        self.plan_history: List[ExecutionPlan] = [plan]
+        #: Every recovery action ever taken (across generate() calls).
+        self.fault_records: List[FaultRecord] = []
+        #: Busy seconds of workers retired by rebuilds.
+        self.retired_busy_s: float = 0.0
+        self._expected_bits = plan.bits_per_layer
+        self._dead_devices: set = set()
         self._channels: List[Channel] = []
         self._workers: List[StageWorker] = []
+        self._build_pipeline(plan)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Pipeline construction / teardown
+    # ------------------------------------------------------------------
+
+    def _build_pipeline(self, plan: ExecutionPlan) -> None:
+        self._channels = []
+        self._workers = []
         prev = Channel("master->stage0")
         self._channels.append(prev)
         for j, st in enumerate(plan.stages):
-            nxt = Channel(f"stage{j}->" + ("master" if j == plan.num_stages - 1
-                                           else f"stage{j + 1}"))
+            nxt = Channel(
+                f"stage{j}->"
+                + ("master" if j == plan.num_stages - 1 else f"stage{j + 1}")
+            )
             worker = StageWorker(
                 stage_index=j,
                 config=self.config,
                 layers=self.model.layers[st.layer_start : st.layer_end],
                 in_ch=prev,
                 out_ch=nxt,
+                injector=self.injector,
+                poll_s=self.worker_poll_s,
+            )
+            # The receiving end of `nxt` can now tell a clean close from
+            # this worker dying — and drop faults intercept its sends.
+            nxt.bind_sender(
+                j,
+                (lambda w=worker: w.error),
+                fault_hook=self.injector.drop_hook(j),
             )
             self._channels.append(nxt)
             self._workers.append(worker)
             prev = nxt
         self._in = self._channels[0]
         self._out = self._channels[-1]
-        self._started = False
+
+    def _teardown_pipeline(self) -> None:
+        self._in.close()
+        for w in self._workers:
+            w.join(timeout=2.0)
+            self.retired_busy_s += w.busy_time
+        self._workers = []
+
+    @property
+    def current_plan(self) -> ExecutionPlan:
+        """The plan the pipeline is currently built for."""
+        return self.plan_history[-1]
 
     def start(self) -> None:
         if not self._started:
@@ -97,9 +207,7 @@ class PipelineEngine:
 
     def shutdown(self) -> None:
         if self._started:
-            self._in.close()
-            for w in self._workers:
-                w.join(timeout=10.0)
+            self._teardown_pipeline()
             self._started = False
 
     def __enter__(self) -> "PipelineEngine":
@@ -109,10 +217,100 @@ class PipelineEngine:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    # ------------------------------------------------------------------
+    # Failure detection and recovery
+    # ------------------------------------------------------------------
+
     def _check_workers(self) -> None:
         for w in self._workers:
             if w.error is not None:
-                raise RuntimeError(f"{w.name} failed") from w.error
+                raise StageFailure(
+                    f"{w.name} failed: {w.error!r}", stage=w.stage_index
+                ) from w.error
+
+    def _dead_stage_indices(self) -> Tuple[List[int], str]:
+        """Classify the break: which stages are gone, and why."""
+        dead = [
+            w.stage_index for w in self._workers if w.error is not None
+        ]
+        if dead:
+            return dead, "stage-failure"
+        now = time.monotonic()
+        hung = [
+            w.stage_index
+            for w in self._workers
+            if w.is_alive()
+            and now - w.last_heartbeat > self.stall_timeout_s
+        ]
+        if hung:
+            return hung, "hang"
+        # All workers healthy and responsive yet the pipeline made no
+        # progress: a message was lost in transit.
+        return [], "stall"
+
+    def _default_replan(
+        self, plan: ExecutionPlan, surviving: Tuple[int, ...]
+    ) -> ExecutionPlan:
+        layer_cost = None
+        if self.device_capacity_bytes is not None:
+            cfg = self.config
+            layer_cost = lambda i, b: tinylm_layer_bytes(cfg, b)  # noqa: E731
+        return degrade_plan(
+            plan,
+            surviving,
+            capacity_bytes=self.device_capacity_bytes,
+            layer_cost=layer_cost,
+        )
+
+    def _recover(self, ckpt: _Checkpoint) -> FaultRecord:
+        """Degrade-and-replan (or rebuild) after a pipeline break."""
+        dead_stages, kind = self._dead_stage_indices()
+        plan = self.plan_history[-1]
+        dead_devices = tuple(
+            d for j in dead_stages for d in plan.stages[j].device_ids
+        )
+        self._dead_devices.update(dead_devices)
+        detail = "; ".join(
+            f"stage-{j}: {self._workers[j].error!r}"
+            for j in dead_stages
+            if self._workers[j].error is not None
+        )
+        self._teardown_pipeline()
+        if dead_devices:
+            surviving = tuple(
+                d
+                for st in plan.stages
+                for d in st.device_ids
+                if d not in self._dead_devices
+            )
+            new_plan = self._replan_fn(plan, surviving)
+            if new_plan.bits_per_layer != self._expected_bits:
+                raise RuntimeError(
+                    "degraded replan changed per-layer bitwidths; the "
+                    "quantized weights are fixed at runtime"
+                )
+            action = "replan"
+        else:
+            new_plan = plan  # lost message: same devices, fresh pipeline
+            action = "rebuild"
+        record = FaultRecord(
+            kind=kind,
+            dead_stages=tuple(dead_stages),
+            dead_devices=dead_devices,
+            committed_tokens=ckpt.steps,
+            action=action,
+            detail=detail,
+        )
+        self.fault_records.append(record)
+        self.plan_history.append(new_plan)
+        self._build_pipeline(new_plan)
+        for w in self._workers:
+            w.start()
+        return record
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
 
     def _round_trip(
         self, jobs: List[StageMessage]
@@ -122,11 +320,7 @@ class PipelineEngine:
             self._in.send(msg)
         results: Dict[int, np.ndarray] = {}
         for _ in jobs:
-            try:
-                out = self._out.recv()
-            except Exception:
-                self._check_workers()
-                raise
+            out = self._out.recv(timeout=self.recv_timeout_s)
             results[out.mb_id] = out.hidden
         return results
 
@@ -148,33 +342,27 @@ class PipelineEngine:
                     parts.append((p_idx, lo - p.start, hi - p.start))
             groups.append(tuple(parts))
         self._in.send(RegroupMessage(groups=tuple(groups)))
-        try:
-            echoed = self._out.recv()
-        except Exception:
-            self._check_workers()
-            raise
+        echoed = self._out.recv(timeout=self.recv_timeout_s)
         if not isinstance(echoed, RegroupMessage):
             raise RuntimeError("phase switch desynchronized the pipeline")
 
-    def generate(
+    def _generate_attempt(
         self,
         prompts: np.ndarray,
         n_tokens: int,
-        microbatch: Optional[int] = None,
-    ) -> GenerationResult:
-        """Greedy generation of ``n_tokens`` per request.
+        ckpt: _Checkpoint,
+        forced_mb: Optional[int],
+    ) -> Tuple[float, float, int]:
+        """One pipeline pass: replay the committed prefix, then continue.
 
-        Prefill runs at the plan's eta and decode at its xi; between the
-        phases the master regroups the stage KV caches (the dynamic
-        micro-batch adaptation of Fig. 6).  Passing ``microbatch`` forces
-        one size for both phases.
+        Returns (prefill_time, decode_time, xi).  Raises StageFailure /
+        ChannelClosed / TimeoutError on a pipeline break; ``ckpt`` keeps
+        everything committed so far.
         """
-        if not self._started:
-            raise RuntimeError("engine not started; use `with engine:`")
-        prompts = np.asarray(prompts)
+        plan = self.plan_history[-1]
         B, T = prompts.shape
-        eta = microbatch or min(self.plan.prefill_microbatch, B)
-        xi = microbatch or min(self.plan.decode_microbatch, B)
+        eta = forced_mb or min(plan.prefill_microbatch, B)
+        xi = forced_mb or min(plan.decode_microbatch, B)
         pre_slices = self._slices(B, eta)
         dec_slices = self._slices(B, xi)
         for w in self._workers:
@@ -198,37 +386,96 @@ class PipelineEngine:
         if pre_slices != dec_slices:
             self._switch_phase(pre_slices, dec_slices)
         prefill_time = time.perf_counter() - t0
-        generated = [cur.copy()]
+        if ckpt.steps == 0:
+            ckpt.commit(cur.copy())
+        elif not np.array_equal(cur, ckpt.committed[0]):
+            raise RuntimeError("replay diverged from the committed prefix")
 
         # Decode: per-step feedback at the master, micro-batches pipelined.
+        # Steps <= the committed prefix are *replays* feeding the committed
+        # tokens (deterministic KV reconstruction after a rebuild).
         t1 = time.perf_counter()
         for step in range(1, n_tokens):
             pos = T + step - 1
+            feed = ckpt.committed[step - 1]
             jobs = [
                 StageMessage(
                     phase="decode",
                     mb_id=i,
                     hidden=self.model.embed_tokens(
-                        cur[sl].reshape(-1, 1), start_pos=pos
+                        feed[sl].reshape(-1, 1), start_pos=pos
                     ),
+                    step=step,
                 )
                 for i, sl in enumerate(dec_slices)
             ]
             hiddens = self._round_trip(jobs)
+            nxt = np.empty(B, dtype=np.int64)
             for i, sl in enumerate(dec_slices):
                 logits = self.model.lm_head(hiddens[i][:, -1:, :])[:, 0, :]
-                cur[sl] = logits.argmax(axis=-1)
-            generated.append(cur.copy())
+                nxt[sl] = logits.argmax(axis=-1)
+            if step >= ckpt.steps:
+                ckpt.commit(nxt.copy())
+            elif not np.array_equal(nxt, ckpt.committed[step]):
+                raise RuntimeError(
+                    "replay diverged from the committed prefix"
+                )
         decode_time = time.perf_counter() - t1
         self._check_workers()
+        return prefill_time, decode_time, xi
 
+    def generate(
+        self,
+        prompts: np.ndarray,
+        n_tokens: int,
+        microbatch: Optional[int] = None,
+    ) -> GenerationResult:
+        """Greedy generation of ``n_tokens`` per request.
+
+        Prefill runs at the plan's eta and decode at its xi; between the
+        phases the master regroups the stage KV caches (the dynamic
+        micro-batch adaptation of Fig. 6).  Passing ``microbatch`` forces
+        one size for both phases.
+
+        Survives up to ``max_replans`` pipeline breaks per call by
+        degrading onto the surviving devices and replaying the committed
+        token prefix; the output is bit-identical to the fault-free
+        single-process reference either way.
+        """
+        if not self._started:
+            raise RuntimeError("engine not started; use `with engine:`")
+        prompts = np.asarray(prompts)
+        ckpt = _Checkpoint()
+        events: List[FaultRecord] = []
+        prefill_total = 0.0
+        decode_total = 0.0
+        attempts = 0
+        while True:
+            try:
+                prefill_t, decode_t, xi = self._generate_attempt(
+                    prompts, n_tokens, ckpt, microbatch
+                )
+                prefill_total += prefill_t
+                decode_total += decode_t
+                break
+            except (StageFailure, ChannelClosed, TimeoutError) as exc:
+                if attempts >= self.max_replans:
+                    self._started = False  # pipeline already torn
+                    raise
+                attempts += 1
+                record = self._recover(ckpt)  # may raise InfeasibleError
+                events.append(record)
+                del exc
         tokens = np.concatenate(
-            [prompts] + [g[:, None] for g in generated], axis=1
+            [prompts] + [c[:, None] for c in ckpt.committed], axis=1
         )
         return GenerationResult(
             tokens=tokens,
-            prefill_time_s=prefill_time,
-            decode_time_s=decode_time,
+            prefill_time_s=prefill_total,
+            decode_time_s=decode_total,
             stage_busy_s=tuple(w.busy_time for w in self._workers),
             microbatch=xi,
+            replans=attempts,
+            fault_events=tuple(events),
+            plan=self.plan_history[-1],
         )

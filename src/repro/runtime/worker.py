@@ -5,6 +5,14 @@ layers with per-micro-batch KV caches, and forwards the result to the next
 stage (or back to the master after the last stage) — the distributed
 execution of Fig. 6, step 3, with threads standing in for worker
 processes.
+
+Fault-tolerance additions: workers poll their inbox with a short timeout
+and tick a monotonic heartbeat every iteration (so the engine can tell a
+hung worker from an idle one), consult a
+:class:`~repro.runtime.faults.FaultInjector` before each job (the
+deterministic kill/slowdown injection point), and account ``busy_time``
+via try/finally so partially-executed jobs — including the one that kills
+the worker — are still charged.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..quality.tinylm import LayerWeights, TinyLMConfig, layer_forward
-from .comm import Channel, ChannelClosed
+from .comm import Channel, ChannelClosed, StageFailure
+from .faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -27,6 +36,10 @@ class StageMessage:
     phase: str  # "prefill" | "decode"
     mb_id: int
     hidden: np.ndarray  # (B, T, H) activations entering the stage
+    #: Decode step (1-based) this job belongs to; 0 during prefill.  Set
+    #: by the master so faults keyed on a step fire deterministically at
+    #: every stage regardless of thread timing.
+    step: int = 0
 
 
 @dataclass(frozen=True)
@@ -54,6 +67,8 @@ class StageWorker(threading.Thread):
         layers: List[LayerWeights],
         in_ch: Channel,
         out_ch: Channel,
+        injector: Optional[FaultInjector] = None,
+        poll_s: float = 0.05,
     ) -> None:
         super().__init__(name=f"stage-{stage_index}", daemon=True)
         self.stage_index = stage_index
@@ -61,11 +76,19 @@ class StageWorker(threading.Thread):
         self.layers = layers
         self.in_ch = in_ch
         self.out_ch = out_ch
+        self.injector = injector
+        self.poll_s = poll_s
         #: Per-micro-batch, per-local-layer KV caches.
         self._caches: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
         self.busy_time = 0.0
         self.jobs = 0
         self.error: Optional[BaseException] = None
+        #: Monotonic timestamp of the last sign of life (recv poll or job
+        #: boundary); the engine's stall detector compares against this.
+        self.last_heartbeat = time.monotonic()
+
+    def _beat(self) -> None:
+        self.last_heartbeat = time.monotonic()
 
     def _forward(self, msg: StageMessage) -> np.ndarray:
         x = msg.hidden
@@ -110,20 +133,48 @@ class StageWorker(threading.Thread):
         try:
             while True:
                 try:
-                    msg = self.in_ch.recv()
-                except ChannelClosed:
+                    msg = self.in_ch.recv(timeout=self.poll_s)
+                except TimeoutError:
+                    self._beat()  # idle but alive
+                    continue
+                except (ChannelClosed, StageFailure):
+                    # Upstream shut down (cleanly or by dying): this
+                    # worker is still healthy — propagate the close so
+                    # the master notices, and exit without an error.
                     self.out_ch.close()
                     return
+                self._beat()
                 if isinstance(msg, RegroupMessage):
                     self._regroup(msg)
                     self.out_ch.send(msg)
                     continue
+                if self.injector is not None:
+                    # Deterministic kill/slowdown point: before the job's
+                    # compute, keyed on (stage, phase, step, mb).
+                    self.injector.on_job(
+                        self.stage_index,
+                        msg.phase,
+                        msg.step,
+                        msg.mb_id,
+                        heartbeat=self._beat,
+                    )
                 t0 = time.perf_counter()
-                out = self._forward(msg)
-                self.busy_time += time.perf_counter() - t0
+                try:
+                    out = self._forward(msg)
+                finally:
+                    # Charge partial work even when the job raises, so
+                    # busy accounting stays correct across retries and
+                    # injected failures.
+                    self.busy_time += time.perf_counter() - t0
                 self.jobs += 1
+                self._beat()
                 self.out_ch.send(
-                    StageMessage(phase=msg.phase, mb_id=msg.mb_id, hidden=out)
+                    StageMessage(
+                        phase=msg.phase,
+                        mb_id=msg.mb_id,
+                        hidden=out,
+                        step=msg.step,
+                    )
                 )
         except BaseException as exc:  # surfaced by the engine
             self.error = exc

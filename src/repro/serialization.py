@@ -1,19 +1,32 @@
-"""Plan (de)serialization.
+"""Plan, fault-plan and trace (de)serialization.
 
 The assigner runs offline, once per (model, cluster); production runtimes
 load the resulting plan at startup.  Plans therefore need a stable
 on-disk format: plain JSON, schema-versioned, round-trip exact.
+
+Fault plans and simulator traces get the same treatment so fault
+campaigns are replayable from disk and golden-trace regression fixtures
+(`tests/data/`) can be compared exactly.  Trace floats are rounded to 12
+significant digits at serialization time: enough to be bit-stable across
+platforms for the pure-arithmetic roofline timing, while still exact on
+re-parse (``float(repr12(x)) == round12(x)``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
 
 from .plan import ExecutionPlan, StagePlan
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pipeline.simulator import DegradedSimResult, PipelineSimResult
+    from .runtime.faults import FaultPlan, FaultRecord, FaultSpec
+
 SCHEMA_VERSION = 1
+FAULT_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 1
 
 
 def plan_to_dict(plan: ExecutionPlan) -> Dict[str, Any]:
@@ -80,3 +93,138 @@ def save_plan(plan: ExecutionPlan, path: Union[str, Path]) -> None:
 def load_plan(path: Union[str, Path]) -> ExecutionPlan:
     """Read a plan written by :func:`save_plan`."""
     return loads_plan(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and records
+# ---------------------------------------------------------------------------
+
+
+def fault_spec_to_dict(spec: "FaultSpec") -> Dict[str, Any]:
+    """A JSON-safe dict of one scheduled fault."""
+    return {
+        "kind": spec.kind,
+        "stage": spec.stage,
+        "phase": spec.phase,
+        "step": spec.step,
+        "mb_id": spec.mb_id,
+        "delay_s": spec.delay_s,
+    }
+
+
+def fault_spec_from_dict(data: Dict[str, Any]) -> "FaultSpec":
+    from .runtime.faults import FaultSpec
+
+    mb_id = data.get("mb_id")
+    return FaultSpec(
+        kind=str(data["kind"]),
+        stage=int(data["stage"]),
+        phase=str(data.get("phase", "decode")),
+        step=int(data.get("step", 1)),
+        mb_id=None if mb_id is None else int(mb_id),
+        delay_s=float(data.get("delay_s", 0.0)),
+    )
+
+
+def fault_plan_to_dict(plan: "FaultPlan") -> Dict[str, Any]:
+    """A JSON-safe dict of a fault campaign (round-trip exact)."""
+    return {
+        "schema_version": FAULT_SCHEMA_VERSION,
+        "seed": plan.seed,
+        "specs": [fault_spec_to_dict(s) for s in plan.specs],
+    }
+
+
+def fault_plan_from_dict(data: Dict[str, Any]) -> "FaultPlan":
+    from .runtime.faults import FaultPlan
+
+    version = data.get("schema_version")
+    if version != FAULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fault-plan schema version {version!r} "
+            f"(expected {FAULT_SCHEMA_VERSION})"
+        )
+    return FaultPlan(
+        specs=tuple(fault_spec_from_dict(s) for s in data["specs"]),
+        seed=int(data.get("seed", 0)),
+    )
+
+
+def dumps_fault_plan(plan: "FaultPlan", indent: int = 2) -> str:
+    return json.dumps(fault_plan_to_dict(plan), indent=indent, sort_keys=True)
+
+
+def loads_fault_plan(text: str) -> "FaultPlan":
+    return fault_plan_from_dict(json.loads(text))
+
+
+def fault_record_to_dict(rec: "FaultRecord") -> Dict[str, Any]:
+    """Runtime recovery telemetry as a JSON-safe dict (one-way)."""
+    return {
+        "kind": rec.kind,
+        "dead_stages": list(rec.dead_stages),
+        "dead_devices": list(rec.dead_devices),
+        "committed_tokens": rec.committed_tokens,
+        "action": rec.action,
+        "detail": rec.detail,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Simulator traces (golden-fixture format)
+# ---------------------------------------------------------------------------
+
+
+def round_trace_float(x: float) -> float:
+    """Round to 12 significant digits — the golden-fixture float grain."""
+    return float(f"{float(x):.12g}")
+
+
+def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
+    """A JSON-safe dict of one simulated batch (floats rounded)."""
+    return {
+        "makespan_s": round_trace_float(res.makespan_s),
+        "prefill_span_s": round_trace_float(res.prefill_span_s),
+        "decode_span_s": round_trace_float(res.decode_span_s),
+        "total_tokens": res.total_tokens,
+        "stage_busy_s": [round_trace_float(b) for b in res.stage_busy_s],
+        "stage_memory_bytes": list(res.stage_memory_bytes),
+        "events_processed": res.events_processed,
+    }
+
+
+def degraded_result_to_dict(res: "DegradedSimResult") -> Dict[str, Any]:
+    """A JSON-safe dict of one degraded (faulty) simulation.
+
+    This is the golden-trace payload: makespan, per-segment results,
+    recovery events and the per-attempt plans, floats rounded so the
+    fixture compares exactly across runs and platforms.
+    """
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "makespan_s": round_trace_float(res.makespan_s),
+        "total_tokens": res.total_tokens,
+        "replans": res.replans,
+        "plans": [plan_to_dict(p) for p in res.plans],
+        "segments": [sim_result_to_dict(s) for s in res.segments],
+        "fault_events": [
+            {
+                "time_s": round_trace_float(ev.time_s),
+                "kind": ev.kind,
+                "stage": ev.stage,
+                "phase": ev.phase,
+                "step": ev.step,
+                "action": ev.action,
+                "detail": ev.detail,
+            }
+            for ev in res.fault_events
+        ],
+    }
+
+
+def dumps_degraded_result(res: "DegradedSimResult", indent: int = 2) -> str:
+    """Canonical golden-fixture text: sorted keys, trailing newline."""
+    return (
+        json.dumps(degraded_result_to_dict(res), indent=indent, sort_keys=True)
+        + "\n"
+    )

@@ -1,0 +1,132 @@
+"""Shared builders for the golden-trace regression fixtures.
+
+A golden trace is the canonical JSON rendering
+(:func:`repro.serialization.dumps_degraded_result`) of one degraded
+discrete-event simulation.  The scenarios below are fully deterministic:
+pure-arithmetic :class:`~repro.pipeline.stage.RooflineTiming` (no fitted
+least-squares models, no RNG) and floats rounded to 12 significant
+digits at serialization.  ``tests/test_golden_traces.py`` compares the
+fixture files byte-for-byte; ``scripts/regen_golden_traces.py``
+regenerates them after an intentional simulator change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.hardware import make_cluster
+from repro.models import get_model
+from repro.pipeline import simulate_degraded
+from repro.pipeline.stage import RooflineTiming
+from repro.plan import uniform_plan
+from repro.runtime import FaultPlan, FaultSpec
+from repro.serialization import dumps_degraded_result
+from repro.workloads import BatchWorkload
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def _base(num_stages: int):
+    spec = get_model("opt-13b")
+    if num_stages == 2:
+        cluster = make_cluster(
+            "golden", [("A100-40G", 1), ("V100-32G", 1)]
+        )
+        groups = [((0,), "A100-40G"), ((1,), "V100-32G")]
+    else:
+        cluster = make_cluster(
+            "golden", [("A100-40G", 2), ("V100-32G", 2)]
+        )
+        groups = [
+            ((0,), "A100-40G"),
+            ((1,), "A100-40G"),
+            ((2,), "V100-32G"),
+            ((3,), "V100-32G"),
+        ]
+    plan = uniform_plan(
+        model_name=spec.name,
+        num_layers=spec.num_layers,
+        device_groups=groups,
+        bits=4,
+        prefill_microbatch=8,
+        decode_microbatch=8,
+    )
+    wl = BatchWorkload(batch=16, prompt_len=512, output_len=32)
+    return spec, cluster, plan, wl
+
+
+def _trace(fault_plan: FaultPlan, num_stages: int = 2) -> str:
+    spec, cluster, plan, wl = _base(num_stages)
+    res = simulate_degraded(
+        plan,
+        cluster,
+        spec,
+        wl,
+        fault_plan,
+        timing=RooflineTiming(spec=spec, bit_kv=plan.bit_kv),
+        check_memory=False,
+        detection_overhead_s=0.5,
+    )
+    return dumps_degraded_result(res)
+
+
+def trace_kill_mid_decode() -> str:
+    """Kill the last stage at decode step 10 of 32 (the canonical demo)."""
+    return _trace(FaultPlan.single_kill(stage=1, step=10))
+
+
+def trace_kill_prefill() -> str:
+    """Kill stage 0 while prefill micro-batch 1 is in flight."""
+    return _trace(
+        FaultPlan(specs=(FaultSpec("kill", 0, "prefill", 1),))
+    )
+
+
+def trace_drop_rebuild() -> str:
+    """A lost message at decode step 5: rebuild on the same plan."""
+    return _trace(FaultPlan(specs=(FaultSpec("drop", 0, "decode", 5),)))
+
+
+def trace_slow_absorbed() -> str:
+    """A 2s transient slowdown, absorbed without recovery."""
+    return _trace(
+        FaultPlan(specs=(FaultSpec("slow", 1, "decode", 8, delay_s=2.0),))
+    )
+
+
+def trace_double_kill_four_stages() -> str:
+    """Two successive kills on a 4-stage pipeline (two replans)."""
+    return _trace(
+        FaultPlan(
+            specs=(
+                FaultSpec("kill", 3, "decode", 6),
+                FaultSpec("kill", 0, "decode", 20),
+            )
+        ),
+        num_stages=4,
+    )
+
+
+GOLDEN_SCENARIOS: Dict[str, Callable[[], str]] = {
+    "degraded_kill_mid_decode": trace_kill_mid_decode,
+    "degraded_kill_prefill": trace_kill_prefill,
+    "degraded_drop_rebuild": trace_drop_rebuild,
+    "degraded_slow_absorbed": trace_slow_absorbed,
+    "degraded_double_kill_4stage": trace_double_kill_four_stages,
+}
+
+
+def fixture_path(name: str) -> Path:
+    return DATA_DIR / f"{name}.json"
+
+
+def regenerate_all() -> Dict[str, Path]:
+    """(Re)write every fixture; returns the paths written."""
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for name, build in GOLDEN_SCENARIOS.items():
+        path = fixture_path(name)
+        path.write_text(build())
+        written[name] = path
+    return written

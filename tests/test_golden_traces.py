@@ -1,0 +1,46 @@
+"""Golden-trace regression tests for the degraded pipeline simulator.
+
+Each fixture in ``tests/data/`` is the canonical JSON rendering of one
+deterministic degraded simulation (pure-arithmetic roofline timing,
+floats rounded to 12 significant digits).  The comparison is *exact*: a
+mismatch means the simulator's observable behaviour changed — review it,
+and if intentional regenerate with ``scripts/regen_golden_traces.py``.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_utils import GOLDEN_SCENARIOS, fixture_path
+
+REGEN_HINT = (
+    "golden trace changed; if intentional run "
+    "`PYTHONPATH=src python scripts/regen_golden_traces.py` and review "
+    "the fixture diff"
+)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_golden_trace_exact(name):
+    path = fixture_path(name)
+    assert path.exists(), f"missing fixture {path}; run the regen script"
+    expected = path.read_text()
+    actual = GOLDEN_SCENARIOS[name]()
+    assert actual == expected, REGEN_HINT
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_golden_trace_fixture_is_canonical_json(name):
+    """Fixtures are valid, sorted-key, newline-terminated JSON."""
+    text = fixture_path(name).read_text()
+    data = json.loads(text)
+    assert text.endswith("\n")
+    assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+    assert data["schema_version"] == 1
+    assert data["replans"] == len(data["plans"]) - 1
+
+
+def test_golden_traces_are_deterministic():
+    """Two in-process builds of the same scenario are byte-identical."""
+    name = "degraded_kill_mid_decode"
+    assert GOLDEN_SCENARIOS[name]() == GOLDEN_SCENARIOS[name]()
