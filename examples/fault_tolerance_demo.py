@@ -14,17 +14,21 @@ preempted and GPUs die mid-batch.  This demo:
 3. verifies the degraded output is BIT-IDENTICAL to the fault-free
    single-process reference on the same quantized weights,
 4. mirrors the same fault campaign in the discrete-event simulator
-   (:func:`repro.pipeline.simulate_degraded`) to show the planned-side
-   view of the recovery.
+   (through :meth:`repro.api.Session.simulate` with a fault plan) to show
+   the planned-side view of the recovery.
+
+Set ``SPLITQUANT_TRACE=trace.jsonl`` to capture the full span timeline —
+worker step spans, the fault, detection, replan and replay — and render
+it with ``python scripts/trace_report.py trace.jsonl``.
 
 Run:  PYTHONPATH=src python examples/fault_tolerance_demo.py
 """
 
 import numpy as np
 
+from repro import Session
 from repro.hardware import make_cluster
 from repro.models import get_model
-from repro.pipeline import simulate_degraded, simulate_plan
 from repro.plan import ExecutionPlan, StagePlan, uniform_plan
 from repro.quality import TinyLM, TinyLMConfig
 from repro.runtime import FaultPlan, PipelineEngine, reference_generate
@@ -100,10 +104,11 @@ def main() -> None:
         decode_microbatch=8,
     )
     wl = BatchWorkload(batch=16, prompt_len=512, output_len=32)
-    clean = simulate_plan(sim_plan, cluster, spec, wl, check_memory=False)
-    degraded = simulate_degraded(
-        sim_plan, cluster, spec, wl,
-        FaultPlan.single_kill(stage=1, step=10),
+    sess = Session(spec, cluster)
+    clean = sess.simulate(plan=sim_plan, workload=wl, check_memory=False)
+    degraded = sess.simulate(
+        plan=sim_plan, workload=wl,
+        fault_plan=FaultPlan.single_kill(stage=1, step=10),
         check_memory=False, detection_overhead_s=0.5,
     )
     print("\nplanned-side mirror (opt-13b on A100+V100, kill at step 10):")

@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Quickstart: plan and simulate OPT-30B serving on a mixed T4/V100 cluster.
 
-The smallest end-to-end tour of the public API:
+The smallest end-to-end tour of the public API, driven through the
+:class:`repro.api.Session` façade:
 
 1. pick a model and a heterogeneous cluster (Table III cluster 5),
 2. let SplitQuant jointly choose per-layer bitwidths, the layer partition
@@ -9,15 +10,20 @@ The smallest end-to-end tour of the public API:
    quality),
 3. simulate the resulting plan and the Uniform baseline, and compare.
 
-Run:  python examples/quickstart.py
+Set ``SPLITQUANT_TRACE=trace.jsonl`` (or pass ``trace_path`` to the
+Session) to capture a span trace of everything below, then render it
+with ``python scripts/trace_report.py trace.jsonl``.
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
+
+import dataclasses
 
 from repro import (
     BatchWorkload,
     PlannerConfig,
-    SplitQuantPlanner,
+    Session,
     get_model,
-    simulate_plan,
     table_iii_cluster,
 )
 from repro.baselines import plan_uniform_baseline
@@ -39,26 +45,24 @@ def main() -> None:
         microbatch_candidates=(8, 16, 32),
         time_limit_s=20.0,
     )
-    planner = SplitQuantPlanner(spec, cluster, config)
     # Constrain quality to at least the best Uniform baseline (Sec. VI-C).
     uniform = plan_uniform_baseline(spec, cluster, workload)
     ref_bits = uniform.bits if uniform else min(config.bit_choices)
-    budget = planner.uniform_quality(ref_bits)
-    import dataclasses
+    budget = Session(spec, cluster, config).planner.uniform_quality(ref_bits)
 
-    planner = SplitQuantPlanner(
+    sess = Session(
         spec, cluster, dataclasses.replace(config, quality_budget=budget)
     )
-    result = planner.plan(workload)
+    result = sess.plan(workload)
     if result is None:
         raise SystemExit("no feasible plan — model too large for cluster")
 
     print("SplitQuant plan:")
     print(f"  {result.plan.describe()}")
-    print(f"  planning time : {result.solve_time_s:.1f}s "
+    print(f"  planning time : {result.duration_s:.1f}s "
           f"({result.candidates_tried} candidates)")
 
-    sim = simulate_plan(result.plan, cluster, spec, workload)
+    sim = sess.simulate()  # the plan and workload are remembered
     print(f"  throughput    : {sim.throughput_tokens_s:.1f} tokens/s")
     print(f"  stage util    : "
           + ", ".join(f"{u:.0%}" for u in sim.stage_utilization))
@@ -67,7 +71,7 @@ def main() -> None:
     if uniform is None:
         print("\nUniform baseline: OOM at every precision")
         return
-    base = simulate_plan(uniform.plan, cluster, spec, workload)
+    base = sess.simulate(plan=uniform.plan)
     print(f"\nUniform baseline ({uniform.bits}-bit, even partition):")
     print(f"  throughput    : {base.throughput_tokens_s:.1f} tokens/s")
     print(

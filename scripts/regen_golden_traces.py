@@ -1,30 +1,57 @@
 #!/usr/bin/env python
 """Regenerate the golden-trace fixtures in tests/data/.
 
-Run after an *intentional* change to the discrete-event simulator or the
-degraded-recovery mirror, then review the fixture diffs like any other
-code change:
+Run after an *intentional* change to the discrete-event simulator, the
+degraded-recovery mirror, or the observability span taxonomy, then
+review the fixture diffs like any other code change:
 
     PYTHONPATH=src python scripts/regen_golden_traces.py
 
-``tests/test_golden_traces.py`` compares these files byte-for-byte.
+``tests/test_golden_traces.py`` compares the degraded-simulation JSON
+fixtures byte-for-byte; ``tests/test_golden_fault_demo_trace.py``
+compares the normalized span trace of the fault-tolerance demo.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
+from repro.obs import normalize_trace  # noqa: E402
 from tests.golden_utils import regenerate_all  # noqa: E402
+
+
+def regen_fault_demo_trace() -> Path:
+    """Traced subprocess run of the fault demo -> normalized fixture."""
+    fixture = REPO / "tests" / "data" / "fault_demo_trace.norm.jsonl"
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "fault_demo.jsonl"
+        env = dict(os.environ)
+        env["SPLITQUANT_TRACE"] = str(trace_path)
+        env["PYTHONPATH"] = str(REPO / "src")
+        subprocess.run(
+            [sys.executable, str(REPO / "examples" / "fault_tolerance_demo.py")],
+            env=env,
+            check=True,
+            cwd=str(REPO),
+            stdout=subprocess.DEVNULL,
+        )
+        fixture.write_text(normalize_trace(trace_path))
+    return fixture
 
 
 def main() -> int:
     for name, path in regenerate_all().items():
         print(f"wrote {path.relative_to(REPO)}  ({name})")
+    path = regen_fault_demo_trace()
+    print(f"wrote {path.relative_to(REPO)}  (fault_demo_trace)")
     return 0
 
 

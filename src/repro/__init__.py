@@ -2,20 +2,21 @@
 heterogeneous GPUs via phase-aware model partition and adaptive
 quantization (Zhao et al., CLUSTER 2025).
 
-Quickstart::
+Quickstart (the :class:`repro.api.Session` façade)::
 
-    from repro import (
-        SplitQuantPlanner, PlannerConfig, BatchWorkload,
-        get_model, table_iii_cluster, simulate_plan,
-    )
+    from repro import Session, BatchWorkload
 
-    spec = get_model("opt-30b")
-    cluster = table_iii_cluster(5)          # 3x T4 + 1x V100
+    sess = Session("opt-30b", cluster=5)    # 3x T4 + 1x V100
     wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
-    planner = SplitQuantPlanner(spec, cluster, PlannerConfig())
-    result = planner.plan(wl)
-    sim = simulate_plan(result.plan, cluster, spec, wl)
+    result = sess.plan(wl)                  # PlannerResult
+    sim = sess.simulate()                   # PipelineSimResult
     print(result.plan.describe(), sim.throughput_tokens_s)
+
+Set ``trace_path="trace.jsonl"`` (or the ``SPLITQUANT_TRACE`` env var)
+to capture a span trace of everything the session does; render it with
+``scripts/trace_report.py``.  The lower-level pieces remain available::
+
+    from repro import SplitQuantPlanner, PlannerConfig, simulate_plan
 
 Subpackages: ``hardware`` (GPUs/clusters), ``models`` (architectures),
 ``simgpu`` (the simulated testbed), ``quant`` (quantization + indicators),
@@ -24,7 +25,9 @@ Subpackages: ``hardware`` (GPUs/clusters), ``models`` (architectures),
 (threaded execution), ``experiments`` (per-figure reproduction).
 """
 
+from .api import Session, Summary
 from .core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from .obs import Tracer, metrics, trace, use_tracer
 from .hardware import (
     ClusterSpec,
     GPUSpec,
@@ -55,6 +58,12 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "Summary",
+    "Tracer",
+    "metrics",
+    "trace",
+    "use_tracer",
     "PlannerConfig",
     "PlannerResult",
     "SplitQuantPlanner",

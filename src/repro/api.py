@@ -1,0 +1,339 @@
+"""``repro.api``: the unified façade over planner, simulator and runtime.
+
+One object — :class:`Session` — drives the paper's whole pipeline:
+
+    from repro import Session, BatchWorkload
+
+    sess = Session("opt-30b", cluster=5, trace_path="trace.jsonl")
+    wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+    result = sess.plan(wl)          # PlannerResult
+    sim = sess.simulate()           # PipelineSimResult for that plan
+    gen = sess.serve()              # GenerationResult (TinyLM proxy)
+    sess.close()                    # writes trace.jsonl + metrics
+
+All three phases thread the *same* :class:`~repro.obs.Tracer`, so one
+JSONL trace covers plan -> simulate -> serve end to end.  Without a
+tracer the session adds nothing beyond the direct calls (the
+observability fast path is one attribute check).
+
+Every result implements the :class:`Summary` protocol — ``to_dict()``
+(JSON-safe, round-trippable through :mod:`repro.serialization`),
+``throughput_tokens_s`` and ``duration_s`` — so heterogeneous results
+can be logged, persisted and compared uniformly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from .core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from .hardware import ClusterSpec, table_iii_cluster
+from .models import ModelSpec, get_model
+from .obs import Tracer, flame_summary, metrics, use_tracer
+from .pipeline import DegradedSimResult, PipelineSimResult, simulate_plan
+from .plan import ExecutionPlan, InfeasibleError
+from .quality import TinyLM, TinyLMConfig
+from .runtime import FaultPlan, GenerationResult, PipelineEngine
+from .workloads import BatchWorkload
+
+__all__ = ["Session", "Summary"]
+
+
+@runtime_checkable
+class Summary(Protocol):
+    """The uniform result-object protocol.
+
+    Implemented by :class:`~repro.core.planner.PlannerResult`,
+    :class:`~repro.pipeline.simulator.PipelineSimResult`,
+    :class:`~repro.pipeline.simulator.DegradedSimResult` and
+    :class:`~repro.runtime.engine.GenerationResult`: a JSON-safe
+    :meth:`to_dict` (round-trippable via :mod:`repro.serialization`),
+    the paper's headline :attr:`throughput_tokens_s` metric, and
+    :attr:`duration_s` wall-clock.
+    """
+
+    def to_dict(self) -> Dict[str, Any]: ...
+
+    @property
+    def throughput_tokens_s(self) -> float: ...
+
+    @property
+    def duration_s(self) -> float: ...
+
+
+class Session:
+    """Plan, simulate and serve one (model, cluster) configuration.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.architectures.ModelSpec` or a registered
+        model name (``"opt-30b"``).
+    cluster:
+        A :class:`~repro.hardware.cluster.ClusterSpec` or a Table-III
+        cluster index (``5`` -> 3x T4 + 1x V100).
+    config:
+        Planner knobs; defaults to :class:`PlannerConfig()`.
+    tracer:
+        An explicit :class:`~repro.obs.Tracer` to thread through every
+        phase.  ``None`` with ``trace_path`` set creates a fresh enabled
+        tracer; ``None`` without a path leaves tracing to whatever is
+        globally installed (e.g. ``SPLITQUANT_TRACE``).
+    trace_path:
+        Where :meth:`close` writes the JSONL trace (plus a
+        ``<path>.metrics.json`` metrics snapshot).
+    """
+
+    def __init__(
+        self,
+        model: Union[str, ModelSpec],
+        cluster: Union[int, ClusterSpec],
+        config: PlannerConfig = PlannerConfig(),
+        tracer: Optional[Tracer] = None,
+        trace_path: Optional[str] = None,
+        cost_model=None,
+        omega_layers=None,
+    ) -> None:
+        self.spec = get_model(model) if isinstance(model, str) else model
+        self.cluster = (
+            table_iii_cluster(cluster)
+            if isinstance(cluster, int)
+            else cluster
+        )
+        self.config = config
+        self.trace_path = trace_path
+        self._cost_model = cost_model
+        self._omega_layers = omega_layers
+        if tracer is None and trace_path is not None:
+            tracer = Tracer(enabled=True)
+        self.tracer = tracer
+        self._planner: Optional[SplitQuantPlanner] = None
+        self._last_workload: Optional[BatchWorkload] = None
+        self._last_result: Optional[PlannerResult] = None
+        self._proxy: Optional[TinyLM] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Tracer plumbing
+    # ------------------------------------------------------------------
+
+    def _scope(self):
+        """Activate this session's tracer for one phase (if it has one)."""
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return use_tracer(self.tracer)
+
+    @property
+    def planner(self) -> SplitQuantPlanner:
+        """The lazily built (and cached) planner for this session."""
+        if self._planner is None:
+            with self._scope():
+                self._planner = SplitQuantPlanner(
+                    self.spec,
+                    self.cluster,
+                    self.config,
+                    cost_model=self._cost_model,
+                    omega_layers=self._omega_layers,
+                )
+        return self._planner
+
+    # ------------------------------------------------------------------
+    # The three phases
+    # ------------------------------------------------------------------
+
+    def plan(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+        """Run the SplitQuant assigner; remembers the plan for
+        :meth:`simulate` / :meth:`serve`.  ``None`` when nothing fits."""
+        with self._scope():
+            result = self.planner.plan(workload)
+        self._last_workload = workload
+        self._last_result = result
+        return result
+
+    def simulate(
+        self,
+        plan: Optional[Union[ExecutionPlan, PlannerResult]] = None,
+        workload: Optional[BatchWorkload] = None,
+        check_memory: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        detection_overhead_s: float = 0.0,
+    ) -> Union[PipelineSimResult, DegradedSimResult]:
+        """Discrete-event simulation of a plan (defaults to the last one).
+
+        With ``fault_plan`` the degraded-recovery mirror
+        (:func:`repro.pipeline.simulate_degraded`) runs instead and a
+        :class:`DegradedSimResult` is returned.
+        """
+        ex_plan = self._resolve_plan(plan)
+        wl = workload or self._last_workload
+        if wl is None:
+            raise ValueError(
+                "no workload: pass one or call Session.plan() first"
+            )
+        with self._scope():
+            if fault_plan is not None:
+                from .pipeline import simulate_degraded
+
+                return simulate_degraded(
+                    ex_plan, self.cluster, self.spec, wl, fault_plan,
+                    check_memory=check_memory,
+                    detection_overhead_s=detection_overhead_s,
+                )
+            return simulate_plan(
+                ex_plan, self.cluster, self.spec, wl,
+                check_memory=check_memory,
+            )
+
+    def serve(
+        self,
+        workload: Optional[BatchWorkload] = None,
+        plan: Optional[Union[ExecutionPlan, PlannerResult]] = None,
+        prompts: Optional[np.ndarray] = None,
+        n_tokens: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        microbatch: Optional[int] = None,
+        max_batch: int = 8,
+        max_prompt_len: int = 16,
+        max_tokens: int = 8,
+    ) -> GenerationResult:
+        """Execute the plan through the threaded pipeline runtime.
+
+        Real model specs (OPT-30B and friends) cannot run in-process, so
+        the runtime executes a **TinyLM proxy**: a small real transformer
+        with the *same layer count* as the planned model, partitioned and
+        quantized exactly as the plan dictates.  Default prompts are a
+        seeded slice of the workload (capped at ``max_batch`` requests x
+        ``max_prompt_len`` tokens, ``max_tokens`` generated) so serving
+        stays tractable; pass ``prompts``/``n_tokens`` to override.
+
+        Generation is greedy and bit-exact against the single-process
+        reference on the same quantized weights — including through
+        injected faults (``fault_plan``), which trigger the engine's
+        degrade-and-replan recovery.
+        """
+        ex_plan = self._resolve_plan(plan)
+        wl = workload or self._last_workload
+        if prompts is None or n_tokens is None:
+            if wl is None:
+                raise ValueError(
+                    "no workload: pass one (or prompts + n_tokens), or "
+                    "call Session.plan() first"
+                )
+        model = self._proxy_model(ex_plan)
+        if prompts is None:
+            rng = np.random.default_rng(self.config.seed)
+            prompts = rng.integers(
+                0,
+                model.config.vocab,
+                size=(
+                    min(wl.batch, max_batch),
+                    min(wl.prompt_len, max_prompt_len),
+                ),
+            )
+        else:
+            prompts = np.asarray(prompts)
+        if n_tokens is None:
+            n_tokens = min(wl.output_len, max_tokens)
+        if prompts.shape[1] + n_tokens > model.config.max_seq:
+            raise ValueError(
+                f"prompt ({prompts.shape[1]}) + n_tokens ({n_tokens}) "
+                f"exceeds the proxy's max_seq ({model.config.max_seq}); "
+                "pass shorter prompts or fewer tokens"
+            )
+        with self._scope():
+            with PipelineEngine(
+                model,
+                ex_plan,
+                fault_plan=fault_plan,
+                recv_timeout_s=5.0,
+                stall_timeout_s=0.3,
+            ) as engine:
+                return engine.generate(
+                    prompts, n_tokens=n_tokens, microbatch=microbatch
+                )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_plan(
+        self, plan: Optional[Union[ExecutionPlan, PlannerResult]]
+    ) -> ExecutionPlan:
+        if isinstance(plan, PlannerResult):
+            return plan.plan
+        if isinstance(plan, ExecutionPlan):
+            return plan
+        if plan is not None:
+            raise TypeError(
+                f"plan must be an ExecutionPlan or PlannerResult, "
+                f"got {type(plan).__name__}"
+            )
+        if self._last_result is None:
+            raise InfeasibleError(
+                "no plan: call Session.plan() first (or pass one) — "
+                "the last plan() returned None or was never run"
+            )
+        return self._last_result.plan
+
+    def _proxy_model(self, plan: ExecutionPlan) -> TinyLM:
+        """TinyLM stand-in with the planned model's layer count (cached)."""
+        if (
+            self._proxy is None
+            or self._proxy.config.layers != plan.num_layers
+        ):
+            self._proxy = TinyLM(
+                TinyLMConfig(
+                    vocab=128,
+                    layers=plan.num_layers,
+                    hidden=64,
+                    ffn=192,
+                    heads=4,
+                    max_seq=64,
+                    seed=self.config.seed,
+                )
+            )
+        return self._proxy
+
+    # ------------------------------------------------------------------
+    # Observability output
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The process-wide metrics registry (always available)."""
+        return metrics
+
+    def trace_jsonl(self) -> str:
+        """The session trace as JSONL (empty without a tracer)."""
+        return "" if self.tracer is None else self.tracer.to_jsonl()
+
+    def flame(self, max_depth: int = 8) -> str:
+        """Text flame summary of this session's trace."""
+        if self.tracer is None:
+            return "(no tracer installed)\n"
+        return flame_summary(self.tracer.records, max_depth=max_depth)
+
+    def save_trace(self, path: Optional[str] = None) -> Optional[str]:
+        """Write the JSONL trace (+ ``.metrics.json``); returns the path."""
+        target = path or self.trace_path
+        if target is None or self.tracer is None:
+            return None
+        self.tracer.write(target)
+        with open(str(target) + ".metrics.json", "w") as fh:
+            fh.write(metrics.to_json() + "\n")
+        return str(target)
+
+    def close(self) -> None:
+        """Flush the trace to :attr:`trace_path` (idempotent)."""
+        if not self._closed:
+            self.save_trace()
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -24,6 +24,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import lil_matrix
 
+from ..obs import metrics, trace
 from .costs import PlanningProblem
 
 #: Re-entrancy state for :func:`_silenced_stdout`.  The search engine may
@@ -249,15 +250,29 @@ def solve_partition_ilp(
         problem, theta, quality_budget, latency_objective
     )
 
-    with _silenced_stdout():
-        res = milp(
-            c,
-            constraints=constraints,
-            integrality=integrality,
-            bounds=bounds,
-            options={"time_limit": time_limit_s, "mip_rel_gap": 1e-4},
-        )
+    with trace.span(
+        "ilp.solve",
+        groups=G,
+        stages=N,
+        bits=K,
+        mode="latency" if latency_objective else "adabits",
+        budgeted=quality_budget is not None,
+    ) as sp:
+        with _silenced_stdout():
+            res = milp(
+                c,
+                constraints=constraints,
+                integrality=integrality,
+                bounds=bounds,
+                options={"time_limit": time_limit_s, "mip_rel_gap": 1e-4},
+            )
+        sp.set(status=int(res.status), feasible=res.x is not None)
     solve_time = time.perf_counter() - t0
+    if trace.enabled:
+        metrics.counter("ilp.solves").inc()
+        metrics.histogram("ilp.solve_time_s").observe(solve_time)
+        if res.x is None:
+            metrics.counter("ilp.infeasible").inc()
     if res.x is None:
         return None
 
@@ -318,14 +333,23 @@ def solve_partition_lp_relaxation(
     c, constraints, integrality, bounds = _build_milp(
         problem, theta, quality_budget, latency_objective=True
     )
-    with _silenced_stdout():
-        res = milp(
-            c,
-            constraints=constraints,
-            integrality=np.zeros_like(integrality),
-            bounds=bounds,
-            options={"time_limit": time_limit_s},
-        )
+    with trace.span(
+        "ilp.lp_relaxation",
+        groups=problem.n_groups,
+        stages=problem.n_stages,
+        budgeted=quality_budget is not None,
+    ) as sp:
+        with _silenced_stdout():
+            res = milp(
+                c,
+                constraints=constraints,
+                integrality=np.zeros_like(integrality),
+                bounds=bounds,
+                options={"time_limit": time_limit_s},
+            )
+        sp.set(status=int(res.status))
+    if trace.enabled:
+        metrics.counter("ilp.lp_relaxations").inc()
     if res.status == 2:  # LP infeasible => the ILP is infeasible as well
         return float("inf")
     if res.x is None:

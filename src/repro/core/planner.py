@@ -11,8 +11,9 @@ bitwidth-transfer heuristic), and emit the best
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from ..costmodel.memory import (
 from ..hardware.cluster import ClusterSpec
 from ..models.architectures import ModelSpec
 from ..models import layers as _L
+from ..obs import metrics, trace
 from ..plan import ExecutionPlan, InfeasibleError, StagePlan, degrade_plan
 from ..quant.sensitivity import normalized_indicator_table
 from ..workloads.spec import BatchWorkload
@@ -85,6 +87,23 @@ def degrade_execution_plan(
     is validated against.  Raises :class:`InfeasibleError` when no
     memory-respecting contiguous partition exists.
     """
+    with trace.span(
+        "planner.degrade",
+        survivors=len(tuple(surviving_device_ids)),
+        stages=len(plan.stages),
+    ):
+        return _degrade_execution_plan(
+            plan, surviving_device_ids, cluster, spec, workload
+        )
+
+
+def _degrade_execution_plan(
+    plan: ExecutionPlan,
+    surviving_device_ids: Sequence[int],
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> ExecutionPlan:
     from ..pipeline.simulator import check_plan_memory
     from ..simgpu.memory import OutOfMemoryError
 
@@ -141,17 +160,45 @@ def degrade_execution_plan(
 
 @dataclass(frozen=True)
 class PlannerResult:
-    """The assigner's output."""
+    """The assigner's output.
+
+    Implements the :class:`repro.api.Summary` protocol —
+    :meth:`to_dict` and :attr:`throughput_tokens_s` are uniform across
+    planner, simulator and runtime results.
+    """
 
     plan: ExecutionPlan
     predicted_latency_s: float
     predicted_quality: float
-    predicted_throughput: float
+    #: Predicted output-token throughput (the paper's headline metric).
+    throughput_tokens_s: float
     solve_time_s: float
     candidates_tried: int
     stats: Tuple[CandidateStat, ...]
     #: Search-engine observability (``None`` for the naive reference path).
     search: Optional[SearchStats] = None
+
+    @property
+    def predicted_throughput(self) -> float:
+        """Deprecated alias of :attr:`throughput_tokens_s`."""
+        warnings.warn(
+            "PlannerResult.predicted_throughput is deprecated; use "
+            "PlannerResult.throughput_tokens_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.throughput_tokens_s
+
+    @property
+    def duration_s(self) -> float:
+        """Planning wall-clock (the Summary-protocol duration)."""
+        return self.solve_time_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import planner_result_to_dict
+
+        return planner_result_to_dict(self)
 
 
 def solution_to_plan(
@@ -276,6 +323,14 @@ class SplitQuantPlanner:
         from ..pipeline.simulator import simulate_plan
         from ..pipeline.stage import CostModelTiming
 
+        with trace.span("planner.verify", k=len(top)):
+            return self._verify_candidates_inner(
+                top, workload, simulate_plan, CostModelTiming
+            )
+
+    def _verify_candidates_inner(
+        self, top, workload, simulate_plan, CostModelTiming
+    ):
         best = None
         best_makespan = float("inf")
         for cand in top:
@@ -311,18 +366,38 @@ class SplitQuantPlanner:
         solving).  The chosen plan is bit-identical to :meth:`plan_naive`.
         """
         t0 = time.perf_counter()
-        engine = CandidateSearchEngine(
-            self.spec,
-            self.cluster,
-            self.config,
-            self.omega_layers,
-            self.cost_model_for_kv,
-            self._solve_one,
-        )
-        outcome = engine.search(workload)
-        return self._finish(
-            outcome.ranked, outcome.stats, workload, t0, search=outcome.search
-        )
+        with trace.span(
+            "planner.plan",
+            model=self.spec.name,
+            cluster=self.cluster.name,
+            batch=workload.batch,
+            output_len=workload.output_len,
+        ) as sp:
+            engine = CandidateSearchEngine(
+                self.spec,
+                self.cluster,
+                self.config,
+                self.omega_layers,
+                self.cost_model_for_kv,
+                self._solve_one,
+            )
+            outcome = engine.search(workload)
+            result = self._finish(
+                outcome.ranked,
+                outcome.stats,
+                workload,
+                t0,
+                search=outcome.search,
+            )
+            sp.set(feasible=result is not None)
+            if trace.enabled:
+                metrics.counter("planner.plans").inc()
+                metrics.histogram("planner.plan_wall_s").observe(
+                    time.perf_counter() - t0
+                )
+                if result is None:
+                    metrics.counter("planner.plans_infeasible").inc()
+            return result
 
     def replan(
         self,
@@ -339,21 +414,27 @@ class SplitQuantPlanner:
         permanent GPU loss.  Raises :class:`InfeasibleError` when no plan
         fits on the survivors.
         """
-        reduced = reduced_cluster(self.cluster, surviving_device_ids)
-        planner = SplitQuantPlanner(
-            self.spec,
-            reduced,
-            self.config,
-            cost_model=self.cost_model,
-            omega_layers=self.omega_layers,
-        )
-        result = planner.plan(workload)
-        if result is None:
-            raise InfeasibleError(
-                "no feasible plan on surviving devices "
-                f"{sorted(surviving_device_ids)}"
+        with trace.span(
+            "planner.replan",
+            survivors=len(tuple(surviving_device_ids)),
+        ):
+            reduced = reduced_cluster(self.cluster, surviving_device_ids)
+            planner = SplitQuantPlanner(
+                self.spec,
+                reduced,
+                self.config,
+                cost_model=self.cost_model,
+                omega_layers=self.omega_layers,
             )
-        return result
+            result = planner.plan(workload)
+            if result is None:
+                raise InfeasibleError(
+                    "no feasible plan on surviving devices "
+                    f"{sorted(surviving_device_ids)}"
+                )
+            if trace.enabled:
+                metrics.counter("planner.replans").inc()
+            return result
 
     def plan_naive(self, workload: BatchWorkload) -> Optional[PlannerResult]:
         """The exhaustive serial reference search (no memo, bounds or pool).
@@ -361,6 +442,14 @@ class SplitQuantPlanner:
         Kept as the ground truth for determinism regression tests and the
         scaling benchmark: :meth:`plan` must return an identical plan.
         """
+        with trace.span(
+            "planner.plan_naive",
+            model=self.spec.name,
+            batch=workload.batch,
+        ):
+            return self._plan_naive(workload)
+
+    def _plan_naive(self, workload: BatchWorkload) -> Optional[PlannerResult]:
         cfg = self.config
         t0 = time.perf_counter()
         orderings = candidate_orderings(
@@ -475,7 +564,7 @@ class SplitQuantPlanner:
             plan=plan,
             predicted_latency_s=sol.latency_s,
             predicted_quality=sol.quality,
-            predicted_throughput=(
+            throughput_tokens_s=(
                 n_tokens / sol.latency_s if sol.latency_s > 0 else 0.0
             ),
             solve_time_s=time.perf_counter() - t0,

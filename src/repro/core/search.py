@@ -52,6 +52,7 @@ from ..costmodel.latency import LatencyCostModel
 from ..hardware.cluster import ClusterSpec
 from ..models.architectures import ModelSpec
 from ..models.layers import weight_storage_bytes
+from ..obs import DEFAULT_FRACTION_BUCKETS, metrics, trace
 from ..pipeline.stage import CostModelTiming, MemoizedTiming
 from ..workloads.spec import BatchWorkload
 from .config import PlannerConfig
@@ -108,6 +109,26 @@ class SearchStats:
     #: Time spent computing bounds (analytic + LP).
     bound_time_s: float
     parallelism: int
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe dict (the ``repro.serialization`` round-trip form)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    def publish_metrics(self) -> None:
+        """Feed the process-wide metrics registry from this search."""
+        metrics.counter("planner.candidates_enumerated").inc(self.enumerated)
+        metrics.counter("planner.candidates_solved").inc(self.solved)
+        metrics.counter("planner.candidates_pruned_total").inc(self.pruned)
+        metrics.counter("planner.candidates_infeasible").inc(self.infeasible)
+        metrics.counter("planner.timing_cache_hits").inc(self.cache_hits)
+        metrics.counter("planner.timing_cache_misses").inc(self.cache_misses)
+        metrics.counter("planner.warm_starts").inc(self.warm_starts)
+        metrics.histogram("planner.search_wall_s").observe(self.wall_time_s)
+        metrics.histogram(
+            "planner.bound_tightness", DEFAULT_FRACTION_BUCKETS
+        ).observe(self.mean_bound_tightness)
 
 
 #: Relative slack applied before pruning on a bound, so solver-side float
@@ -437,6 +458,14 @@ class CandidateSearchEngine:
     # -- the search ----------------------------------------------------
 
     def search(self, workload: BatchWorkload) -> SearchOutcome:
+        with trace.span(
+            "search.run",
+            batch=workload.batch,
+            parallelism=self.config.parallelism,
+        ):
+            return self._search(workload)
+
+    def _search(self, workload: BatchWorkload) -> SearchOutcome:
         cfg = self.config
         t0 = time.perf_counter()
         theta_eff = 0.0 if cfg.quality_budget is not None else cfg.theta
@@ -445,15 +474,18 @@ class CandidateSearchEngine:
             bound_mode = "analytic" if cfg.use_heuristic else "lp"
         prune = cfg.prune and bound_mode != "none"
 
-        candidates, groups = self._enumerate(workload)
+        with trace.span("search.enumerate") as sp:
+            candidates, groups = self._enumerate(workload)
+            sp.set(candidates=len(candidates))
         bound_time = 0.0
         lp_bounds = 0
         if prune:
             tb = time.perf_counter()
-            for cand in candidates:
-                cand.bound = analytic_lower_bound(
-                    cand.problem, theta_eff, cfg.quality_budget
-                )
+            with trace.span("search.bounds", candidates=len(candidates)):
+                for cand in candidates:
+                    cand.bound = analytic_lower_bound(
+                        cand.problem, theta_eff, cfg.quality_budget
+                    )
             bound_time += time.perf_counter() - tb
 
         # Best-bound-first tightens the incumbent early; enumeration order
@@ -531,12 +563,37 @@ class CandidateSearchEngine:
                 cand, groups[key], warm_attempts.setdefault(key, {})
             )
 
+        def solve(
+            cand: _Candidate, warm: Optional[ILPSolution]
+        ) -> Optional[ILPSolution]:
+            """Backend solve, traced (may run on a pool thread)."""
+            if not trace.enabled:
+                return self.solve_one(cand.problem, warm)
+            with trace.span(
+                "search.solve",
+                index=cand.index,
+                eta=cand.eta,
+                xi=cand.xi,
+                bit_kv=cand.bit_kv,
+            ) as sp:
+                sol = self.solve_one(cand.problem, warm)
+                sp.set(
+                    status="infeasible" if sol is None else sol.status,
+                    bound_s=max(cand.best_bound, 0.0),
+                )
+                return sol
+
+        def mark_pruned(cand: _Candidate) -> None:
+            cand.status = "pruned"
+            if trace.enabled:
+                metrics.counter("planner.candidates_pruned").inc()
+
         if cfg.parallelism <= 1:
             for cand in order:
                 if try_prune(cand):
-                    cand.status = "pruned"
+                    mark_pruned(cand)
                     continue
-                record(cand, self.solve_one(cand.problem, prep(cand)))
+                record(cand, solve(cand, prep(cand)))
         else:
             with ThreadPoolExecutor(max_workers=cfg.parallelism) as pool:
                 i = 0
@@ -546,16 +603,11 @@ class CandidateSearchEngine:
                         cand = order[i]
                         i += 1
                         if try_prune(cand):
-                            cand.status = "pruned"
+                            mark_pruned(cand)
                             continue
                         warm = prep(cand)
                         batch.append(
-                            (
-                                cand,
-                                pool.submit(
-                                    self.solve_one, cand.problem, warm
-                                ),
-                            )
+                            (cand, pool.submit(solve, cand, warm))
                         )
                     for cand, fut in batch:
                         record(cand, fut.result())
@@ -628,4 +680,6 @@ class CandidateSearchEngine:
             bound_time_s=bound_time,
             parallelism=cfg.parallelism,
         )
+        if trace.enabled:
+            search_stats.publish_metrics()
         return SearchOutcome(ranked=ranked, stats=stats, search=search_stats)

@@ -7,17 +7,17 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional, Tuple
 
+from ..api import Session
 from ..baselines import (
     BaselineResult,
     plan_het_baseline,
     plan_uniform_baseline,
 )
 from ..costmodel.latency import LatencyCostModel
-from ..core import PlannerConfig, SplitQuantPlanner
+from ..core import PlannerConfig
 from ..hardware.cluster import ClusterSpec
 from ..models.architectures import ModelSpec, get_model
 from ..models import layers as L
-from ..pipeline import simulate_plan
 from ..plan import ExecutionPlan
 from ..quant.sensitivity import normalized_indicator_table
 from ..simgpu.memory import OutOfMemoryError
@@ -52,7 +52,8 @@ def throughput_of(
     if plan is None:
         return 0.0
     try:
-        return simulate_plan(plan, cluster, spec, workload).throughput_tokens_s
+        sim = Session(spec, cluster).simulate(plan=plan, workload=workload)
+        return sim.throughput_tokens_s
     except OutOfMemoryError:
         return 0.0
 
@@ -168,10 +169,10 @@ def compare_policies(
         k = list(cfg.bit_choices).index(ref_bits)
         budget = float(omega[:, k].sum())
         cfg = dataclasses.replace(cfg, quality_budget=budget)
-    planner = SplitQuantPlanner(
+    session = Session(
         spec, cluster, cfg, cost_model=cm, omega_layers=omega
     )
-    result = planner.plan(workload)
+    result = session.plan(workload)
 
     return ServingComparison(
         uniform_tput=uni_tput,

@@ -57,3 +57,15 @@ class ExperimentResult:
         """All values of one column by header name."""
         idx = self.headers.index(header)
         return [r[idx] for r in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (aligned with the ``repro.api.Summary`` style)."""
+        return {
+            "kind": "experiment",
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+            "summary": dict(self.summary),
+        }

@@ -1,0 +1,171 @@
+"""``repro.obs``: the zero-dependency observability subsystem.
+
+Three pieces, all stdlib-only:
+
+* :mod:`~repro.obs.tracer` — span-based tracing with nesting, wall/CPU
+  time, JSONL export and deterministic normalization for golden tests;
+* :mod:`~repro.obs.metrics` — a process-wide registry of counters,
+  gauges and fixed-bucket histograms;
+* :mod:`~repro.obs.report` — the text flame summary behind
+  ``scripts/trace_report.py``.
+
+Library code traces through the module-level :data:`trace` dispatcher::
+
+    from repro.obs import trace, metrics
+
+    with trace.span("ilp.solve", groups=G, stages=N):
+        ...
+    if trace.enabled:
+        metrics.counter("planner.candidates_pruned").inc()
+
+By default no tracer is installed and ``trace.enabled`` is ``False``:
+``trace.span`` returns a shared no-op and hot loops skip entirely on the
+one-attribute check.  Enable by installing a tracer
+(:func:`install_tracer` / the :func:`use_tracer` context manager — what
+:class:`repro.api.Session` does) or by setting the environment variable
+``SPLITQUANT_TRACE=/path/to/trace.jsonl``, which activates tracing at
+import and writes the JSONL at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+from typing import Any, Iterator, Optional, Union
+
+from .metrics import (
+    Counter,
+    DEFAULT_FRACTION_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import flame_summary
+from .tracer import NOOP_SPAN, Span, Tracer, normalize_trace, parse_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_FRACTION_BUCKETS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TRACE_ENV",
+    "Tracer",
+    "current_tracer",
+    "flame_summary",
+    "install_from_env",
+    "install_tracer",
+    "metrics",
+    "normalize_trace",
+    "parse_trace",
+    "trace",
+    "uninstall_tracer",
+    "use_tracer",
+]
+
+#: Environment variable holding the JSONL output path.
+TRACE_ENV = "SPLITQUANT_TRACE"
+
+
+class _TraceDispatch:
+    """The process-wide tracing entry point library code imports.
+
+    Holds at most one active :class:`Tracer`.  ``enabled`` is a plain
+    attribute kept in sync with the installed tracer so hot paths pay a
+    single attribute check when tracing is off.
+    """
+
+    __slots__ = ("enabled", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.tracer: Optional[Tracer] = None
+
+    def span(self, name: str, **attrs: Any):
+        t = self.tracer
+        if t is None or not self.enabled:
+            return NOOP_SPAN
+        return t.span(name, **attrs)
+
+
+#: The singleton dispatcher (import this, never a Tracer, in library code).
+trace = _TraceDispatch()
+
+#: The process-wide metrics registry (always usable; call sites guard
+#: updates behind ``trace.enabled`` to keep the disabled path free).
+metrics = MetricsRegistry()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, if any."""
+    return trace.tracer
+
+
+def install_tracer(tracer: Tracer) -> Optional[Tracer]:
+    """Install ``tracer`` globally; returns the previously installed one."""
+    previous = trace.tracer
+    trace.tracer = tracer
+    trace.enabled = bool(tracer.enabled)
+    return previous
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Remove the installed tracer (tracing disabled); returns it."""
+    previous = trace.tracer
+    trace.tracer = None
+    trace.enabled = False
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scoped install: activate ``tracer`` for the block, then restore.
+
+    ``None`` disables tracing for the block.  Re-entrant — nested
+    ``use_tracer`` blocks restore the outer tracer on exit.
+    """
+    prev_tracer, prev_enabled = trace.tracer, trace.enabled
+    trace.tracer = tracer
+    trace.enabled = bool(tracer is not None and tracer.enabled)
+    try:
+        yield tracer
+    finally:
+        trace.tracer, trace.enabled = prev_tracer, prev_enabled
+
+
+def install_from_env(
+    environ: Optional[dict] = None, register_atexit: bool = True
+) -> Optional[Tracer]:
+    """Activate tracing when ``SPLITQUANT_TRACE`` names an output path.
+
+    Installs a fresh global tracer and (by default) registers an atexit
+    hook that writes the JSONL trace — plus a ``<path>.metrics.json``
+    metrics snapshot — when the interpreter exits.  Returns the tracer,
+    or ``None`` when the variable is unset/empty.
+    """
+    env = os.environ if environ is None else environ
+    path = env.get(TRACE_ENV, "").strip()
+    if not path:
+        return None
+    tracer = Tracer(enabled=True)
+    install_tracer(tracer)
+    if register_atexit:
+
+        def _dump() -> None:
+            tracer.write(path)
+            snapshot = metrics.to_json()
+            with open(path + ".metrics.json", "w") as fh:
+                fh.write(snapshot + "\n")
+
+        atexit.register(_dump)
+    return tracer
+
+
+#: Auto-activation: importing repro with SPLITQUANT_TRACE set turns the
+#: whole process into a traced run (used by the CI fault-demo job).
+_env_tracer = install_from_env()

@@ -1,0 +1,212 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+The numeric half of the observability layer (spans answer *where time
+went*, metrics answer *how often / how much*).  Zero dependencies,
+thread-safe, and cheap enough that call sites only guard updates behind
+``trace.enabled`` to keep the disabled fast path at one attribute check.
+
+Naming convention: ``<subsystem>.<noun>[_<unit>]`` with subsystems
+``planner`` / ``search`` / ``ilp`` / ``sim`` / ``runtime`` — e.g.
+``planner.candidates_pruned`` (counter), ``runtime.heartbeat_age_s``
+(gauge), ``sim.bubble_fraction`` (histogram).  Histograms use *fixed*
+bucket boundaries chosen at creation so snapshots from different runs
+merge/compare trivially; a sample equal to a boundary lands in that
+boundary's bucket (``le`` semantics), larger-than-all samples land in
+the overflow bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_FRACTION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Latency-style boundaries (seconds), log-ish spaced across the repo's
+#: observed range: sub-ms event-loop ticks up to the 60 s solver budget.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Boundaries for [0, 1] ratios (utilization, bubble fraction, bound
+#: tightness).
+DEFAULT_FRACTION_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with ``le`` bucket semantics.
+
+    ``boundaries`` must be strictly increasing.  ``counts[i]`` holds
+    samples ``v <= boundaries[i]`` (and ``> boundaries[i-1]``); the
+    final slot ``counts[-1]`` is the overflow bucket
+    (``v > boundaries[-1]``).
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Tuple[float, ...],
+        lock: threading.Lock,
+    ) -> None:
+        if not boundaries:
+            raise ValueError("histogram needs at least one boundary")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError("boundaries must be strictly increasing")
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_of(self, value: float) -> int:
+        """Index of the bucket a value would land in (test hook)."""
+        return bisect.bisect_left(self.boundaries, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named instruments, created lazily on first use.
+
+    Re-requesting a name returns the same instrument; requesting it as a
+    different type (or a histogram with different boundaries) raises —
+    silent shadowing would corrupt dashboards.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls, factory):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory()
+                self._instruments[name] = inst
+                return inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, self._lock))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        bounds = boundaries or DEFAULT_SECONDS_BUCKETS
+        hist = self._get(
+            name, Histogram, lambda: Histogram(name, bounds, self._lock)
+        )
+        if boundaries is not None and hist.boundaries != tuple(
+            float(b) for b in boundaries
+        ):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{hist.boundaries}"
+            )
+        return hist
+
+    def get(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain dicts (JSON-safe)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return {name: inst.to_dict() for name, inst in sorted(items)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh sessions)."""
+        with self._lock:
+            self._instruments.clear()

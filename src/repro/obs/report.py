@@ -1,0 +1,141 @@
+"""Text flame summary of a JSONL trace (``scripts/trace_report.py``).
+
+Aggregates spans by ancestor *path* (``planner.plan/search.run/...``)
+and renders an indented tree: call count, total/mean wall time, total
+CPU time, self time (wall minus same-thread children) and error count
+per path, ordered by total wall time within each parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Union
+
+from .tracer import parse_trace
+
+__all__ = ["flame_summary", "PathStats"]
+
+
+@dataclass
+class PathStats:
+    """Aggregate over all spans sharing one ancestor path."""
+
+    path: str
+    count: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    child_wall_s: float = 0.0
+    errors: int = 0
+    children: Dict[str, "PathStats"] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def self_wall_s(self) -> float:
+        return max(self.wall_s - self.child_wall_s, 0.0)
+
+
+def _aggregate(records: List[Dict[str, Any]]) -> Dict[str, PathStats]:
+    by_id = {r["i"]: r for r in records if r.get("i") is not None}
+
+    def path_of(rec: Dict[str, Any]) -> str:
+        names = [rec["name"]]
+        seen = {rec.get("i")}
+        parent = rec.get("parent")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            rec = by_id[parent]
+            names.append(rec["name"])
+            parent = rec.get("parent")
+        return "/".join(reversed(names))
+
+    roots: Dict[str, PathStats] = {}
+
+    def node(path: str) -> PathStats:
+        parts = path.split("/")
+        level = roots
+        stats = None
+        for i in range(len(parts)):
+            p = "/".join(parts[: i + 1])
+            stats = level.get(parts[i])
+            if stats is None:
+                stats = PathStats(path=p)
+                level[parts[i]] = stats
+            level = stats.children
+        return stats
+
+    for rec in records:
+        p = path_of(rec)
+        stats = node(p)
+        stats.count += 1
+        stats.wall_s += float(rec.get("wall_s", 0.0))
+        stats.cpu_s += float(rec.get("cpu_s", 0.0))
+        if str(rec.get("status", "ok")) != "ok":
+            stats.errors += 1
+        if "/" in p:
+            node(p.rsplit("/", 1)[0]).child_wall_s += float(
+                rec.get("wall_s", 0.0)
+            )
+    return roots
+
+
+def _fmt_s(x: float) -> str:
+    if x >= 1.0:
+        return f"{x:8.3f}s"
+    return f"{x * 1e3:7.2f}ms"
+
+
+def flame_summary(
+    source: Union[str, Iterable[Dict[str, Any]]],
+    max_depth: int = 8,
+) -> str:
+    """Render an indented flame-style summary of a trace.
+
+    ``source`` is a JSONL string, a path, or an iterable of records.
+    """
+    records = parse_trace(source)
+    if not records:
+        return "(empty trace)\n"
+    roots = _aggregate(records)
+    total_wall = sum(s.wall_s for s in roots.values())
+
+    lines: List[str] = []
+    lines.append(
+        f"{'span':<52} {'count':>6} {'wall':>10} {'mean':>10} "
+        f"{'self':>10} {'cpu':>10} {'err':>4}"
+    )
+    lines.append("-" * 106)
+
+    def emit(stats: PathStats, depth: int) -> None:
+        if depth >= max_depth:
+            return
+        label = ("  " * depth) + stats.name
+        share = (
+            f" ({stats.wall_s / total_wall:4.0%})"
+            if total_wall > 0 and depth == 0
+            else ""
+        )
+        lines.append(
+            f"{(label + share):<52} {stats.count:>6} "
+            f"{_fmt_s(stats.wall_s):>10} "
+            f"{_fmt_s(stats.wall_s / stats.count if stats.count else 0):>10} "
+            f"{_fmt_s(stats.self_wall_s):>10} "
+            f"{_fmt_s(stats.cpu_s):>10} "
+            f"{stats.errors:>4}"
+        )
+        for child in sorted(
+            stats.children.values(), key=lambda s: -s.wall_s
+        ):
+            emit(child, depth + 1)
+
+    for root in sorted(roots.values(), key=lambda s: -s.wall_s):
+        emit(root, 0)
+    lines.append("-" * 106)
+    lines.append(
+        f"{len(records)} spans, "
+        f"{sum(1 for r in records if str(r.get('status', 'ok')) != 'ok')} "
+        f"errored, root wall {total_wall:.3f}s"
+    )
+    return "\n".join(lines) + "\n"

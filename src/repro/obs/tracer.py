@@ -1,0 +1,335 @@
+"""Span-based tracing: the execution side of the planner's feedback loop.
+
+The paper's planner is driven end-to-end by *observed* latency/memory
+samples; this module lets the reproduction observe itself.  A
+:class:`Tracer` records **spans** — named, attributed, nested intervals
+with wall and CPU time — from the planner (candidate search, HiGHS
+solves), the discrete-event simulators and the threaded runtime
+(per-stage step spans, checkpoint commits, the fault
+detection→replan→replay timeline).
+
+Design constraints (see DESIGN.md "Observability"):
+
+* **Zero dependencies** — stdlib only, numpy never touches a span.
+* **No-op fast path** — when tracing is disabled (the default) a hook
+  costs one attribute check plus a kwargs pack; genuinely hot loops
+  guard with ``if trace.enabled`` so the disabled cost is a single
+  attribute load.  ``benchmarks/test_obs_overhead.py`` asserts < 2%
+  total overhead on the Table-VI planner configuration.
+* **Deterministic modulo timestamps** — span names, attributes, status
+  and parentage depend only on program logic, never on timing, so a
+  :func:`normalize_trace` of a run (timestamps stripped, records
+  canonically sorted) is byte-stable and golden-testable.
+* **Thread-correct** — nesting is tracked per thread; spans opened on
+  worker or pool threads simply root their own stacks.
+
+JSONL export: one object per *closed* span, with fields ``i`` (close
+order), ``parent`` (span index or null), ``name``, ``thread``,
+``depth``, ``t0_s`` (epoch start), ``wall_s``, ``cpu_s`` (thread CPU
+time), ``status`` (``"ok"`` or ``"error:<ExcType>"``) and ``attrs``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "normalize_trace",
+    "parse_trace",
+]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attribute value into something JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    # numpy scalars and friends expose item(); fall back to repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return repr(value)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned on the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span.  Use as a context manager; closes exactly once."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "attrs",
+        "index",
+        "parent_index",
+        "depth",
+        "thread",
+        "t0_s",
+        "status",
+        "wall_s",
+        "cpu_s",
+        "_t0_wall",
+        "_t0_cpu",
+        "_closed",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.index: Optional[int] = None
+        self.parent_index: Optional[int] = None
+        self.depth = 0
+        self.thread = ""
+        self.t0_s = 0.0
+        self.status = "ok"
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._t0_wall = 0.0
+        self._t0_cpu = 0.0
+        self._closed = False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes after the span opened."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = f"error:{exc_type.__name__}"
+        self.tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Records spans into an in-memory list; exports JSONL.
+
+    Thread-safe: nesting is per-thread (a thread-local stack), record
+    appends take a lock.  ``spans_started`` / ``spans_finished`` expose
+    the open/close balance (the Hypothesis suite asserts every span
+    opened is closed exactly once).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count()
+        self.spans_started = 0
+        self.spans_finished = 0
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
+        """Open a span (context manager).  No-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            span.index = next(self._ids)
+            self.spans_started += 1
+        span.parent_index = stack[-1].index if stack else None
+        span.depth = len(stack)
+        span.thread = threading.current_thread().name
+        stack.append(span)
+        span.t0_s = time.time()
+        span._t0_wall = time.perf_counter()
+        span._t0_cpu = time.thread_time()
+
+    def _close(self, span: Span) -> None:
+        if span._closed:  # pragma: no cover - double-exit guard
+            return
+        span.wall_s = time.perf_counter() - span._t0_wall
+        span.cpu_s = time.thread_time() - span._t0_cpu
+        span._closed = True
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unwound out of order
+            stack.remove(span)
+        record = {
+            "i": span.index,
+            "parent": span.parent_index,
+            "name": span.name,
+            "thread": span.thread,
+            "depth": span.depth,
+            "t0_s": span.t0_s,
+            "wall_s": span.wall_s,
+            "cpu_s": span.cpu_s,
+            "status": span.status,
+            "attrs": {k: _json_safe(v) for k, v in span.attrs.items()},
+        }
+        with self._lock:
+            self._records.append(record)
+            self.spans_finished += 1
+
+    # -- inspection / export --------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot copy of the closed-span records."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def open_spans(self) -> int:
+        """Spans currently open (started minus finished)."""
+        with self._lock:
+            return self.spans_started - self.spans_finished
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.spans_started = 0
+            self.spans_finished = 0
+
+    def to_jsonl(self) -> str:
+        """One JSON object per closed span, one per line."""
+        return "".join(
+            json.dumps(r, sort_keys=True) + "\n" for r in self.records
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Dump the trace as JSONL to ``path``; returns the path."""
+        p = Path(path)
+        p.write_text(self.to_jsonl())
+        return p
+
+
+# ---------------------------------------------------------------------------
+# Normalization (golden-trace support)
+# ---------------------------------------------------------------------------
+
+
+def parse_trace(
+    source: Union[str, Path, Iterable[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Records from a JSONL string, a path, or an iterable of dicts.
+
+    A plain string is treated as a filesystem path when it does not look
+    like JSONL (no leading ``{``) and names an existing file; otherwise
+    it is parsed as JSONL content.
+    """
+    if isinstance(source, Path):
+        source = source.read_text()
+    if isinstance(source, str):
+        stripped = source.lstrip()
+        if not stripped.startswith("{") and Path(source).is_file():
+            source = Path(source).read_text()
+        return [
+            json.loads(line)
+            for line in source.splitlines()
+            if line.strip()
+        ]
+    return list(source)
+
+
+def _round_sig(value: Any, sig: int = 12) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{sig}g}")
+    if isinstance(value, list):
+        return [_round_sig(v, sig) for v in value]
+    if isinstance(value, dict):
+        return {k: _round_sig(v, sig) for k, v in value.items()}
+    return value
+
+
+def normalize_trace(
+    source: Union[str, Path, Iterable[Dict[str, Any]]]
+) -> str:
+    """Canonical, timestamp-free rendering of a trace.
+
+    Drops everything timing- or scheduling-dependent (timestamps,
+    durations, thread names, span ids) and keeps what program logic
+    determines: each span's ancestor *path* (``a/b/c``), name, status
+    and attributes (floats rounded to 12 significant digits, the golden
+    grain used across the repo).  Records are sorted on
+    ``(path, attrs, status)`` and renumbered, so two runs of a
+    deterministic program normalize to byte-identical text regardless of
+    thread interleaving.
+    """
+    records = parse_trace(source)
+    by_id = {r["i"]: r for r in records if r.get("i") is not None}
+
+    def path(rec: Dict[str, Any]) -> str:
+        names = [rec["name"]]
+        seen = {rec.get("i")}
+        parent = rec.get("parent")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            rec = by_id[parent]
+            names.append(rec["name"])
+            parent = rec.get("parent")
+        return "/".join(reversed(names))
+
+    normalized = [
+        {
+            "path": path(r),
+            "name": r["name"],
+            "status": r.get("status", "ok"),
+            "attrs": _round_sig(r.get("attrs", {})),
+        }
+        for r in records
+    ]
+    normalized.sort(
+        key=lambda r: (
+            r["path"],
+            json.dumps(r["attrs"], sort_keys=True),
+            r["status"],
+        )
+    )
+    for i, r in enumerate(normalized):
+        r["i"] = i
+    return "".join(
+        json.dumps(r, sort_keys=True) + "\n" for r in normalized
+    )

@@ -24,6 +24,7 @@ from ..costmodel.memory import MemoryCostModel
 from ..hardware.cluster import ClusterSpec, Device
 from ..models.architectures import ModelSpec
 from ..models import layers as L
+from ..obs import DEFAULT_FRACTION_BUCKETS, metrics, trace
 from ..plan import ExecutionPlan
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload, VariableBatchWorkload
@@ -67,6 +68,17 @@ class PipelineSimResult:
         """Mean idle fraction across stages — pipeline imbalance measure."""
         util = self.stage_utilization
         return 1.0 - float(np.mean(util)) if util else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated wall-clock (the Summary-protocol duration)."""
+        return self.makespan_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import sim_result_to_dict
+
+        return sim_result_to_dict(self)
 
 
 def _microbatch_sizes(total: int, micro: int) -> List[int]:
@@ -122,6 +134,33 @@ def simulate_plan(
     check_memory: bool = True,
 ) -> PipelineSimResult:
     """Simulate serving ``workload`` under ``plan`` on ``cluster``."""
+    with trace.span(
+        "sim.run",
+        stages=plan.num_stages,
+        batch=workload.batch,
+        output_len=workload.output_len,
+    ) as sp:
+        result = _simulate_plan(
+            plan, cluster, spec, workload, timing, check_memory
+        )
+        sp.set(events=result.events_processed)
+        if trace.enabled:
+            metrics.counter("sim.runs").inc()
+            metrics.counter("sim.events").inc(result.events_processed)
+            metrics.histogram(
+                "sim.bubble_fraction", DEFAULT_FRACTION_BUCKETS
+            ).observe(result.bubble_fraction)
+        return result
+
+
+def _simulate_plan(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    timing: Optional[TimingSource],
+    check_memory: bool,
+) -> PipelineSimResult:
     if plan.num_layers != spec.num_layers:
         raise ValueError(
             f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
@@ -200,10 +239,14 @@ def simulate_plan(
             pre_time[(j, size)], done, not_before=ready, label=f"P{m}.{c}"
         )
 
-    for m, size in enumerate(pre_sizes):
-        for c in range(workload.kappa):
-            submit_prefill(0, m, c, size, 0.0)
-    loop.run()
+    with trace.span(
+        "sim.prefill", microbatches=len(pre_sizes), chunks=workload.kappa
+    ) as sp:
+        for m, size in enumerate(pre_sizes):
+            for c in range(workload.kappa):
+                submit_prefill(0, m, c, size, 0.0)
+        loop.run()
+        sp.set(events=loop.processed)
     if pending["prefill"] != 0:
         raise RuntimeError("prefill simulation did not drain")
     prefill_span = max(prefill_done_at) if prefill_done_at else 0.0
@@ -254,9 +297,14 @@ def simulate_plan(
 
             servers[j].submit(dur, done, not_before=ready, label=f"D{m}.{t}")
 
-        for m, size in enumerate(dec_sizes):
-            submit_decode(0, m, 1, size, prefill_span)
-        loop.run()
+        events_before = loop.processed
+        with trace.span(
+            "sim.decode", microbatches=len(dec_sizes), steps=decode_steps
+        ) as sp:
+            for m, size in enumerate(dec_sizes):
+                submit_decode(0, m, 1, size, prefill_span)
+            loop.run()
+            sp.set(events=loop.processed - events_before)
         if remaining["jobs"] != 0:
             raise RuntimeError("decode simulation did not drain")
         decode_span = max(last_token_done) - prefill_span
@@ -306,6 +354,17 @@ class DegradedSimResult:
     def degradation_overhead_s(self) -> float:
         """Extra wall-clock versus running the final plan fault-free."""
         return self.makespan_s - self.segments[-1].makespan_s
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated wall-clock (the Summary-protocol duration)."""
+        return self.makespan_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import degraded_result_to_dict
+
+        return degraded_result_to_dict(self)
 
 
 def _surviving_devices(
@@ -360,6 +419,31 @@ def simulate_degraded(
                 cur, surviving, cluster, spec, workload
             )
 
+    with trace.span(
+        "sim.degraded", faults=len(tuple(fault_plan.in_order()))
+    ) as sp:
+        result = _simulate_degraded(
+            plan, cluster, spec, workload, fault_plan, timing,
+            check_memory, detection_overhead_s, replan,
+        )
+        sp.set(replans=result.replans)
+        if trace.enabled:
+            metrics.counter("sim.degraded_runs").inc()
+            metrics.counter("sim.replans").inc(result.replans)
+        return result
+
+
+def _simulate_degraded(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    fault_plan: "FaultPlan",
+    timing: Optional[TimingSource],
+    check_memory: bool,
+    detection_overhead_s: float,
+    replan: Callable[[ExecutionPlan, Tuple[int, ...]], ExecutionPlan],
+) -> DegradedSimResult:
     current = plan
     plans: List[ExecutionPlan] = [plan]
     segments: List[PipelineSimResult] = []
@@ -381,46 +465,56 @@ def simulate_degraded(
                     detail=f"delay {fs.delay_s:.3g}s",
                 )
             )
+            with trace.span(
+                "sim.fault", kind="slow", stage=fs.stage,
+                phase=fs.phase, step=fs.step, action="absorb",
+            ):
+                pass  # marker: the delay is pure simulated time
             continue
         if fs.stage >= current.num_stages:
             continue  # the degraded pipeline no longer has this stage
         if fs.phase == "decode" and fs.step >= workload.output_len:
             continue  # beyond the generation horizon: never fires
-        committed = 0 if fs.phase == "prefill" else fs.step
-        lost_wl = replace(workload, output_len=max(committed, 1))
-        lost = simulate_plan(
-            current, cluster, spec, lost_wl,
-            timing=timing, check_memory=False,
-        )
-        segments.append(lost)
-        t_acc += lost.makespan_s + detection_overhead_s
-        if fs.kind == "kill":
-            dead = current.stages[fs.stage].device_ids
-            events.append(
-                FaultEvent(
-                    time_s=t_acc,
-                    kind="kill",
-                    stage=fs.stage,
-                    phase=fs.phase,
-                    step=fs.step,
-                    action="replan",
-                    detail=f"devices {dead} removed",
-                )
+        with trace.span(
+            "sim.fault", kind=fs.kind, stage=fs.stage,
+            phase=fs.phase, step=fs.step,
+            action="replan" if fs.kind == "kill" else "rebuild",
+        ):
+            committed = 0 if fs.phase == "prefill" else fs.step
+            lost_wl = replace(workload, output_len=max(committed, 1))
+            lost = simulate_plan(
+                current, cluster, spec, lost_wl,
+                timing=timing, check_memory=False,
             )
-            current = replan(current, _surviving_devices(current, dead))
-        else:  # drop: same devices, fresh pipeline + replay
-            events.append(
-                FaultEvent(
-                    time_s=t_acc,
-                    kind="drop",
-                    stage=fs.stage,
-                    phase=fs.phase,
-                    step=fs.step,
-                    action="rebuild",
+            segments.append(lost)
+            t_acc += lost.makespan_s + detection_overhead_s
+            if fs.kind == "kill":
+                dead = current.stages[fs.stage].device_ids
+                events.append(
+                    FaultEvent(
+                        time_s=t_acc,
+                        kind="kill",
+                        stage=fs.stage,
+                        phase=fs.phase,
+                        step=fs.step,
+                        action="replan",
+                        detail=f"devices {dead} removed",
+                    )
                 )
-            )
-        replans += 1
-        plans.append(current)
+                current = replan(current, _surviving_devices(current, dead))
+            else:  # drop: same devices, fresh pipeline + replay
+                events.append(
+                    FaultEvent(
+                        time_s=t_acc,
+                        kind="drop",
+                        stage=fs.stage,
+                        phase=fs.phase,
+                        step=fs.step,
+                        action="rebuild",
+                    )
+                )
+            replans += 1
+            plans.append(current)
 
     final = simulate_plan(
         current, cluster, spec, workload,
@@ -452,6 +546,33 @@ def simulate_plan_variable(
     variable-output-length scenario the paper's latency model only
     sketches (Sec. IV-C).  Prefill is identical to the uniform case.
     """
+    with trace.span(
+        "sim.run_variable",
+        stages=plan.num_stages,
+        batch=workload.batch,
+        max_output=workload.max_output,
+    ) as sp:
+        result = _simulate_plan_variable(
+            plan, cluster, spec, workload, timing, check_memory
+        )
+        sp.set(events=result.events_processed)
+        if trace.enabled:
+            metrics.counter("sim.runs_variable").inc()
+            metrics.counter("sim.events").inc(result.events_processed)
+            metrics.histogram(
+                "sim.bubble_fraction", DEFAULT_FRACTION_BUCKETS
+            ).observe(result.bubble_fraction)
+        return result
+
+
+def _simulate_plan_variable(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: VariableBatchWorkload,
+    timing: Optional[TimingSource],
+    check_memory: bool,
+) -> PipelineSimResult:
     if plan.num_layers != spec.num_layers:
         raise ValueError(
             f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"

@@ -26,11 +26,13 @@ fault-free single-process reference.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics, trace
 from ..plan import ExecutionPlan, InfeasibleError, degrade_plan
 from ..quality.tinylm import TinyLM, TinyLMConfig
 from .comm import Channel, ChannelClosed, StageFailure
@@ -56,7 +58,12 @@ def tinylm_layer_bytes(config: TinyLMConfig, bits: int) -> int:
 
 @dataclass(frozen=True)
 class GenerationResult:
-    """Tokens plus runtime telemetry."""
+    """Tokens plus runtime telemetry.
+
+    Implements the :class:`repro.api.Summary` protocol —
+    :meth:`to_dict` and :attr:`throughput_tokens_s` are uniform across
+    planner, simulator and runtime results.
+    """
 
     tokens: np.ndarray  # (B, prompt + generated)
     prefill_time_s: float
@@ -69,10 +76,43 @@ class GenerationResult:
     fault_events: Tuple[FaultRecord, ...] = ()
     #: The plan the final (successful) attempt executed under.
     plan: Optional[ExecutionPlan] = None
+    #: Prompt length folded into :attr:`tokens` (columns before column
+    #: ``prompt_tokens`` were inputs, not generated output).
+    prompt_tokens: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Measured wall-clock (the Summary-protocol duration)."""
+        return self.prefill_time_s + self.decode_time_s
 
     @property
     def total_time_s(self) -> float:
-        return self.prefill_time_s + self.decode_time_s
+        """Deprecated alias of :attr:`duration_s`."""
+        warnings.warn(
+            "GenerationResult.total_time_s is deprecated; use "
+            "GenerationResult.duration_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.duration_s
+
+    @property
+    def generated_tokens(self) -> int:
+        """Output tokens per request (sequence length minus the prompt)."""
+        return int(self.tokens.shape[1]) - self.prompt_tokens
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Measured output-token throughput across the batch."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.tokens.shape[0] * self.generated_tokens / self.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import generation_result_to_dict
+
+        return generation_result_to_dict(self)
 
 
 def reference_generate(
@@ -242,6 +282,10 @@ class PipelineEngine:
             if w.is_alive()
             and now - w.last_heartbeat > self.stall_timeout_s
         ]
+        if trace.enabled and self._workers:
+            metrics.gauge("runtime.heartbeat_age_s").set(
+                max(now - w.last_heartbeat for w in self._workers)
+            )
         if hung:
             return hung, "hang"
         # All workers healthy and responsive yet the pipeline made no
@@ -264,6 +308,19 @@ class PipelineEngine:
 
     def _recover(self, ckpt: _Checkpoint) -> FaultRecord:
         """Degrade-and-replan (or rebuild) after a pipeline break."""
+        with trace.span("runtime.recover", committed=ckpt.steps) as sp:
+            record = self._recover_inner(ckpt)
+            sp.set(
+                kind=record.kind,
+                action=record.action,
+                dead_stages=len(record.dead_stages),
+            )
+            if trace.enabled:
+                metrics.counter("runtime.recoveries").inc()
+                metrics.counter(f"runtime.recoveries_{record.action}").inc()
+            return record
+
+    def _recover_inner(self, ckpt: _Checkpoint) -> FaultRecord:
         dead_stages, kind = self._dead_stage_indices()
         plan = self.plan_history[-1]
         dead_devices = tuple(
@@ -283,7 +340,8 @@ class PipelineEngine:
                 for d in st.device_ids
                 if d not in self._dead_devices
             )
-            new_plan = self._replan_fn(plan, surviving)
+            with trace.span("runtime.replan", survivors=len(surviving)):
+                new_plan = self._replan_fn(plan, surviving)
             if new_plan.bits_per_layer != self._expected_bits:
                 raise RuntimeError(
                     "degraded replan changed per-layer bitwidths; the "
@@ -359,6 +417,28 @@ class PipelineEngine:
         ChannelClosed / TimeoutError on a pipeline break; ``ckpt`` keeps
         everything committed so far.
         """
+        with trace.span(
+            "runtime.attempt",
+            stages=self.plan_history[-1].num_stages,
+            replay_steps=ckpt.steps,
+        ):
+            return self._attempt_inner(prompts, n_tokens, ckpt, forced_mb)
+
+    @staticmethod
+    def _note_commit(step: int) -> None:
+        """Zero-length marker span + counter for a committed token step."""
+        if trace.enabled:
+            with trace.span("runtime.commit", step=step):
+                pass
+            metrics.counter("runtime.committed_tokens").inc()
+
+    def _attempt_inner(
+        self,
+        prompts: np.ndarray,
+        n_tokens: int,
+        ckpt: _Checkpoint,
+        forced_mb: Optional[int],
+    ) -> Tuple[float, float, int]:
         plan = self.plan_history[-1]
         B, T = prompts.shape
         eta = forced_mb or min(plan.prefill_microbatch, B)
@@ -370,24 +450,26 @@ class PipelineEngine:
 
         # Prefill: all micro-batches in flight back-to-back.
         t0 = time.perf_counter()
-        jobs = [
-            StageMessage(
-                phase="prefill",
-                mb_id=i,
-                hidden=self.model.embed_tokens(prompts[sl]),
-            )
-            for i, sl in enumerate(pre_slices)
-        ]
-        hiddens = self._round_trip(jobs)
-        cur = np.empty(B, dtype=np.int64)
-        for i, sl in enumerate(pre_slices):
-            logits = self.model.lm_head(hiddens[i][:, -1:, :])[:, 0, :]
-            cur[sl] = logits.argmax(axis=-1)
-        if pre_slices != dec_slices:
-            self._switch_phase(pre_slices, dec_slices)
+        with trace.span("runtime.prefill", microbatches=len(pre_slices)):
+            jobs = [
+                StageMessage(
+                    phase="prefill",
+                    mb_id=i,
+                    hidden=self.model.embed_tokens(prompts[sl]),
+                )
+                for i, sl in enumerate(pre_slices)
+            ]
+            hiddens = self._round_trip(jobs)
+            cur = np.empty(B, dtype=np.int64)
+            for i, sl in enumerate(pre_slices):
+                logits = self.model.lm_head(hiddens[i][:, -1:, :])[:, 0, :]
+                cur[sl] = logits.argmax(axis=-1)
+            if pre_slices != dec_slices:
+                self._switch_phase(pre_slices, dec_slices)
         prefill_time = time.perf_counter() - t0
         if ckpt.steps == 0:
             ckpt.commit(cur.copy())
+            self._note_commit(0)
         elif not np.array_equal(cur, ckpt.committed[0]):
             raise RuntimeError("replay diverged from the committed prefix")
 
@@ -395,31 +477,37 @@ class PipelineEngine:
         # Steps <= the committed prefix are *replays* feeding the committed
         # tokens (deterministic KV reconstruction after a rebuild).
         t1 = time.perf_counter()
-        for step in range(1, n_tokens):
-            pos = T + step - 1
-            feed = ckpt.committed[step - 1]
-            jobs = [
-                StageMessage(
-                    phase="decode",
-                    mb_id=i,
-                    hidden=self.model.embed_tokens(
-                        feed[sl].reshape(-1, 1), start_pos=pos
-                    ),
-                    step=step,
-                )
-                for i, sl in enumerate(dec_slices)
-            ]
-            hiddens = self._round_trip(jobs)
-            nxt = np.empty(B, dtype=np.int64)
-            for i, sl in enumerate(dec_slices):
-                logits = self.model.lm_head(hiddens[i][:, -1:, :])[:, 0, :]
-                nxt[sl] = logits.argmax(axis=-1)
-            if step >= ckpt.steps:
-                ckpt.commit(nxt.copy())
-            elif not np.array_equal(nxt, ckpt.committed[step]):
-                raise RuntimeError(
-                    "replay diverged from the committed prefix"
-                )
+        with trace.span(
+            "runtime.decode",
+            steps=n_tokens - 1,
+            microbatches=len(dec_slices),
+        ):
+            for step in range(1, n_tokens):
+                pos = T + step - 1
+                feed = ckpt.committed[step - 1]
+                jobs = [
+                    StageMessage(
+                        phase="decode",
+                        mb_id=i,
+                        hidden=self.model.embed_tokens(
+                            feed[sl].reshape(-1, 1), start_pos=pos
+                        ),
+                        step=step,
+                    )
+                    for i, sl in enumerate(dec_slices)
+                ]
+                hiddens = self._round_trip(jobs)
+                nxt = np.empty(B, dtype=np.int64)
+                for i, sl in enumerate(dec_slices):
+                    logits = self.model.lm_head(hiddens[i][:, -1:, :])[:, 0, :]
+                    nxt[sl] = logits.argmax(axis=-1)
+                if step >= ckpt.steps:
+                    ckpt.commit(nxt.copy())
+                    self._note_commit(step)
+                elif not np.array_equal(nxt, ckpt.committed[step]):
+                    raise RuntimeError(
+                        "replay diverged from the committed prefix"
+                    )
         decode_time = time.perf_counter() - t1
         self._check_workers()
         return prefill_time, decode_time, xi
@@ -445,37 +533,47 @@ class PipelineEngine:
         if not self._started:
             raise RuntimeError("engine not started; use `with engine:`")
         prompts = np.asarray(prompts)
-        ckpt = _Checkpoint()
-        events: List[FaultRecord] = []
-        prefill_total = 0.0
-        decode_total = 0.0
-        attempts = 0
-        while True:
-            try:
-                prefill_t, decode_t, xi = self._generate_attempt(
-                    prompts, n_tokens, ckpt, microbatch
-                )
-                prefill_total += prefill_t
-                decode_total += decode_t
-                break
-            except (StageFailure, ChannelClosed, TimeoutError) as exc:
-                if attempts >= self.max_replans:
-                    self._started = False  # pipeline already torn
-                    raise
-                attempts += 1
-                record = self._recover(ckpt)  # may raise InfeasibleError
-                events.append(record)
-                del exc
-        tokens = np.concatenate(
-            [prompts] + [c[:, None] for c in ckpt.committed], axis=1
-        )
-        return GenerationResult(
-            tokens=tokens,
-            prefill_time_s=prefill_total,
-            decode_time_s=decode_total,
-            stage_busy_s=tuple(w.busy_time for w in self._workers),
-            microbatch=xi,
-            replans=attempts,
-            fault_events=tuple(events),
-            plan=self.plan_history[-1],
-        )
+        with trace.span(
+            "runtime.generate",
+            batch=int(prompts.shape[0]),
+            n_tokens=n_tokens,
+        ) as sp:
+            ckpt = _Checkpoint()
+            events: List[FaultRecord] = []
+            prefill_total = 0.0
+            decode_total = 0.0
+            attempts = 0
+            while True:
+                try:
+                    prefill_t, decode_t, xi = self._generate_attempt(
+                        prompts, n_tokens, ckpt, microbatch
+                    )
+                    prefill_total += prefill_t
+                    decode_total += decode_t
+                    break
+                except (StageFailure, ChannelClosed, TimeoutError) as exc:
+                    if attempts >= self.max_replans:
+                        self._started = False  # pipeline already torn
+                        raise
+                    attempts += 1
+                    record = self._recover(ckpt)  # may raise InfeasibleError
+                    events.append(record)
+                    del exc
+            tokens = np.concatenate(
+                [prompts] + [c[:, None] for c in ckpt.committed], axis=1
+            )
+            sp.set(replans=attempts)
+            if trace.enabled:
+                metrics.counter("runtime.generations").inc()
+                metrics.counter("runtime.replans").inc(attempts)
+            return GenerationResult(
+                tokens=tokens,
+                prefill_time_s=prefill_total,
+                decode_time_s=decode_total,
+                stage_busy_s=tuple(w.busy_time for w in self._workers),
+                microbatch=xi,
+                replans=attempts,
+                fault_events=tuple(events),
+                plan=self.plan_history[-1],
+                prompt_tokens=int(prompts.shape[1]),
+            )

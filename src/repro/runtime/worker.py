@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics, trace
 from ..quality.tinylm import LayerWeights, TinyLMConfig, layer_forward
 from .comm import Channel, ChannelClosed, StageFailure
 from .faults import FaultInjector
@@ -113,6 +114,37 @@ class StageWorker(threading.Thread):
             raise ValueError(f"unknown phase {msg.phase!r}")
         return x
 
+    def _process(self, msg: StageMessage) -> None:
+        """Run one job: injector gate, forward, busy accounting, send."""
+        if self.injector is not None:
+            # Deterministic kill/slowdown point: before the job's
+            # compute, keyed on (stage, phase, step, mb).
+            self.injector.on_job(
+                self.stage_index,
+                msg.phase,
+                msg.step,
+                msg.mb_id,
+                heartbeat=self._beat,
+            )
+        t0 = time.perf_counter()
+        try:
+            out = self._forward(msg)
+        finally:
+            # Charge partial work even when the job raises, so busy
+            # accounting stays correct across retries and injected
+            # failures.
+            self.busy_time += time.perf_counter() - t0
+        self.jobs += 1
+        self._beat()
+        self.out_ch.send(
+            StageMessage(
+                phase=msg.phase,
+                mb_id=msg.mb_id,
+                hidden=out,
+                step=msg.step,
+            )
+        )
+
     def _regroup(self, msg: RegroupMessage) -> None:
         new_caches: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
         for new_id, parts in enumerate(msg.groups):
@@ -148,34 +180,20 @@ class StageWorker(threading.Thread):
                     self._regroup(msg)
                     self.out_ch.send(msg)
                     continue
-                if self.injector is not None:
-                    # Deterministic kill/slowdown point: before the job's
-                    # compute, keyed on (stage, phase, step, mb).
-                    self.injector.on_job(
-                        self.stage_index,
-                        msg.phase,
-                        msg.step,
-                        msg.mb_id,
-                        heartbeat=self._beat,
-                    )
-                t0 = time.perf_counter()
-                try:
-                    out = self._forward(msg)
-                finally:
-                    # Charge partial work even when the job raises, so
-                    # busy accounting stays correct across retries and
-                    # injected failures.
-                    self.busy_time += time.perf_counter() - t0
-                self.jobs += 1
-                self._beat()
-                self.out_ch.send(
-                    StageMessage(
+                if trace.enabled:
+                    # Per-stage/per-micro-batch step span (traced runs
+                    # only: the disabled path pays one attribute check).
+                    with trace.span(
+                        "runtime.step",
+                        stage=self.stage_index,
                         phase=msg.phase,
-                        mb_id=msg.mb_id,
-                        hidden=out,
                         step=msg.step,
-                    )
-                )
+                        mb=msg.mb_id,
+                    ):
+                        self._process(msg)
+                    metrics.counter("runtime.jobs").inc()
+                else:
+                    self._process(msg)
         except BaseException as exc:  # surfaced by the engine
             self.error = exc
             self.out_ch.close()

@@ -21,12 +21,16 @@ from typing import TYPE_CHECKING, Any, Dict, Union
 from .plan import ExecutionPlan, StagePlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core.planner import PlannerResult
+    from .core.search import CandidateStat, SearchStats
     from .pipeline.simulator import DegradedSimResult, PipelineSimResult
+    from .runtime.engine import GenerationResult
     from .runtime.faults import FaultPlan, FaultRecord, FaultSpec
 
 SCHEMA_VERSION = 1
 FAULT_SCHEMA_VERSION = 1
 TRACE_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 1
 
 
 def plan_to_dict(plan: ExecutionPlan) -> Dict[str, Any]:
@@ -159,7 +163,7 @@ def loads_fault_plan(text: str) -> "FaultPlan":
 
 
 def fault_record_to_dict(rec: "FaultRecord") -> Dict[str, Any]:
-    """Runtime recovery telemetry as a JSON-safe dict (one-way)."""
+    """Runtime recovery telemetry as a JSON-safe dict (round-trip)."""
     return {
         "kind": rec.kind,
         "dead_stages": list(rec.dead_stages),
@@ -168,6 +172,21 @@ def fault_record_to_dict(rec: "FaultRecord") -> Dict[str, Any]:
         "action": rec.action,
         "detail": rec.detail,
     }
+
+
+def fault_record_from_dict(data: Dict[str, Any]) -> "FaultRecord":
+    """Reconstruct a :class:`FaultRecord` written by
+    :func:`fault_record_to_dict`."""
+    from .runtime.faults import FaultRecord
+
+    return FaultRecord(
+        kind=str(data["kind"]),
+        dead_stages=tuple(int(s) for s in data["dead_stages"]),
+        dead_devices=tuple(int(d) for d in data["dead_devices"]),
+        committed_tokens=int(data["committed_tokens"]),
+        action=str(data["action"]),
+        detail=str(data.get("detail", "")),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +202,7 @@ def round_trace_float(x: float) -> float:
 def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
     """A JSON-safe dict of one simulated batch (floats rounded)."""
     return {
+        "kind": "pipeline_sim",
         "makespan_s": round_trace_float(res.makespan_s),
         "prefill_span_s": round_trace_float(res.prefill_span_s),
         "decode_span_s": round_trace_float(res.decode_span_s),
@@ -201,6 +221,7 @@ def degraded_result_to_dict(res: "DegradedSimResult") -> Dict[str, Any]:
     fixture compares exactly across runs and platforms.
     """
     return {
+        "kind": "degraded_sim",
         "schema_version": TRACE_SCHEMA_VERSION,
         "makespan_s": round_trace_float(res.makespan_s),
         "total_tokens": res.total_tokens,
@@ -228,3 +249,199 @@ def dumps_degraded_result(res: "DegradedSimResult", indent: int = 2) -> str:
         json.dumps(degraded_result_to_dict(res), indent=indent, sort_keys=True)
         + "\n"
     )
+
+
+def sim_result_from_dict(data: Dict[str, Any]) -> "PipelineSimResult":
+    """Reconstruct a :class:`PipelineSimResult` from its dict form."""
+    from .pipeline.simulator import PipelineSimResult
+
+    return PipelineSimResult(
+        makespan_s=float(data["makespan_s"]),
+        prefill_span_s=float(data["prefill_span_s"]),
+        decode_span_s=float(data["decode_span_s"]),
+        total_tokens=int(data["total_tokens"]),
+        stage_busy_s=tuple(float(b) for b in data["stage_busy_s"]),
+        stage_memory_bytes=tuple(
+            int(m) for m in data["stage_memory_bytes"]
+        ),
+        events_processed=int(data["events_processed"]),
+    )
+
+
+def degraded_result_from_dict(data: Dict[str, Any]) -> "DegradedSimResult":
+    """Reconstruct a :class:`DegradedSimResult` (golden-trace payload)."""
+    from .pipeline.events import FaultEvent
+    from .pipeline.simulator import DegradedSimResult
+
+    version = data.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    return DegradedSimResult(
+        makespan_s=float(data["makespan_s"]),
+        total_tokens=int(data["total_tokens"]),
+        replans=int(data["replans"]),
+        plans=tuple(plan_from_dict(p) for p in data["plans"]),
+        segments=tuple(sim_result_from_dict(s) for s in data["segments"]),
+        fault_events=tuple(
+            FaultEvent(
+                time_s=float(ev["time_s"]),
+                kind=str(ev["kind"]),
+                stage=int(ev["stage"]),
+                phase=str(ev["phase"]),
+                step=int(ev["step"]),
+                action=str(ev.get("action", "")),
+                detail=str(ev.get("detail", "")),
+            )
+            for ev in data["fault_events"]
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Result summaries (the ``repro.api.Summary`` dict forms)
+# ---------------------------------------------------------------------------
+
+
+def candidate_stat_to_dict(stat: "CandidateStat") -> Dict[str, Any]:
+    """One planner candidate's solve record as a JSON-safe dict."""
+    return {
+        "ordering_key": [[name, int(n)] for name, n in stat.ordering_key],
+        "eta": stat.eta,
+        "xi": stat.xi,
+        "status": stat.status,
+        "latency_s": round_trace_float(stat.latency_s),
+        "quality": round_trace_float(stat.quality),
+        "solve_time_s": round_trace_float(stat.solve_time_s),
+        "bound_s": round_trace_float(stat.bound_s),
+    }
+
+
+def candidate_stat_from_dict(data: Dict[str, Any]) -> "CandidateStat":
+    from .core.search import CandidateStat
+
+    return CandidateStat(
+        ordering_key=tuple(
+            (str(name), int(n)) for name, n in data["ordering_key"]
+        ),
+        eta=int(data["eta"]),
+        xi=int(data["xi"]),
+        status=str(data["status"]),
+        latency_s=float(data["latency_s"]),
+        quality=float(data["quality"]),
+        solve_time_s=float(data["solve_time_s"]),
+        bound_s=float(data.get("bound_s", 0.0)),
+    )
+
+
+def search_stats_from_dict(data: Dict[str, Any]) -> "SearchStats":
+    """Reconstruct :class:`SearchStats` from ``SearchStats.to_dict()``."""
+    from .core.search import SearchStats
+
+    return SearchStats(**data)
+
+
+def planner_result_to_dict(res: "PlannerResult") -> Dict[str, Any]:
+    """A JSON-safe dict of a :class:`PlannerResult` (round-trip)."""
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": "planner",
+        "plan": plan_to_dict(res.plan),
+        "predicted_latency_s": round_trace_float(res.predicted_latency_s),
+        "predicted_quality": round_trace_float(res.predicted_quality),
+        "throughput_tokens_s": round_trace_float(res.throughput_tokens_s),
+        "solve_time_s": round_trace_float(res.solve_time_s),
+        "candidates_tried": res.candidates_tried,
+        "stats": [candidate_stat_to_dict(s) for s in res.stats],
+        "search": None if res.search is None else res.search.to_dict(),
+    }
+
+
+def planner_result_from_dict(data: Dict[str, Any]) -> "PlannerResult":
+    """Reconstruct a :class:`PlannerResult` written by
+    :func:`planner_result_to_dict`."""
+    from .core.planner import PlannerResult
+
+    version = data.get("schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {RESULT_SCHEMA_VERSION})"
+        )
+    search = data.get("search")
+    return PlannerResult(
+        plan=plan_from_dict(data["plan"]),
+        predicted_latency_s=float(data["predicted_latency_s"]),
+        predicted_quality=float(data["predicted_quality"]),
+        throughput_tokens_s=float(data["throughput_tokens_s"]),
+        solve_time_s=float(data["solve_time_s"]),
+        candidates_tried=int(data["candidates_tried"]),
+        stats=tuple(candidate_stat_from_dict(s) for s in data["stats"]),
+        search=None if search is None else search_stats_from_dict(search),
+    )
+
+
+def generation_result_to_dict(res: "GenerationResult") -> Dict[str, Any]:
+    """A JSON-safe dict of a runtime :class:`GenerationResult`."""
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": "generation",
+        "tokens": [[int(t) for t in row] for row in res.tokens],
+        "prompt_tokens": res.prompt_tokens,
+        "prefill_time_s": round_trace_float(res.prefill_time_s),
+        "decode_time_s": round_trace_float(res.decode_time_s),
+        "stage_busy_s": [round_trace_float(b) for b in res.stage_busy_s],
+        "microbatch": res.microbatch,
+        "replans": res.replans,
+        "fault_events": [
+            fault_record_to_dict(r) for r in res.fault_events
+        ],
+        "plan": None if res.plan is None else plan_to_dict(res.plan),
+    }
+
+
+def generation_result_from_dict(data: Dict[str, Any]) -> "GenerationResult":
+    """Reconstruct a :class:`GenerationResult` written by
+    :func:`generation_result_to_dict`."""
+    import numpy as np
+
+    from .runtime.engine import GenerationResult
+
+    version = data.get("schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {RESULT_SCHEMA_VERSION})"
+        )
+    plan = data.get("plan")
+    return GenerationResult(
+        tokens=np.asarray(data["tokens"], dtype=np.int64),
+        prefill_time_s=float(data["prefill_time_s"]),
+        decode_time_s=float(data["decode_time_s"]),
+        stage_busy_s=tuple(float(b) for b in data["stage_busy_s"]),
+        microbatch=int(data["microbatch"]),
+        replans=int(data.get("replans", 0)),
+        fault_events=tuple(
+            fault_record_from_dict(r)
+            for r in data.get("fault_events", ())
+        ),
+        plan=None if plan is None else plan_from_dict(plan),
+        prompt_tokens=int(data.get("prompt_tokens", 0)),
+    )
+
+
+def summary_to_dict(summary: Any) -> Dict[str, Any]:
+    """Serialize any :class:`repro.api.Summary` implementor.
+
+    Dispatches on :meth:`to_dict` — the uniform protocol entry point —
+    so callers can persist heterogeneous result objects with one call.
+    """
+    to_dict = getattr(summary, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(
+            f"{type(summary).__name__} does not implement the Summary "
+            "protocol (missing to_dict())"
+        )
+    return to_dict()

@@ -33,7 +33,7 @@ def test_plan_produced(result, opt13b):
     assert result is not None
     assert result.plan.num_layers == opt13b.num_layers
     assert result.plan.num_stages == 2
-    assert result.predicted_throughput > 0
+    assert result.throughput_tokens_s > 0
     assert result.candidates_tried > 0
     assert result.solve_time_s > 0
 

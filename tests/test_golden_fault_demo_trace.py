@@ -1,0 +1,101 @@
+"""Golden normalized span trace of ``examples/fault_tolerance_demo.py``.
+
+The demo is deterministic end to end (seeded prompts, a fixed fault
+plan, pure-arithmetic simulator timing), so its *normalized* trace —
+ancestor paths, names, statuses and attributes, with every timestamp,
+duration, thread name and span id stripped — is byte-stable across runs
+and platforms.  The fixture pins the whole observable span taxonomy of a
+plan→serve→recover→simulate run: a silent change to what gets traced
+(or to the recovery control flow) fails this test.
+
+Regenerate after an intentional change with
+``PYTHONPATH=src python scripts/regen_golden_traces.py`` and review the
+fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import normalize_trace
+
+REPO = Path(__file__).resolve().parent.parent
+DEMO = REPO / "examples" / "fault_tolerance_demo.py"
+FIXTURE = REPO / "tests" / "data" / "fault_demo_trace.norm.jsonl"
+
+REGEN_HINT = (
+    "normalized fault-demo trace changed; if intentional run "
+    "`PYTHONPATH=src python scripts/regen_golden_traces.py` and review "
+    "the fixture diff"
+)
+
+
+def run_demo_trace(tmp_path: Path) -> str:
+    """Run the demo traced in a subprocess; return the normalized trace."""
+    trace_path = tmp_path / "fault_demo.jsonl"
+    env = dict(os.environ)
+    env["SPLITQUANT_TRACE"] = str(trace_path)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(DEMO)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bit-identical" in proc.stdout
+    return normalize_trace(trace_path)
+
+
+@pytest.fixture(scope="module")
+def demo_trace(tmp_path_factory) -> str:
+    return run_demo_trace(tmp_path_factory.mktemp("fault_demo"))
+
+
+def test_fault_demo_trace_matches_golden(demo_trace):
+    assert FIXTURE.exists(), f"missing fixture {FIXTURE}; run the regen script"
+    assert demo_trace == FIXTURE.read_text(), REGEN_HINT
+
+
+def test_fixture_is_normalized_canonical():
+    """The committed fixture is already in normalized canonical form."""
+    text = FIXTURE.read_text()
+    records = [json.loads(line) for line in text.splitlines()]
+    assert records, "fixture is empty"
+    # renumbered, sorted, and stripped of timing/scheduling fields
+    assert [r["i"] for r in records] == list(range(len(records)))
+    for r in records:
+        assert set(r) == {"path", "name", "status", "attrs", "i"}
+    keys = [
+        (r["path"], json.dumps(r["attrs"], sort_keys=True), r["status"])
+        for r in records
+    ]
+    assert keys == sorted(keys)
+
+
+def test_trace_covers_the_recovery_timeline(demo_trace):
+    """The span taxonomy includes the fault→detect→replan→replay story."""
+    names = {json.loads(line)["name"] for line in demo_trace.splitlines()}
+    for expected in (
+        "runtime.generate",
+        "runtime.attempt",
+        "runtime.prefill",
+        "runtime.decode",
+        "runtime.step",
+        "runtime.commit",
+        "runtime.recover",
+        "runtime.replan",
+        "sim.run",
+        "sim.degraded",
+        "sim.fault",
+        "planner.degrade",
+    ):
+        assert expected in names, f"span {expected!r} missing from demo trace"

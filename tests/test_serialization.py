@@ -85,3 +85,156 @@ def test_planner_output_serializes(opt13b, small_cluster, cost_model_13b,
     path = tmp_path / "p.json"
     save_plan(res.plan, path)
     assert load_plan(path) == res.plan
+
+
+# ---------------------------------------------------------------------------
+# Summary-object round-trips (the ``repro.api.Summary`` dict forms)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def planner_result(opt13b, small_cluster, cost_model_13b, small_workload):
+    from repro.core import PlannerConfig, SplitQuantPlanner
+
+    cfg = PlannerConfig(group_size=5, max_orderings=2,
+                        microbatch_candidates=(4,), time_limit_s=10.0,
+                        verify_top_k=1)
+    res = SplitQuantPlanner(
+        opt13b, small_cluster, cfg, cost_model=cost_model_13b
+    ).plan(small_workload)
+    assert res is not None
+    return res
+
+
+def _stable(to_dict, from_dict, obj):
+    """to_dict is a fixed point of from_dict(to_dict(.)) and JSON-safe."""
+    d = to_dict(obj)
+    json.loads(json.dumps(d))
+    assert to_dict(from_dict(d)) == d
+    return d
+
+
+def test_planner_result_roundtrip(planner_result):
+    from repro.serialization import (
+        planner_result_from_dict,
+        planner_result_to_dict,
+    )
+
+    d = _stable(
+        planner_result_to_dict, planner_result_from_dict, planner_result
+    )
+    assert d["kind"] == "planner"
+    restored = planner_result_from_dict(d)
+    assert restored.plan == planner_result.plan
+    assert restored.candidates_tried == planner_result.candidates_tried
+    assert restored.search.enumerated == planner_result.search.enumerated
+
+
+def test_sim_result_roundtrip(planner_result, opt13b, small_cluster,
+                              small_workload):
+    from repro.pipeline import simulate_plan
+    from repro.serialization import sim_result_from_dict, sim_result_to_dict
+
+    sim = simulate_plan(
+        planner_result.plan, small_cluster, opt13b, small_workload
+    )
+    d = _stable(sim_result_to_dict, sim_result_from_dict, sim)
+    assert d["kind"] == "pipeline_sim"
+    assert sim_result_from_dict(d).total_tokens == sim.total_tokens
+
+
+def test_degraded_result_roundtrip():
+    from repro.hardware import make_cluster
+    from repro.models import get_model
+    from repro.pipeline import simulate_degraded
+    from repro.plan import uniform_plan
+    from repro.runtime import FaultPlan
+    from repro.serialization import (
+        degraded_result_from_dict,
+        degraded_result_to_dict,
+    )
+    from repro.workloads import BatchWorkload
+
+    spec = get_model("opt-13b")
+    cluster = make_cluster("ser-2dev", [("A100-40G", 1), ("V100-32G", 1)])
+    plan = uniform_plan(
+        model_name=spec.name,
+        num_layers=spec.num_layers,
+        device_groups=[((0,), "A100-40G"), ((1,), "V100-32G")],
+        bits=4,
+        prefill_microbatch=8,
+        decode_microbatch=8,
+    )
+    deg = simulate_degraded(
+        plan, cluster, spec, BatchWorkload(batch=16, prompt_len=128,
+                                           output_len=16),
+        FaultPlan.single_kill(stage=1, step=4), check_memory=False,
+    )
+    d = _stable(degraded_result_to_dict, degraded_result_from_dict, deg)
+    assert d["kind"] == "degraded_sim"
+    restored = degraded_result_from_dict(d)
+    assert restored.replans == deg.replans == 1
+    # floats are rounded to the 12-significant-digit golden grain, so
+    # compare the non-timing fields exactly and the time approximately
+    (a,), (b,) = restored.fault_events, deg.fault_events
+    assert (a.kind, a.stage, a.phase, a.step, a.action, a.detail) == (
+        b.kind, b.stage, b.phase, b.step, b.action, b.detail
+    )
+    assert a.time_s == pytest.approx(b.time_s, rel=1e-11)
+
+
+def test_generation_result_roundtrip():
+    import numpy as np
+
+    from repro.plan import ExecutionPlan, StagePlan
+    from repro.quality import TinyLM, TinyLMConfig
+    from repro.runtime import PipelineEngine
+    from repro.serialization import (
+        generation_result_from_dict,
+        generation_result_to_dict,
+    )
+
+    model = TinyLM(TinyLMConfig(vocab=96, layers=4, hidden=48, ffn=128,
+                                heads=4, max_seq=64, seed=3))
+    plan = ExecutionPlan(
+        model_name="tinylm",
+        stages=(
+            StagePlan((0, 1), "V100-32G", 0, (8, 8)),
+            StagePlan((2, 3), "T4-16G", 2, (4, 8)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=2,
+    )
+    rng = np.random.default_rng(11)
+    prompts = rng.integers(0, 96, size=(4, 8))
+    with PipelineEngine(model, plan) as engine:
+        gen = engine.generate(prompts, n_tokens=5)
+    d = generation_result_to_dict(gen)
+    json.loads(json.dumps(d))
+    assert d["kind"] == "generation"
+    restored = generation_result_from_dict(d)
+    assert np.array_equal(restored.tokens, gen.tokens)
+    assert restored.prompt_tokens == gen.prompt_tokens
+    assert restored.replans == gen.replans
+    assert generation_result_to_dict(restored) == d
+
+
+def test_fault_record_roundtrip():
+    from repro.runtime.faults import FaultRecord
+    from repro.serialization import (
+        fault_record_from_dict,
+        fault_record_to_dict,
+    )
+
+    rec = FaultRecord(kind="kill", dead_stages=(1,), dead_devices=(3,),
+                      committed_tokens=7, action="degrade",
+                      detail="device lost")
+    assert fault_record_from_dict(fault_record_to_dict(rec)) == rec
+
+
+def test_summary_dispatch(planner_result):
+    from repro.serialization import summary_to_dict
+
+    assert summary_to_dict(planner_result)["kind"] == "planner"
+    with pytest.raises(TypeError):
+        summary_to_dict(object())
