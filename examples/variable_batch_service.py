@@ -17,8 +17,6 @@ Run:  python examples/variable_batch_service.py
 
 import dataclasses
 
-import numpy as np
-
 from repro import (
     PlannerConfig,
     SplitQuantPlanner,

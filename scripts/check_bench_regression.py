@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""CI guard: fresh benchmark numbers vs the committed baselines.
+
+Re-measures the two benchmark headlines on the current checkout and
+compares them against the records committed under ``benchmarks/``:
+
+* ``BENCH_planner.json`` — the search engine's speedup over the naive
+  serial planner on the Table-VI configuration.  The guard compares the
+  *ratio* (engine vs naive on the same machine, same process), which is
+  robust to runner hardware, and fails when the fresh ratio falls more
+  than ``--tolerance`` (default 25%) below the committed one.
+* ``BENCH_obs.json`` — the observability layer's disabled-mode
+  overhead.  The committed contract is a *budget* (< 2% of planning
+  wall); the guard fails when the fresh estimate breaks the budget.
+  The drift vs the committed fraction is reported but not gated: the
+  absolute numbers are nanoseconds and CI-noise dominated.
+
+Structural invariants (plan parity between the two search paths, the
+pruner actually pruning, the memo actually hitting) fail the guard
+outright — those are correctness, not noise.
+
+Writes the fresh measurements as JSON (``--out``) for artifact upload.
+
+Run:  PYTHONPATH=src python scripts/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import PlannerConfig, SplitQuantPlanner  # noqa: E402
+from repro.hardware import table_iii_cluster  # noqa: E402
+from repro.models import get_model  # noqa: E402
+from repro.obs import NOOP_SPAN, trace  # noqa: E402
+from repro.workloads import BatchWorkload  # noqa: E402
+
+#: Guarded metric updates budgeted per span site (see BENCH_obs.json).
+HOOKS_PER_SPAN = 3
+
+
+def _table_vi_planner() -> tuple[SplitQuantPlanner, BatchWorkload]:
+    """The Table-VI configuration both committed benches measure."""
+    spec = get_model("opt-30b")
+    cluster = table_iii_cluster(5)
+    workload = BatchWorkload(batch=64, prompt_len=512, output_len=128)
+    base = PlannerConfig(
+        group_size=3,
+        max_orderings=6,
+        microbatch_candidates=(8, 16, 32),
+        verify_top_k=1,
+        time_limit_s=30.0,
+    )
+    seed = SplitQuantPlanner(spec, cluster, base)
+    cfg = dataclasses.replace(base, quality_budget=seed.uniform_quality(4))
+    planner = SplitQuantPlanner(
+        spec,
+        cluster,
+        cfg,
+        cost_model=seed.cost_model,
+        omega_layers=seed.omega_layers,
+    )
+    return planner, workload
+
+
+def measure_planner() -> dict:
+    """Fresh engine-vs-naive speedup on the Table-VI configuration."""
+    planner, workload = _table_vi_planner()
+    t0 = time.perf_counter()
+    fast = planner.plan(workload)
+    engine_wall_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    naive = planner.plan_naive(workload)
+    naive_wall_s = time.perf_counter() - t0
+    assert fast is not None and naive is not None
+    s = fast.search
+    return {
+        "bench": "planner_scaling",
+        "naive_wall_s": round(naive_wall_s, 4),
+        "engine_wall_s": round(engine_wall_s, 4),
+        "speedup": round(naive_wall_s / engine_wall_s, 3),
+        "plan_identical": fast.plan == naive.plan,
+        "pruned": s.pruned,
+        "cache_hits": s.cache_hits,
+    }
+
+
+def _per_op_s(fn, n: int = 50_000) -> float:
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / n
+
+
+def measure_obs() -> dict:
+    """Fresh disabled-mode tracing overhead estimate."""
+    from repro.obs import Tracer, current_tracer, use_tracer
+
+    assert current_tracer() is None, "guard requires tracing disabled"
+    planner, workload = _table_vi_planner()
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        enabled_result = planner.plan(workload)
+    spans = tracer.spans_started
+    assert enabled_result is not None and spans > 0
+
+    def noop_roundtrip() -> None:
+        with trace.span("bench.noop", a=1, b=2):
+            pass
+
+    def enabled_check() -> None:
+        if trace.enabled:  # pragma: no cover
+            raise AssertionError
+
+    assert trace.span("bench.check") is NOOP_SPAN
+    span_cost_s = _per_op_s(noop_roundtrip)
+    check_cost_s = _per_op_s(enabled_check)
+
+    planner2, _ = _table_vi_planner()
+    t0 = time.perf_counter()
+    disabled_result = planner2.plan(workload)
+    disabled_wall_s = time.perf_counter() - t0
+    assert disabled_result is not None
+    assert disabled_result.plan == enabled_result.plan
+
+    estimated = spans * (span_cost_s + HOOKS_PER_SPAN * check_cost_s)
+    return {
+        "bench": "obs_disabled_overhead",
+        "spans_opened": spans,
+        "noop_span_cost_ns": round(span_cost_s * 1e9, 1),
+        "enabled_check_cost_ns": round(check_cost_s * 1e9, 1),
+        "disabled_wall_s": round(disabled_wall_s, 4),
+        "overhead_fraction": round(estimated / disabled_wall_s, 7),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("bench_measured.json"),
+        help="where to write the fresh measurements",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_planner = json.loads(
+        (BENCH_DIR / "BENCH_planner.json").read_text()
+    )
+    baseline_obs = json.loads((BENCH_DIR / "BENCH_obs.json").read_text())
+
+    failures: list[str] = []
+
+    fresh_planner = measure_planner()
+    floor = baseline_planner["speedup"] * (1.0 - args.tolerance)
+    print(
+        f"planner speedup: fresh {fresh_planner['speedup']:.2f}x vs "
+        f"baseline {baseline_planner['speedup']:.2f}x "
+        f"(floor {floor:.2f}x at tolerance {args.tolerance:.0%})"
+    )
+    if not fresh_planner["plan_identical"]:
+        failures.append("engine plan diverged from naive plan")
+    if fresh_planner["pruned"] <= 0:
+        failures.append("bound pruner pruned nothing")
+    if fresh_planner["cache_hits"] <= 0:
+        failures.append("timing memo never hit")
+    if fresh_planner["speedup"] < floor:
+        failures.append(
+            f"planner speedup regressed: {fresh_planner['speedup']:.2f}x "
+            f"< floor {floor:.2f}x (baseline "
+            f"{baseline_planner['speedup']:.2f}x)"
+        )
+
+    fresh_obs = measure_obs()
+    budget = baseline_obs["budget_fraction"]
+    print(
+        f"obs disabled overhead: fresh "
+        f"{fresh_obs['overhead_fraction']:.2e} vs committed "
+        f"{baseline_obs['overhead_fraction']:.2e} "
+        f"(budget {budget:.0%})"
+    )
+    if fresh_obs["overhead_fraction"] >= budget:
+        failures.append(
+            f"obs disabled overhead {fresh_obs['overhead_fraction']:.2e} "
+            f"breaks the {budget:.0%} budget"
+        )
+
+    record = {
+        "tolerance": args.tolerance,
+        "planner": fresh_planner,
+        "planner_baseline_speedup": baseline_planner["speedup"],
+        "obs": fresh_obs,
+        "obs_budget_fraction": budget,
+        "failures": failures,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    print("bench regression guard OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,14 @@ Subpackages: ``hardware`` (GPUs/clusters), ``models`` (architectures),
 
 from .api import Session, Summary
 from .core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from .fleet import (
+    FleetJob,
+    FleetSchedule,
+    FleetScheduler,
+    FleetSimResult,
+    make_job_queue,
+    simulate_schedule,
+)
 from .obs import Tracer, metrics, trace, use_tracer
 from .hardware import (
     ClusterSpec,
@@ -67,6 +75,12 @@ __all__ = [
     "PlannerConfig",
     "PlannerResult",
     "SplitQuantPlanner",
+    "FleetJob",
+    "FleetSchedule",
+    "FleetScheduler",
+    "FleetSimResult",
+    "make_job_queue",
+    "simulate_schedule",
     "ClusterSpec",
     "GPUSpec",
     "get_gpu",

@@ -255,6 +255,69 @@ class Session:
                     prompts, n_tokens=n_tokens, microbatch=microbatch
                 )
 
+    def schedule_fleet(
+        self,
+        jobs=None,
+        inventory: Optional[Dict[str, int]] = None,
+        allocator: str = "beam",
+        fleet_config=None,
+        simulate: bool = True,
+        parallelism: int = 1,
+        pool_gpus: int = 24,
+        n_jobs: int = 8,
+    ):
+        """Schedule a multi-job queue onto an idle-GPU fleet inventory.
+
+        The fleet-level entry point (:mod:`repro.fleet`): carves
+        ``inventory`` (default: a :func:`~repro.hardware.fleet.
+        schedulable_inventory` slice of the seeded Fig. 1 fleet sample)
+        into per-job heterogeneous GPU groups with the chosen allocator
+        (``"beam"`` lookahead or the ``"greedy"`` bin-packing baseline),
+        plans each group with the SplitQuant planner, and — with
+        ``simulate=True`` — replays the schedule through the
+        discrete-event fleet simulator.
+
+        ``jobs`` defaults to a seeded queue
+        (:func:`repro.fleet.make_job_queue` with ``n_jobs`` and the
+        session seed).  Returns a :class:`~repro.fleet.FleetSimResult`
+        (a :class:`Summary`) when simulating, otherwise the raw
+        :class:`~repro.fleet.FleetSchedule`.  The session's tracer is
+        threaded through scheduling and simulation.
+        """
+        from .fleet import FleetScheduler, make_job_queue, simulate_schedule
+        from .hardware.fleet import sample_fleet, schedulable_inventory
+
+        seed = getattr(self.config, "seed", 0)
+        with self._scope():
+            if inventory is None:
+                inventory = schedulable_inventory(
+                    sample_fleet(seed=seed), pool_gpus=pool_gpus
+                )
+            if jobs is None:
+                jobs = make_job_queue(n_jobs=n_jobs, seed=seed)
+            scheduler = FleetScheduler(
+                inventory,
+                config=fleet_config,
+                allocator=allocator,
+                parallelism=parallelism,
+            )
+            schedule = scheduler.schedule(jobs)
+            if not simulate:
+                return schedule
+            return simulate_schedule(schedule)
+
+    def fleet_stats(self, n_gpus: int = 10_000):
+        """The seeded Fig. 1 fleet sample behind :meth:`schedule_fleet`.
+
+        Returns the :class:`~repro.hardware.fleet.FleetStats` drawn at
+        the session seed — the baseline that
+        :meth:`~repro.fleet.FleetSimResult.idle_recovery` measures
+        reclaimed idle GPU-hours against.
+        """
+        from .hardware.fleet import sample_fleet
+
+        return sample_fleet(n_gpus=n_gpus, seed=getattr(self.config, "seed", 0))
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ import numpy as np
 from ..core import PlannerConfig, SplitQuantPlanner
 from ..hardware.cluster import table_iii_cluster
 from ..models.architectures import get_model
-from ..pipeline import simulate_plan, simulate_plan_variable
+from ..pipeline import simulate_plan_variable
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload, VariableBatchWorkload
 from .common import cost_model_for, throughput_of

@@ -1,0 +1,538 @@
+"""Carving the idle fleet into per-job heterogeneous GPU groups.
+
+Three layers:
+
+* :class:`PlannerPool` — the shared evaluation substrate.  One
+  :class:`~repro.costmodel.latency.LatencyCostModel` is fitted per
+  (model, KV bitwidth) over *every* GPU type in the inventory and shared
+  by all group evaluations (the fleet-level analogue of PR-1's shared
+  timing memo), the per-model indicator table is computed once, and
+  ``plan()`` outcomes are memoized by (model, group, workload, SLO) so
+  repeated proposals are free.  ``evaluate_many`` fans candidate groups
+  out over a thread pool with a deterministic submission-order reduction.
+
+* :class:`GreedyAllocator` — the bin-packing baseline: jobs in deadline
+  order, each takes the feasible group with the best predicted
+  tokens/s *per GPU* that still fits the uncommitted inventory
+  (falling back to any group that fits the total pool, i.e. a later
+  wave).
+
+* :class:`BeamAllocator` — beam search with lookahead: partial
+  assignment states are scored by the fleet makespan a deterministic
+  list scheduler predicts (so grabbing a big fast group that starves
+  later jobs is visible *before* committing), keeping the best ``width``
+  states per job.  Greedy is the ``width=1, top_groups=1`` corner of the
+  same search, so beam can only match or beat it on aggregate
+  throughput for the objective it scores.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec, make_cluster
+from ..models import get_model
+from ..obs import metrics, trace
+from ..quant.sensitivity import normalized_indicator_table
+from .jobs import FleetJob
+
+__all__ = [
+    "Assignment",
+    "BeamAllocator",
+    "GreedyAllocator",
+    "GroupSpec",
+    "PlannerPool",
+    "enumerate_groups",
+    "list_schedule",
+]
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A proposed per-job GPU group: sorted ``(gpu_name, count)`` pairs."""
+
+    counts: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("group must contain at least one GPU")
+        if any(n <= 0 for _, n in self.counts):
+            raise ValueError("group counts must be positive")
+        if list(self.counts) != sorted(self.counts):
+            raise ValueError("group counts must be sorted by GPU name")
+
+    @property
+    def total(self) -> int:
+        return sum(n for _, n in self.counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def fits(self, inventory: Dict[str, int]) -> bool:
+        return all(inventory.get(g, 0) >= n for g, n in self.counts)
+
+    def to_cluster(self, name: str, cross_node_link: str) -> ClusterSpec:
+        """Materialize as a cluster (one node per GPU type, as Table III)."""
+        return make_cluster(
+            name, list(self.counts), cross_node_link=cross_node_link
+        )
+
+    def describe(self) -> str:
+        return "+".join(f"{n}x{g}" for g, n in self.counts)
+
+
+def enumerate_groups(
+    inventory: Dict[str, int],
+    max_gpus: int = 4,
+    max_types: int = 2,
+) -> Tuple[GroupSpec, ...]:
+    """All candidate groups drawable from ``inventory``.
+
+    Combinations of up to ``max_types`` GPU types with up to ``max_gpus``
+    devices total, each type's count capped by the inventory.  Ordered
+    deterministically (small groups first, then by name) so allocator
+    tie-breaks are stable.
+    """
+    if max_gpus <= 0 or max_types <= 0:
+        raise ValueError("max_gpus and max_types must be positive")
+    types = sorted(g for g, n in inventory.items() if n > 0)
+    seen = set()
+    groups: List[GroupSpec] = []
+    for k in range(1, min(max_types, len(types)) + 1):
+        for combo in itertools.combinations(types, k):
+            caps = [min(inventory[g], max_gpus) for g in combo]
+            for counts in itertools.product(
+                *[range(1, c + 1) for c in caps]
+            ):
+                if sum(counts) > max_gpus:
+                    continue
+                spec = GroupSpec(counts=tuple(zip(combo, counts)))
+                if spec.counts not in seen:
+                    seen.add(spec.counts)
+                    groups.append(spec)
+    groups.sort(key=lambda g: (g.total, g.counts))
+    return tuple(groups)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One job bound to one group, with its SplitQuant plan.
+
+    ``cluster`` pins the exact cluster the plan's device ids refer to;
+    ``None`` means the canonical :meth:`GroupSpec.to_cluster`
+    materialization (degraded assignments keep their reduced cluster so
+    original device numbering survives a reclaimed GPU).
+    """
+
+    job: FleetJob
+    group: GroupSpec
+    result: PlannerResult
+    cluster: Optional[ClusterSpec] = None
+
+    def materialize_cluster(self, cross_node_link: str) -> ClusterSpec:
+        if self.cluster is not None:
+            return self.cluster
+        return self.group.to_cluster(
+            f"fleet-{self.job.job_id}", cross_node_link
+        )
+
+    @property
+    def batch_makespan_s(self) -> float:
+        """Predicted serving latency of one batch."""
+        return self.result.predicted_latency_s
+
+    @property
+    def duration_s(self) -> float:
+        """Predicted runtime of the whole job on its group."""
+        return self.job.num_batches * self.batch_makespan_s
+
+    @property
+    def tokens_s(self) -> float:
+        """Predicted output-token throughput while the job runs."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.job.total_output_tokens / self.duration_s
+
+    @property
+    def tokens_s_per_gpu(self) -> float:
+        return self.tokens_s / self.group.total
+
+    def describe(self) -> str:
+        return (
+            f"{self.job.job_id} -> {self.group.describe()} "
+            f"({self.tokens_s:.0f} tok/s, {self.duration_s:.0f}s)"
+        )
+
+
+def list_schedule(
+    assignments: Sequence[Assignment],
+    inventory: Dict[str, int],
+    durations: Optional[Sequence[float]] = None,
+) -> Tuple[Tuple[float, ...], Tuple[float, ...], float]:
+    """Deterministic backfilling list scheduler.
+
+    Jobs are considered in deadline order; at each event time every
+    queued job whose group fits the free inventory starts (later jobs
+    may backfill past a blocked head-of-line job).  Returns per-
+    assignment ``(start_times, end_times, makespan)`` in the order of
+    ``assignments``.  ``durations`` overrides the predicted
+    :attr:`Assignment.duration_s` (the fleet simulator passes measured
+    per-batch makespans).
+    """
+    if durations is None:
+        durations = [a.duration_s for a in assignments]
+    if len(durations) != len(assignments):
+        raise ValueError("durations must match assignments")
+    order = sorted(
+        range(len(assignments)),
+        key=lambda i: assignments[i].job.sort_key(),
+    )
+    for i in order:
+        if not assignments[i].group.fits(inventory):
+            raise ValueError(
+                f"job {assignments[i].job.job_id}: group "
+                f"{assignments[i].group.describe()} can never fit "
+                f"inventory {inventory}"
+            )
+    free = dict(inventory)
+    queued: List[int] = list(order)
+    running: List[Tuple[float, int]] = []  # (end_time, index) min-heap
+    start = [0.0] * len(assignments)
+    end = [0.0] * len(assignments)
+    now = 0.0
+    while queued or running:
+        started = []
+        for i in queued:
+            if assignments[i].group.fits(free):
+                for g, n in assignments[i].group.counts:
+                    free[g] -= n
+                start[i] = now
+                end[i] = now + durations[i]
+                heapq.heappush(running, (end[i], i))
+                started.append(i)
+        queued = [i for i in queued if i not in started]
+        if not queued:
+            break
+        if not running:  # pragma: no cover - guarded by fits() above
+            raise RuntimeError("queued jobs but nothing running")
+        now, i = heapq.heappop(running)
+        for g, n in assignments[i].group.counts:
+            free[g] += n
+    return tuple(start), tuple(end), max(end) if end else 0.0
+
+
+class PlannerPool:
+    """Shared, memoized per-group planner evaluation.
+
+    One cost model per (model, KV bitwidth) fitted over all inventory GPU
+    types, one indicator table per model, and one memoized ``plan()``
+    outcome per (model, group, workload, SLO) — shared across every
+    allocator probe in a scheduling run.
+    """
+
+    def __init__(
+        self,
+        inventory: Dict[str, int],
+        config: PlannerConfig = PlannerConfig(),
+        cross_node_link: str = "eth-800g",
+        parallelism: int = 1,
+    ) -> None:
+        if not inventory or all(n <= 0 for n in inventory.values()):
+            raise ValueError("inventory must contain at least one GPU")
+        self.inventory = {g: n for g, n in inventory.items() if n > 0}
+        self.config = config
+        self.cross_node_link = cross_node_link
+        self.parallelism = max(1, parallelism)
+        self._cost_models: Dict[Tuple[str, int], LatencyCostModel] = {}
+        self._omegas: Dict[str, np.ndarray] = {}
+        self._plans: Dict[tuple, Optional[Assignment]] = {}
+        #: Pool-level observability counters.
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.infeasible = 0
+
+    # -- shared memos --------------------------------------------------
+
+    def _omega(self, model: str) -> np.ndarray:
+        if model not in self._omegas:
+            self._omegas[model] = normalized_indicator_table(
+                get_model(model), self.config.bit_choices
+            )
+        return self._omegas[model]
+
+    def _cost_model(self, model: str) -> LatencyCostModel:
+        """The (model, bit_kv) cost model, fitted over *all* pool types."""
+        key = (model, self.config.bit_kv)
+        if key not in self._cost_models:
+            spec = get_model(model)
+            cm = LatencyCostModel(spec, bit_kv=self.config.bit_kv)
+            from ..hardware.gpus import get_gpu
+
+            cm.fit(
+                [get_gpu(g) for g in sorted(self.inventory)],
+                self.config.bit_choices,
+            )
+            self._cost_models[key] = cm
+        return self._cost_models[key]
+
+    def _job_config(self, job: FleetJob, omega: np.ndarray) -> PlannerConfig:
+        """The job's planner config (quality SLO -> hard budget)."""
+        if job.min_uniform_bits is None:
+            return self.config
+        bits = job.min_uniform_bits
+        if bits not in self.config.bit_choices:
+            raise ValueError(
+                f"job {job.job_id}: min_uniform_bits={bits} not in "
+                f"bit_choices {self.config.bit_choices}"
+            )
+        k = list(self.config.bit_choices).index(bits)
+        from dataclasses import replace
+
+        return replace(
+            self.config, quality_budget=float(omega[:, k].sum())
+        )
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, job: FleetJob, group: GroupSpec) -> Optional[Assignment]:
+        """Plan ``job`` on ``group``; ``None`` when nothing fits.
+
+        Memoized: two jobs with the same (model, workload, SLO) probing
+        the same group composition share one planner run.
+        """
+        wl = job.workload
+        key = (
+            job.model,
+            group.counts,
+            (wl.batch, wl.prompt_len, wl.output_len, wl.chunk_tokens,
+             wl.reserve_output_len),
+            job.min_uniform_bits,
+        )
+        if key in self._plans:
+            self.cache_hits += 1
+            if trace.enabled:
+                metrics.counter("fleet.plan_cache_hits").inc()
+            cached = self._plans[key]
+            if cached is None:
+                return None
+            return Assignment(job=job, group=group, result=cached.result)
+        with trace.span(
+            "fleet.plan_group",
+            job=job.job_id,
+            model=job.model,
+            group=group.describe(),
+        ):
+            assignment = self._evaluate_uncached(job, group)
+        self._plans[key] = assignment
+        self.evaluations += 1
+        if trace.enabled:
+            metrics.counter("fleet.groups_evaluated").inc()
+            if assignment is None:
+                metrics.counter("fleet.groups_infeasible").inc()
+        if assignment is None:
+            self.infeasible += 1
+        return assignment
+
+    def _evaluate_uncached(
+        self, job: FleetJob, group: GroupSpec
+    ) -> Optional[Assignment]:
+        spec = get_model(job.model)
+        omega = self._omega(job.model)
+        cluster = group.to_cluster(
+            f"fleet-{job.model}-{group.describe()}", self.cross_node_link
+        )
+        planner = SplitQuantPlanner(
+            spec,
+            cluster,
+            self._job_config(job, omega),
+            cost_model=self._cost_model(job.model),
+            omega_layers=omega,
+        )
+        result = planner.plan(job.workload)
+        if result is None or result.predicted_latency_s <= 0:
+            return None
+        return Assignment(job=job, group=group, result=result)
+
+    def evaluate_many(
+        self, pairs: Sequence[Tuple[FleetJob, GroupSpec]]
+    ) -> List[Optional[Assignment]]:
+        """Evaluate candidate (job, group) pairs, possibly in parallel.
+
+        Results come back in submission order regardless of completion
+        order, so allocator decisions are deterministic for any
+        ``parallelism``.
+        """
+        if self.parallelism == 1 or len(pairs) <= 1:
+            return [self.evaluate(j, g) for j, g in pairs]
+        # Warm the shared memos serially first: cost-model fits and
+        # indicator tables are racy to build twice and cheap to prime.
+        for model in {j.model for j, _ in pairs}:
+            self._cost_model(model)
+            self._omega(model)
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            futures = [pool.submit(self.evaluate, j, g) for j, g in pairs]
+            return [f.result() for f in futures]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "infeasible": self.infeasible,
+        }
+
+
+@dataclass
+class _BeamState:
+    """One partial allocation in the beam."""
+
+    assignments: List[Assignment] = field(default_factory=list)
+
+    def score(
+        self, inventory: Dict[str, int]
+    ) -> Tuple[float, float]:
+        """(makespan, -aggregate tokens/s): lexicographically smaller wins."""
+        if not self.assignments:
+            return (0.0, 0.0)
+        _, _, makespan = list_schedule(self.assignments, inventory)
+        total_tokens = sum(a.job.total_output_tokens for a in self.assignments)
+        agg = total_tokens / makespan if makespan > 0 else 0.0
+        return (makespan, -agg)
+
+
+class GreedyAllocator:
+    """Deadline-ordered bin packing, best tokens/s-per-GPU group first."""
+
+    name = "greedy"
+
+    def __init__(self, max_gpus: int = 4, max_types: int = 2) -> None:
+        self.max_gpus = max_gpus
+        self.max_types = max_types
+
+    def allocate(
+        self, jobs: Sequence[FleetJob], pool: PlannerPool
+    ) -> List[Assignment]:
+        inventory = dict(pool.inventory)
+        groups = enumerate_groups(
+            pool.inventory, max_gpus=self.max_gpus, max_types=self.max_types
+        )
+        out: List[Assignment] = []
+        free = dict(inventory)
+        for job in sorted(jobs, key=FleetJob.sort_key):
+            # Prefer groups that fit the *uncommitted* inventory (this
+            # wave); fall back to anything that fits the total pool.
+            for budget in (free, inventory):
+                candidates = [g for g in groups if g.fits(budget)]
+                evaluated = pool.evaluate_many(
+                    [(job, g) for g in candidates]
+                )
+                feasible = [a for a in evaluated if a is not None]
+                if feasible:
+                    break
+            if not feasible:
+                continue  # job is unschedulable on this pool
+            best = max(
+                feasible,
+                key=lambda a: (a.tokens_s_per_gpu, -a.group.total),
+            )
+            if trace.enabled:
+                metrics.counter("fleet.alloc.greedy_commits").inc()
+            out.append(best)
+            if best.group.fits(free):
+                for g, n in best.group.counts:
+                    free[g] -= n
+        return out
+
+
+class BeamAllocator:
+    """Beam search over per-job group choices with makespan lookahead."""
+
+    name = "beam"
+
+    def __init__(
+        self,
+        width: int = 4,
+        top_groups: int = 3,
+        max_gpus: int = 4,
+        max_types: int = 2,
+    ) -> None:
+        if width <= 0 or top_groups <= 0:
+            raise ValueError("width and top_groups must be positive")
+        self.width = width
+        self.top_groups = top_groups
+        self.max_gpus = max_gpus
+        self.max_types = max_types
+
+    def _expansions(
+        self, job: FleetJob, pool: PlannerPool, groups: Sequence[GroupSpec]
+    ) -> List[Assignment]:
+        """The job's candidate assignments: top-k by tokens/s + frugal."""
+        evaluated = pool.evaluate_many([(job, g) for g in groups])
+        feasible = [a for a in evaluated if a is not None]
+        if not feasible:
+            return []
+        by_speed = sorted(
+            feasible, key=lambda a: (-a.tokens_s, a.group.total, a.group.counts)
+        )
+        picks = by_speed[: self.top_groups]
+        # Always include the most GPU-frugal feasible group so lookahead
+        # can trade per-job speed for fleet-level packing.
+        frugal = min(
+            feasible, key=lambda a: (a.group.total, -a.tokens_s, a.group.counts)
+        )
+        if frugal not in picks:
+            picks.append(frugal)
+        # And the greedy pick, so greedy's trajectory is always in the beam.
+        greedy = max(
+            feasible, key=lambda a: (a.tokens_s_per_gpu, -a.group.total)
+        )
+        if greedy not in picks:
+            picks.append(greedy)
+        return picks
+
+    def allocate(
+        self, jobs: Sequence[FleetJob], pool: PlannerPool
+    ) -> List[Assignment]:
+        inventory = dict(pool.inventory)
+        groups = enumerate_groups(
+            pool.inventory, max_gpus=self.max_gpus, max_types=self.max_types
+        )
+        beam = [_BeamState()]
+        for job in sorted(jobs, key=FleetJob.sort_key):
+            picks = self._expansions(job, pool, groups)
+            if not picks:
+                continue  # unschedulable job: every state skips it
+            nxt: List[Tuple[Tuple[float, float], int, _BeamState]] = []
+            for state in beam:
+                for a in picks:
+                    cand = _BeamState(assignments=state.assignments + [a])
+                    nxt.append((cand.score(inventory), len(nxt), cand))
+            nxt.sort(key=lambda t: (t[0], t[1]))
+            beam = [s for _, _, s in nxt[: self.width]]
+            if trace.enabled:
+                metrics.counter("fleet.alloc.beam_expansions").inc(len(nxt))
+        # Never regress the baseline: the greedy allocation (evaluated
+        # from the same memoized pool, so nearly free) competes as one
+        # more final state under the beam's own objective.
+        greedy_state = _BeamState(
+            assignments=GreedyAllocator(
+                max_gpus=self.max_gpus, max_types=self.max_types
+            ).allocate(jobs, pool)
+        )
+        finalists = beam + [greedy_state]
+        best = min(
+            enumerate(finalists),
+            key=lambda t: (t[1].score(inventory), t[0]),
+        )[1]
+        if trace.enabled:
+            metrics.counter("fleet.alloc.beam_commits").inc(
+                len(best.assignments)
+            )
+        return best.assignments

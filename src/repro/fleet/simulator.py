@@ -1,0 +1,238 @@
+"""Discrete-event fleet simulation: compose per-job pipeline sims.
+
+Each scheduled job's one-batch serving is simulated with the PR-0
+discrete-event pipeline simulator (:func:`repro.pipeline.simulate_plan`)
+on the job's materialized group cluster; the measured per-batch makespan
+replaces the planner's analytic prediction, the backfilling list
+scheduler is re-run with the measured durations, and everything is
+composed into a :class:`FleetSimResult`.
+
+The headline metric mirrors Fig. 1: how many of the fleet's idle
+GPU-hours would serving like this reclaim?  :meth:`FleetSimResult.
+idle_recovery` extrapolates the pool utilization the schedule achieved
+to the full idle capacity of a sampled fleet
+(:class:`~repro.hardware.fleet.FleetStats`), using the same
+:data:`~repro.hardware.fleet.HOURS_PER_MONTH` denominator
+``FleetStats.idle_gpu_hours`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..hardware.fleet import HOURS_PER_MONTH, FleetStats
+from ..models import get_model
+from ..obs import metrics, trace
+from ..pipeline.simulator import PipelineSimResult, simulate_plan
+from .allocator import list_schedule
+from .scheduler import FleetSchedule, ScheduledJob
+
+__all__ = ["FleetSimResult", "JobSimRecord", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class JobSimRecord:
+    """One job's simulated run inside the fleet timeline."""
+
+    job_id: str
+    model: str
+    group_counts: Tuple[Tuple[str, int], ...]
+    num_batches: int
+    start_s: float
+    end_s: float
+    total_tokens: int
+    #: The one-batch discrete-event simulation the run is composed from.
+    batch_sim: PipelineSimResult
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_tokens / self.duration_s
+
+    def describe(self) -> str:
+        group = "+".join(f"{n}x{g}" for g, n in self.group_counts)
+        return (
+            f"{self.job_id}: {self.model} on {group} "
+            f"[{self.start_s:.1f}s - {self.end_s:.1f}s] "
+            f"{self.throughput_tokens_s:.0f} tok/s"
+        )
+
+
+@dataclass(frozen=True)
+class FleetSimResult:
+    """Outcome of simulating a whole fleet schedule.
+
+    Implements the :class:`repro.api.Summary` protocol — ``to_dict()``
+    round-trips through :mod:`repro.serialization`,
+    :attr:`throughput_tokens_s` is the fleet-aggregate output
+    throughput, and :attr:`duration_s` is the fleet makespan.
+    """
+
+    inventory: Dict[str, int]
+    jobs: Tuple[JobSimRecord, ...]
+    makespan_s: float
+    total_tokens: int
+    allocator: str
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Aggregate output tokens/s over the fleet makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def duration_s(self) -> float:
+        """Fleet makespan (the Summary-protocol duration)."""
+        return self.makespan_s
+
+    def gpu_hours_used(self) -> Dict[str, float]:
+        """Busy GPU-hours per type over the simulated timeline."""
+        out: Dict[str, float] = {g: 0.0 for g in self.inventory}
+        for rec in self.jobs:
+            hours = rec.duration_s / 3600.0
+            for g, n in rec.group_counts:
+                out[g] = out.get(g, 0.0) + n * hours
+        return out
+
+    def pool_utilization(self) -> Dict[str, float]:
+        """Busy fraction of each pool GPU type during the makespan."""
+        if self.makespan_s <= 0:
+            return {g: 0.0 for g in self.inventory}
+        span_hours = self.makespan_s / 3600.0
+        used = self.gpu_hours_used()
+        return {
+            g: min(used.get(g, 0.0) / (n * span_hours), 1.0)
+            for g, n in self.inventory.items()
+            if n > 0
+        }
+
+    def idle_recovery(
+        self,
+        stats: FleetStats,
+        hours_per_month: float = HOURS_PER_MONTH,
+    ) -> Dict[str, Any]:
+        """Reclaimed idle GPU-hours vs the Fig. 1 baseline.
+
+        Extrapolates the pool utilization this schedule achieved to the
+        sampled fleet's whole idle capacity: operating all of type
+        ``t``'s idle GPUs at the schedule's busy fraction reclaims
+        ``idle_gpu_hours[t] * pool_utilization[t]`` GPU-hours/month.
+        """
+        idle = stats.idle_gpu_hours(hours_per_month=hours_per_month)
+        util = self.pool_utilization()
+        per_type = {
+            g: {
+                "idle_gpu_hours": idle.get(g, 0.0),
+                "pool_utilization": util.get(g, 0.0),
+                "reclaimed_gpu_hours": idle.get(g, 0.0) * util.get(g, 0.0),
+            }
+            for g in sorted(set(idle) | set(util))
+        }
+        total_idle = sum(v["idle_gpu_hours"] for v in per_type.values())
+        total_reclaimed = sum(
+            v["reclaimed_gpu_hours"] for v in per_type.values()
+        )
+        return {
+            "per_type": per_type,
+            "total_idle_gpu_hours": total_idle,
+            "total_reclaimed_gpu_hours": total_reclaimed,
+            "reclaimed_fraction": (
+                total_reclaimed / total_idle if total_idle > 0 else 0.0
+            ),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import fleet_result_to_dict
+
+        return fleet_result_to_dict(self)
+
+    def describe(self) -> str:
+        lines = [
+            f"fleet simulation ({self.allocator}): {len(self.jobs)} jobs, "
+            f"makespan {self.makespan_s:.1f}s, "
+            f"{self.throughput_tokens_s:.0f} tok/s aggregate"
+        ]
+        for rec in sorted(self.jobs, key=lambda r: (r.start_s, r.job_id)):
+            lines.append("  " + rec.describe())
+        return "\n".join(lines)
+
+
+def simulate_schedule(
+    schedule: FleetSchedule,
+    cross_node_link: str = "eth-800g",
+    check_memory: bool = True,
+) -> FleetSimResult:
+    """Simulate every scheduled job and compose the fleet timeline."""
+    with trace.span(
+        "fleet.simulate",
+        jobs=len(schedule.jobs),
+        allocator=schedule.allocator,
+    ) as sp:
+        result = _simulate_schedule(schedule, cross_node_link, check_memory)
+        sp.set(makespan_s=round(result.makespan_s, 3))
+        if trace.enabled:
+            metrics.counter("fleet.simulations").inc()
+            metrics.counter("fleet.sim.jobs").inc(len(result.jobs))
+        return result
+
+
+def _one_job_sim(
+    sj: ScheduledJob, cross_node_link: str, check_memory: bool
+) -> PipelineSimResult:
+    assignment = sj.assignment
+    cluster = assignment.materialize_cluster(cross_node_link)
+    spec = get_model(assignment.job.model)
+    return simulate_plan(
+        assignment.result.plan,
+        cluster,
+        spec,
+        assignment.job.workload,
+        check_memory=check_memory,
+    )
+
+
+def _simulate_schedule(
+    schedule: FleetSchedule,
+    cross_node_link: str,
+    check_memory: bool,
+) -> FleetSimResult:
+    batch_sims = [
+        _one_job_sim(sj, cross_node_link, check_memory)
+        for sj in schedule.jobs
+    ]
+    assignments = [sj.assignment for sj in schedule.jobs]
+    durations = [
+        sj.job.num_batches * sim.makespan_s
+        for sj, sim in zip(schedule.jobs, batch_sims)
+    ]
+    start, end, makespan = list_schedule(
+        assignments, schedule.inventory, durations=durations
+    )
+    records = tuple(
+        JobSimRecord(
+            job_id=sj.job.job_id,
+            model=sj.job.model,
+            group_counts=sj.group.counts,
+            num_batches=sj.job.num_batches,
+            start_s=s,
+            end_s=e,
+            total_tokens=sj.job.total_output_tokens,
+            batch_sim=sim,
+        )
+        for sj, sim, s, e in zip(schedule.jobs, batch_sims, start, end)
+    )
+    return FleetSimResult(
+        inventory=dict(schedule.inventory),
+        jobs=records,
+        makespan_s=makespan,
+        total_tokens=sum(r.total_tokens for r in records),
+        allocator=schedule.allocator,
+    )

@@ -9,6 +9,11 @@ We reproduce those statistics with a seeded generator: a fleet of GPUs is
 drawn from the published share distribution and per-GPU monthly effective
 hours are sampled from per-type beta distributions whose means match the
 utilization gap the paper shows.
+
+:data:`HOURS_PER_MONTH` is the single source of truth for converting a
+monthly utilization fraction into GPU-hours; the fleet scheduler
+(:mod:`repro.fleet`) imports it so idle-hour accounting lines up exactly
+with :meth:`FleetStats.idle_gpu_hours`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
+
+#: Hours in the nominal scheduling month (30 days).  Shared by
+#: :meth:`FleetStats.idle_gpu_hours` and the fleet scheduler's
+#: GPU-hour accounting so "reclaimed idle hours" is measured against the
+#: same denominator Fig. 1 uses.
+HOURS_PER_MONTH: float = 720.0
 
 #: Share of each GPU type in the fleet (sums to 1), shaped after Fig. 1(a):
 #: a thin slice of A100s and a long tail of inference parts.
@@ -36,6 +47,9 @@ UTILIZATION_MEANS: Dict[str, float] = {
     "P100-12G": 0.21,
 }
 
+#: Beta concentration of the per-GPU utilization draw (within-type spread).
+_UTILIZATION_CONCENTRATION: float = 20.0
+
 
 @dataclass(frozen=True)
 class FleetStats:
@@ -52,39 +66,70 @@ class FleetStats:
         total = self.total
         return {k: v / total for k, v in self.counts.items()}
 
-    def idle_gpu_hours(self, hours_per_month: float = 720.0) -> Dict[str, float]:
+    def idle_gpu_hours(
+        self, hours_per_month: float = HOURS_PER_MONTH
+    ) -> Dict[str, float]:
         """Unused GPU-hours per type per month — the untapped capacity."""
         return {
             k: self.counts[k] * hours_per_month * (1.0 - self.utilization[k])
             for k in self.counts
         }
 
+    def idle_gpu_equivalents(self) -> Dict[str, float]:
+        """Average number of *whole idle GPUs* per type.
 
-def sample_fleet(n_gpus: int = 10_000, seed: int = 0) -> FleetStats:
-    """Draw a synthetic fleet and its monthly utilization.
+        ``count * (1 - utilization)`` — the steady-state size of the
+        schedulable pool the fleet scheduler carves jobs from.
+        """
+        return {
+            k: self.counts[k] * (1.0 - self.utilization[k])
+            for k in self.counts
+        }
 
-    Utilization per GPU is Beta-distributed with the per-type mean above and
-    concentration 20, giving realistic within-type spread.
-    """
-    if n_gpus <= 0:
-        raise ValueError("n_gpus must be positive")
-    rng = np.random.default_rng(seed)
+
+def _sample_counts(rng: np.random.Generator, n_gpus: int) -> Dict[str, int]:
+    """Draw the per-type fleet composition from :data:`FLEET_SHARES`."""
     types = list(FLEET_SHARES)
     probs = np.array([FLEET_SHARES[t] for t in types])
     probs = probs / probs.sum()
     draws = rng.choice(len(types), size=n_gpus, p=probs)
-    counts = {t: int((draws == i).sum()) for i, t in enumerate(types)}
+    return {t: int((draws == i).sum()) for i, t in enumerate(types)}
 
+
+def _sample_utilization(
+    rng: np.random.Generator, counts: Dict[str, int]
+) -> Dict[str, float]:
+    """Mean per-type utilization from per-GPU beta draws.
+
+    Shared by :func:`sample_fleet` and
+    :func:`monthly_utilization_series` — one implementation of the
+    Fig. 1(b) within-type spread (Beta with the published mean and
+    concentration :data:`_UTILIZATION_CONCENTRATION`).
+    """
     utilization: Dict[str, float] = {}
-    conc = 20.0
-    for i, t in enumerate(types):
-        n = counts[t]
+    conc = _UTILIZATION_CONCENTRATION
+    for t in FLEET_SHARES:
+        n = counts.get(t, 0)
         if n == 0:
             utilization[t] = 0.0
             continue
         mean = UTILIZATION_MEANS[t]
         a, b = mean * conc, (1.0 - mean) * conc
         utilization[t] = float(rng.beta(a, b, size=n).mean())
+    return utilization
+
+
+def sample_fleet(n_gpus: int = 10_000, seed: int = 0) -> FleetStats:
+    """Draw a synthetic fleet and its monthly utilization.
+
+    Utilization per GPU is Beta-distributed with the per-type mean above
+    and concentration 20, giving realistic within-type spread.
+    """
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    rng = np.random.default_rng(seed)
+    counts = _sample_counts(rng, n_gpus)
+    utilization = _sample_utilization(rng, counts)
     return FleetStats(counts=counts, utilization=utilization)
 
 
@@ -100,3 +145,30 @@ def monthly_utilization_series(
         for t in out:
             out[t].append(stats.utilization[t])
     return out
+
+
+def schedulable_inventory(
+    stats: FleetStats, pool_gpus: int = 32
+) -> Dict[str, int]:
+    """A concrete mixed GPU pool proportional to the fleet's idle capacity.
+
+    Scales each type's :meth:`FleetStats.idle_gpu_equivalents` down to a
+    pool of about ``pool_gpus`` devices (largest-remainder rounding, at
+    least one of every type with idle capacity) — the slice of Fig. 1's
+    untapped fleet a scheduling experiment actually places jobs on.
+    """
+    if pool_gpus <= 0:
+        raise ValueError("pool_gpus must be positive")
+    idle = stats.idle_gpu_equivalents()
+    total_idle = sum(idle.values())
+    if total_idle <= 0:
+        raise ValueError("fleet has no idle capacity to schedule on")
+    raw = {t: pool_gpus * v / total_idle for t, v in idle.items() if v > 0}
+    floor = {t: int(v) for t, v in raw.items()}
+    remainders = sorted(
+        raw, key=lambda t: (raw[t] - floor[t], t), reverse=True
+    )
+    short = pool_gpus - sum(floor.values())
+    for t in remainders[:short]:
+        floor[t] += 1
+    return {t: max(1, n) for t, n in floor.items()}

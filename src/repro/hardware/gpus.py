@@ -20,7 +20,7 @@ shape-dependent).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 GiB = 1024**3

@@ -33,7 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..obs import metrics, trace
-from ..plan import ExecutionPlan, InfeasibleError, degrade_plan
+from ..plan import ExecutionPlan, degrade_plan
 from ..quality.tinylm import TinyLM, TinyLMConfig
 from .comm import Channel, ChannelClosed, StageFailure
 from .faults import FaultInjector, FaultPlan, FaultRecord

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 FAULT_KINDS = ("kill", "slow", "drop")

@@ -23,6 +23,7 @@ from .plan import ExecutionPlan, StagePlan
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core.planner import PlannerResult
     from .core.search import CandidateStat, SearchStats
+    from .fleet.simulator import FleetSimResult
     from .pipeline.simulator import DegradedSimResult, PipelineSimResult
     from .runtime.engine import GenerationResult
     from .runtime.faults import FaultPlan, FaultRecord, FaultSpec
@@ -31,6 +32,7 @@ SCHEMA_VERSION = 1
 FAULT_SCHEMA_VERSION = 1
 TRACE_SCHEMA_VERSION = 1
 RESULT_SCHEMA_VERSION = 1
+FLEET_SCHEMA_VERSION = 1
 
 
 def plan_to_dict(plan: ExecutionPlan) -> Dict[str, Any]:
@@ -429,6 +431,70 @@ def generation_result_from_dict(data: Dict[str, Any]) -> "GenerationResult":
         ),
         plan=None if plan is None else plan_from_dict(plan),
         prompt_tokens=int(data.get("prompt_tokens", 0)),
+    )
+
+
+def fleet_result_to_dict(res: "FleetSimResult") -> Dict[str, Any]:
+    """A JSON-safe dict of a fleet simulation (round-trip exact)."""
+    return {
+        "schema_version": FLEET_SCHEMA_VERSION,
+        "kind": "fleet_sim",
+        "inventory": {g: int(n) for g, n in sorted(res.inventory.items())},
+        "allocator": res.allocator,
+        "makespan_s": round_trace_float(res.makespan_s),
+        "total_tokens": res.total_tokens,
+        "jobs": [
+            {
+                "job_id": rec.job_id,
+                "model": rec.model,
+                "group_counts": [
+                    [g, int(n)] for g, n in rec.group_counts
+                ],
+                "num_batches": rec.num_batches,
+                "start_s": round_trace_float(rec.start_s),
+                "end_s": round_trace_float(rec.end_s),
+                "total_tokens": rec.total_tokens,
+                "batch_sim": sim_result_to_dict(rec.batch_sim),
+            }
+            for rec in res.jobs
+        ],
+    }
+
+
+def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetSimResult":
+    """Reconstruct a :class:`FleetSimResult` written by
+    :func:`fleet_result_to_dict`."""
+    from .fleet.simulator import FleetSimResult, JobSimRecord
+
+    version = data.get("schema_version")
+    if version != FLEET_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fleet schema version {version!r} "
+            f"(expected {FLEET_SCHEMA_VERSION})"
+        )
+    jobs = tuple(
+        JobSimRecord(
+            job_id=str(rec["job_id"]),
+            model=str(rec["model"]),
+            group_counts=tuple(
+                (str(g), int(n)) for g, n in rec["group_counts"]
+            ),
+            num_batches=int(rec["num_batches"]),
+            start_s=float(rec["start_s"]),
+            end_s=float(rec["end_s"]),
+            total_tokens=int(rec["total_tokens"]),
+            batch_sim=sim_result_from_dict(rec["batch_sim"]),
+        )
+        for rec in data["jobs"]
+    )
+    return FleetSimResult(
+        inventory={
+            str(g): int(n) for g, n in data["inventory"].items()
+        },
+        jobs=jobs,
+        makespan_s=float(data["makespan_s"]),
+        total_tokens=int(data["total_tokens"]),
+        allocator=str(data["allocator"]),
     )
 
 

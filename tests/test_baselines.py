@@ -12,7 +12,6 @@ from repro.baselines import (
     repair_partition_for_memory,
 )
 from repro.pipeline import simulate_plan
-from repro.workloads import BatchWorkload
 
 BITS = (3, 4, 8, 16)
 

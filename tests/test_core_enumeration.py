@@ -8,7 +8,7 @@ from repro.core import (
     node_tp_groupings,
 )
 from repro.core.enumeration import _power_of_two_partitions
-from repro.hardware import make_cluster, table_iii_cluster
+from repro.hardware import table_iii_cluster
 
 
 def test_power_of_two_partitions():

@@ -1,6 +1,5 @@
 """Tests for the partition/bitwidth ILP, cross-checked against brute force."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

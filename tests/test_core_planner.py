@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import PlannerConfig, SplitQuantPlanner
 from repro.pipeline import simulate_plan
-from repro.workloads import BatchWorkload
 
 FAST = PlannerConfig(
     group_size=5,

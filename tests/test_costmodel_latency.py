@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.costmodel import (
-    LatencyCostModel,
     decode_features,
     fit_phase,
     prefill_features,

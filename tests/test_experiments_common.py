@@ -1,6 +1,5 @@
 """Tests for the experiment helpers (common.py)."""
 
-import pytest
 
 from repro.experiments.common import (
     BITS,
@@ -12,7 +11,6 @@ from repro.experiments.common import (
 from repro.hardware import table_iii_cluster
 from repro.models import get_model
 from repro.plan import uniform_plan
-from repro.workloads import BatchWorkload
 
 
 def test_bits_constant():

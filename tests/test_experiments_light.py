@@ -1,6 +1,5 @@
 """Tests of the fast experiment modules (shape assertions vs the paper)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS, ExperimentResult

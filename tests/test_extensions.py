@@ -83,8 +83,6 @@ def test_phase_blind_flag_produces_valid_plan(opt13b, small_cluster,
 
 def test_phase_blind_problem_costs(opt13b, small_cluster, cost_model_13b):
     """Phase-blind decode costs inherit prefill's device ratios."""
-    import numpy as np
-
     from repro.core import StageGroup, build_problem
     from repro.quant import normalized_indicator_table
 

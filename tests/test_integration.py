@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.baselines import plan_het_baseline, plan_uniform_baseline
+from repro.baselines import plan_uniform_baseline
 from repro.core import PlannerConfig, SplitQuantPlanner
 from repro.experiments.common import compare_policies, feasible_batch
 from repro.hardware import make_cluster, table_iii_cluster

@@ -4,7 +4,6 @@ import pytest
 
 from repro.pipeline import (
     CostModelTiming,
-    PipelineSimResult,
     RooflineTiming,
     StageExecutionModel,
     check_plan_memory,

@@ -5,8 +5,7 @@ import pytest
 
 from repro.pipeline import render_gantt, simulate_plan, trace_plan
 from repro.plan import uniform_plan
-from repro.quality import TinyLM, TinyLMConfig
-from repro.workloads import BatchWorkload
+from repro.quality import TinyLMConfig
 
 
 def groups_of(cluster):

@@ -7,7 +7,6 @@ same quantized weights — the core guarantee of the degrade-and-replan
 recovery path.
 """
 
-import threading
 import time
 
 import numpy as np

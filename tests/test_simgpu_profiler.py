@@ -1,7 +1,6 @@
 """Tests for the noisy measurement front-end."""
 
 import numpy as np
-import pytest
 
 from repro.models import kv_cache_bytes, weight_storage_bytes
 from repro.simgpu import LatencySample, Profiler, layer_time

@@ -1,6 +1,5 @@
 """Tests for variable-output-length workloads and their simulation."""
 
-import numpy as np
 import pytest
 
 from repro.pipeline import simulate_plan, simulate_plan_variable
