@@ -14,6 +14,10 @@ compares them against the records committed under ``benchmarks/``:
   wall); the guard fails when the fresh estimate breaks the budget.
   The drift vs the committed fraction is reported but not gated: the
   absolute numbers are nanoseconds and CI-noise dominated.
+* ``BENCH_sim.json`` — the closed-form fast simulator's speedup over
+  the discrete-event engine on the fleet-scale configuration.  Like the
+  planner guard it compares the same-machine ratio, with a hard floor
+  of 5x and bit-identical results as a structural invariant.
 
 Structural invariants (plan parity between the two search paths, the
 pruner actually pruning, the memo actually hitting) fail the guard
@@ -94,6 +98,48 @@ def measure_planner() -> dict:
     }
 
 
+def measure_sim() -> dict:
+    """Fresh fast-vs-event simulator speedup on the fleet-scale config."""
+    from repro.pipeline import simulate_plan
+    from repro.plan import uniform_plan
+
+    spec = get_model("opt-30b")
+    cluster = table_iii_cluster(7)
+    plan = uniform_plan(
+        spec.name,
+        spec.num_layers,
+        [((d.device_id,), d.gpu.name) for d in cluster.devices],
+        bits=4,
+        prefill_microbatch=16,
+        decode_microbatch=8,
+    )
+    workload = BatchWorkload(
+        batch=64, prompt_len=512, output_len=256, chunk_tokens=512
+    )
+
+    def wall(backend: str, rounds: int = 5) -> tuple[float, object]:
+        best, res = float("inf"), None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            res = simulate_plan(
+                plan, cluster, spec, workload,
+                check_memory=False, sim_backend=backend,
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best, res
+
+    event_wall_s, ev = wall("event")
+    fast_wall_s, fa = wall("fast")
+    return {
+        "bench": "sim_scaling",
+        "event_wall_s": round(event_wall_s, 5),
+        "fast_wall_s": round(fast_wall_s, 5),
+        "speedup": round(event_wall_s / fast_wall_s, 2),
+        "results_identical": ev == fa,
+        "events_per_run": ev.events_processed,
+    }
+
+
 def _per_op_s(fn, n: int = 50_000) -> float:
     best = float("inf")
     for _ in range(3):
@@ -166,6 +212,7 @@ def main(argv=None) -> int:
         (BENCH_DIR / "BENCH_planner.json").read_text()
     )
     baseline_obs = json.loads((BENCH_DIR / "BENCH_obs.json").read_text())
+    baseline_sim = json.loads((BENCH_DIR / "BENCH_sim.json").read_text())
 
     failures: list[str] = []
 
@@ -203,12 +250,32 @@ def main(argv=None) -> int:
             f"breaks the {budget:.0%} budget"
         )
 
+    fresh_sim = measure_sim()
+    sim_floor = max(
+        baseline_sim["speedup"] * (1.0 - args.tolerance), 5.0
+    )
+    print(
+        f"sim fast-path speedup: fresh {fresh_sim['speedup']:.2f}x vs "
+        f"baseline {baseline_sim['speedup']:.2f}x "
+        f"(floor {sim_floor:.2f}x)"
+    )
+    if not fresh_sim["results_identical"]:
+        failures.append("fast simulator diverged from event simulator")
+    if fresh_sim["speedup"] < sim_floor:
+        failures.append(
+            f"sim fast-path speedup regressed: {fresh_sim['speedup']:.2f}x "
+            f"< floor {sim_floor:.2f}x (baseline "
+            f"{baseline_sim['speedup']:.2f}x)"
+        )
+
     record = {
         "tolerance": args.tolerance,
         "planner": fresh_planner,
         "planner_baseline_speedup": baseline_planner["speedup"],
         "obs": fresh_obs,
         "obs_budget_fraction": budget,
+        "sim": fresh_sim,
+        "sim_baseline_speedup": baseline_sim["speedup"],
         "failures": failures,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")

@@ -160,12 +160,18 @@ class Session:
         check_memory: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         detection_overhead_s: float = 0.0,
+        sim_backend: str = "auto",
     ) -> Union[PipelineSimResult, DegradedSimResult]:
-        """Discrete-event simulation of a plan (defaults to the last one).
+        """Simulate a plan (defaults to the last one).
 
-        With ``fault_plan`` the degraded-recovery mirror
-        (:func:`repro.pipeline.simulate_degraded`) runs instead and a
-        :class:`DegradedSimResult` is returned.
+        ``sim_backend`` selects the engine: ``"event"`` forces the
+        discrete-event loop, ``"fast"`` the closed-form steady-state
+        recurrence (bit-identical results), ``"auto"`` picks the fast
+        path whenever it is exact.  With ``fault_plan`` the
+        degraded-recovery mirror (:func:`repro.pipeline.simulate_degraded`)
+        runs instead and a :class:`DegradedSimResult` is returned
+        (fault timelines are inherently event-driven, so ``sim_backend``
+        does not apply there).
         """
         ex_plan = self._resolve_plan(plan)
         wl = workload or self._last_workload
@@ -184,7 +190,7 @@ class Session:
                 )
             return simulate_plan(
                 ex_plan, self.cluster, self.spec, wl,
-                check_memory=check_memory,
+                check_memory=check_memory, sim_backend=sim_backend,
             )
 
     def serve(

@@ -155,6 +155,39 @@ class LatencyCostModel:
     def fitted_keys(self) -> List[Tuple[str, int, str]]:
         return sorted(self._models)
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the fitted coefficients.
+
+        Floats are emitted at full precision (``repr`` round-trips
+        float64 exactly), so ``from_state_dict(spec, state_dict())``
+        reproduces predictions bit-for-bit — the contract the persistent
+        result cache relies on.
+        """
+        return {
+            "spec": self.spec.name,
+            "bit_kv": self.bit_kv,
+            "models": [
+                [gpu, bits, phase, [float(c) for c in reg.coef]]
+                for (gpu, bits, phase), reg in sorted(self._models.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, spec: ModelSpec, state: Dict[str, object]
+    ) -> "LatencyCostModel":
+        """Rebuild a fitted model from :meth:`state_dict` output."""
+        if state.get("spec") != spec.name:
+            raise ValueError(
+                f"state fitted for {state.get('spec')!r}, not {spec.name!r}"
+            )
+        cm = cls(spec=spec, bit_kv=int(state.get("bit_kv", 16)))
+        for gpu, bits, phase, coef in state["models"]:  # type: ignore[index]
+            cm._models[(str(gpu), int(bits), str(phase))] = PhaseRegression(
+                phase=str(phase), coef=np.asarray(coef, dtype=np.float64)
+            )
+        return cm
+
 
 def relative_errors(
     model: LatencyCostModel,

@@ -4,16 +4,67 @@ Regenerate any paper table/figure::
 
     python -m repro.experiments fig10
     python -m repro.experiments all
+    python -m repro.experiments all --jobs 4
     python -m repro.experiments --list
+
+``--jobs N`` fans experiments out over a process pool.  Output stays
+**byte-identical** to a serial run: each experiment's text is captured in
+its worker and printed by the parent in the canonical (requested) order,
+while timing/progress lines go to stderr.  Failures no longer abort the
+run — every remaining experiment still executes, the tracebacks are
+collected, and the exit status is non-zero with a summary at the end.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
+import os
 import sys
 import time
+import traceback
+from typing import Optional, Tuple
 
 from . import ALL_EXPERIMENTS
+
+#: Environment variables a worker must not inherit: a forked/spawned
+#: child with SPLITQUANT_TRACE set would install its own tracer and race
+#: the parent for the output file.
+_SCRUB_ENV = ("SPLITQUANT_TRACE",)
+
+
+def _run_one(name: str) -> Tuple[str, str, float, Optional[str]]:
+    """Execute one experiment; never raises.
+
+    Returns ``(name, text, elapsed_s, traceback_or_None)``.  Anything the
+    experiment prints is captured ahead of its ``to_text()`` block so
+    stdout is identical whether this runs in-process or in a worker.
+    """
+    t0 = time.perf_counter()
+    buf = io.StringIO()
+    err: Optional[str] = None
+    try:
+        with contextlib.redirect_stdout(buf):
+            result = ALL_EXPERIMENTS[name].run()
+            text = buf.getvalue() + result.to_text()
+    except Exception:
+        err = traceback.format_exc()
+        text = buf.getvalue()
+    return name, text, time.perf_counter() - t0, err
+
+
+def _emit(name: str, text: str, elapsed: float, err: Optional[str]) -> None:
+    """Print one experiment's canonical stdout block + stderr progress."""
+    if err is None:
+        print(text)
+        print()
+        print(f"[{name} regenerated in {elapsed:.1f}s]", file=sys.stderr)
+    else:
+        if text:
+            print(text, end="" if text.endswith("\n") else "\n", file=sys.stderr)
+        print(f"[{name} FAILED after {elapsed:.1f}s]", file=sys.stderr)
+        print(err, file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -28,6 +79,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
     )
     args = parser.parse_args(argv)
 
@@ -47,11 +105,44 @@ def main(argv=None) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         print(f"known: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for name in names:
-        t0 = time.perf_counter()
-        result = ALL_EXPERIMENTS[name].run()
-        print(result.to_text())
-        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f}s]\n")
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    failures = []
+    if args.jobs == 1 or len(names) <= 1:
+        for name in names:
+            _, text, elapsed, err = _run_one(name)
+            _emit(name, text, elapsed, err)
+            if err is not None:
+                failures.append(name)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Workers must not inherit tracing config (they would fight over
+        # the parent's trace file); the persistent result cache env *is*
+        # inherited on purpose — parallel runs warm it for everyone.
+        saved = {k: os.environ.pop(k) for k in _SCRUB_ENV if k in os.environ}
+        try:
+            with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+                futures = {n: pool.submit(_run_one, n) for n in names}
+                # Emit strictly in request order regardless of completion
+                # order: stdout is byte-identical to the serial run.
+                for name in names:
+                    _, text, elapsed, err = futures[name].result()
+                    _emit(name, text, elapsed, err)
+                    if err is not None:
+                        failures.append(name)
+        finally:
+            os.environ.update(saved)
+
+    if failures:
+        print(
+            f"{len(failures)}/{len(names)} experiments failed: "
+            f"{' '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

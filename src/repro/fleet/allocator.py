@@ -229,6 +229,11 @@ def list_schedule(
     return tuple(start), tuple(end), max(end) if end else 0.0
 
 
+#: Distinguishes "persistent cache has no entry" from a cached infeasible
+#: (``None``) outcome.
+_PMISS = object()
+
+
 class PlannerPool:
     """Shared, memoized per-group planner evaluation.
 
@@ -300,6 +305,98 @@ class PlannerPool:
             self.config, quality_budget=float(omega[:, k].sum())
         )
 
+    # -- persistent plan cache -----------------------------------------
+
+    def _persistent_key(self, key: tuple) -> Optional[str]:
+        """Content hash for one memo key, or ``None`` when caching is off.
+
+        Covers everything the evaluation depends on beyond the in-memory
+        memo key: the planner config, the cross-node link, and the set of
+        inventory GPU types (the shared cost model is fitted over all of
+        them), plus the code-version salt.
+        """
+        from ..cache import cache_key, code_version_salt, default_cache
+        from dataclasses import asdict
+
+        if default_cache() is None:
+            return None
+        model, counts, wl, min_bits = key
+        return cache_key(
+            {
+                "kind": "fleet_plan",
+                "salt": code_version_salt(),
+                "model": model,
+                "group": list(list(c) for c in counts),
+                "workload": list(wl),
+                "min_uniform_bits": min_bits,
+                "config": asdict(self.config),
+                "cross_node_link": self.cross_node_link,
+                "inventory_types": sorted(self.inventory),
+            }
+        )
+
+    def _persistent_get(self, key: tuple):
+        """Stored :class:`PlannerResult` (or None for infeasible), else
+        the miss sentinel ``_PMISS``."""
+        from ..cache import MISS, default_cache
+        from ..serialization import planner_result_from_dict
+
+        cache = default_cache()
+        if cache is None:
+            return _PMISS
+        pkey = self._persistent_key(key)
+        hit = cache.get("fleet_plan", pkey)
+        if hit is MISS:
+            return _PMISS
+        if hit is None or hit.get("result") is None:
+            return None
+        try:
+            result = planner_result_from_dict(hit["result"])
+        except (KeyError, ValueError, TypeError):
+            cache.evict("fleet_plan", pkey)
+            return _PMISS
+        # Trace serialization rounds floats to 12 significant digits;
+        # allocator decisions must be bit-identical warm or cold, so the
+        # exact top-level scores are stored alongside and restored here.
+        from dataclasses import replace
+
+        exact = hit.get("exact", {})
+        if exact:
+            result = replace(
+                result,
+                predicted_latency_s=float(exact["predicted_latency_s"]),
+                predicted_quality=float(exact["predicted_quality"]),
+                throughput_tokens_s=float(exact["throughput_tokens_s"]),
+                solve_time_s=float(exact["solve_time_s"]),
+            )
+        return result
+
+    def _persistent_put(self, key: tuple, assignment: Optional[Assignment]) -> None:
+        from ..cache import default_cache
+        from ..serialization import planner_result_to_dict
+
+        cache = default_cache()
+        if cache is None:
+            return
+        pkey = self._persistent_key(key)
+        if assignment is None:
+            cache.put("fleet_plan", pkey, {"result": None})
+            return
+        r = assignment.result
+        cache.put(
+            "fleet_plan",
+            pkey,
+            {
+                "result": planner_result_to_dict(r),
+                "exact": {
+                    "predicted_latency_s": r.predicted_latency_s,
+                    "predicted_quality": r.predicted_quality,
+                    "throughput_tokens_s": r.throughput_tokens_s,
+                    "solve_time_s": r.solve_time_s,
+                },
+            },
+        )
+
     # -- evaluation ----------------------------------------------------
 
     def evaluate(self, job: FleetJob, group: GroupSpec) -> Optional[Assignment]:
@@ -324,6 +421,18 @@ class PlannerPool:
             if cached is None:
                 return None
             return Assignment(job=job, group=group, result=cached.result)
+        persisted = self._persistent_get(key)
+        if persisted is not _PMISS:
+            assignment = (
+                None
+                if persisted is None
+                else Assignment(job=job, group=group, result=persisted)
+            )
+            self._plans[key] = assignment
+            self.cache_hits += 1
+            if trace.enabled:
+                metrics.counter("fleet.plan_cache_hits").inc()
+            return assignment
         with trace.span(
             "fleet.plan_group",
             job=job.job_id,
@@ -332,6 +441,7 @@ class PlannerPool:
         ):
             assignment = self._evaluate_uncached(job, group)
         self._plans[key] = assignment
+        self._persistent_put(key, assignment)
         self.evaluations += 1
         if trace.enabled:
             metrics.counter("fleet.groups_evaluated").inc()

@@ -169,14 +169,22 @@ def simulate_schedule(
     schedule: FleetSchedule,
     cross_node_link: str = "eth-800g",
     check_memory: bool = True,
+    sim_backend: str = "auto",
 ) -> FleetSimResult:
-    """Simulate every scheduled job and compose the fleet timeline."""
+    """Simulate every scheduled job and compose the fleet timeline.
+
+    ``sim_backend`` selects the per-job pipeline simulator engine
+    (``"auto"`` takes the closed-form fast path whenever it is exact —
+    which, for fleet jobs' uniform batches, is always).
+    """
     with trace.span(
         "fleet.simulate",
         jobs=len(schedule.jobs),
         allocator=schedule.allocator,
     ) as sp:
-        result = _simulate_schedule(schedule, cross_node_link, check_memory)
+        result = _simulate_schedule(
+            schedule, cross_node_link, check_memory, sim_backend
+        )
         sp.set(makespan_s=round(result.makespan_s, 3))
         if trace.enabled:
             metrics.counter("fleet.simulations").inc()
@@ -185,7 +193,10 @@ def simulate_schedule(
 
 
 def _one_job_sim(
-    sj: ScheduledJob, cross_node_link: str, check_memory: bool
+    sj: ScheduledJob,
+    cross_node_link: str,
+    check_memory: bool,
+    sim_backend: str = "auto",
 ) -> PipelineSimResult:
     assignment = sj.assignment
     cluster = assignment.materialize_cluster(cross_node_link)
@@ -196,6 +207,7 @@ def _one_job_sim(
         spec,
         assignment.job.workload,
         check_memory=check_memory,
+        sim_backend=sim_backend,
     )
 
 
@@ -203,9 +215,10 @@ def _simulate_schedule(
     schedule: FleetSchedule,
     cross_node_link: str,
     check_memory: bool,
+    sim_backend: str = "auto",
 ) -> FleetSimResult:
     batch_sims = [
-        _one_job_sim(sj, cross_node_link, check_memory)
+        _one_job_sim(sj, cross_node_link, check_memory, sim_backend)
         for sj in schedule.jobs
     ]
     assignments = [sj.assignment for sj in schedule.jobs]

@@ -12,6 +12,7 @@ paper's ``4*h1^2 + 2*h1*h2`` decoder-layer weight formula.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Tuple
 
 
@@ -57,9 +58,14 @@ class ModelSpec:
         """Width of the K/V projections (== hidden without GQA)."""
         return self.num_kv_heads * self.head_dim
 
-    @property
+    @cached_property
     def linear_shapes(self) -> Tuple[Tuple[int, int], ...]:
-        """(out, in) shapes of every linear operator in one decoder layer."""
+        """(out, in) shapes of every linear operator in one decoder layer.
+
+        Cached: queried per roofline kernel-time evaluation, which sits
+        on the simulator's hottest path (``cached_property`` stores into
+        the instance ``__dict__``, bypassing the frozen-dataclass guard).
+        """
         h, kv, f = self.hidden, self.kv_dim, self.ffn
         attn = ((h, h), (kv, h), (kv, h), (h, h))  # q, k, v, o
         if self.gated_mlp:
@@ -68,9 +74,9 @@ class ModelSpec:
             mlp = ((f, h), (h, f))  # up, down
         return attn + mlp
 
-    @property
+    @cached_property
     def decoder_linear_elements(self) -> int:
-        """Linear-weight parameter count of one decoder layer.
+        """Linear-weight parameter count of one decoder layer (cached).
 
         For OPT/BLOOM this equals the paper's ``4*h1^2 + 2*h1*h2``.
         """

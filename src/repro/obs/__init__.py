@@ -155,8 +155,14 @@ def install_from_env(
     tracer = Tracer(enabled=True)
     install_tracer(tracer)
     if register_atexit:
+        owner_pid = os.getpid()
 
         def _dump() -> None:
+            # Forked children (e.g. parallel experiment-runner workers)
+            # inherit this hook; only the registering process may write,
+            # or exiting workers would clobber the parent's trace.
+            if os.getpid() != owner_pid:
+                return
             tracer.write(path)
             snapshot = metrics.to_json()
             with open(path + ".metrics.json", "w") as fh:

@@ -1,9 +1,11 @@
 """Pipeline serving: discrete-event engine, stage timing, simulator."""
 
 from .events import EventLoop, FaultEvent, Server
+from .fastsim import fast_eligible, fast_eligible_variable
 from .simulator import (
     DegradedSimResult,
     PipelineSimResult,
+    SIM_BACKENDS,
     check_plan_memory,
     simulate_degraded,
     simulate_plan,
@@ -23,7 +25,10 @@ __all__ = [
     "Server",
     "DegradedSimResult",
     "PipelineSimResult",
+    "SIM_BACKENDS",
     "check_plan_memory",
+    "fast_eligible",
+    "fast_eligible_variable",
     "simulate_degraded",
     "simulate_plan",
     "simulate_plan_variable",

@@ -13,6 +13,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+# Hot-loop bindings: the event loop pushes/pops one heap entry per
+# simulated job-step, so module-level lookups beat attribute traversal.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class EventLoop:
     """Time-ordered callback execution."""
@@ -27,7 +32,7 @@ class EventLoop:
         """Schedule ``fn`` at absolute ``time`` (>= now)."""
         if time < self.now - 1e-12:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        heapq.heappush(self._heap, (time, next(self._counter), fn))
+        _heappush(self._heap, (time, next(self._counter), fn))
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` after ``delay`` seconds."""
@@ -40,14 +45,20 @@ class EventLoop:
 
         Stops when the queue drains or the next event is past ``until``.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            time, _, fn = heapq.heappop(self._heap)
-            self.now = time
-            fn()
-            self._processed += 1
-        return self._processed
+        heap = self._heap
+        pop = _heappop
+        n = self._processed
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                time, _, fn = pop(heap)
+                self.now = time
+                fn()
+                n += 1
+        finally:
+            self._processed = n
+        return n
 
     @property
     def pending(self) -> int:

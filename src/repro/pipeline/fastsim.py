@@ -1,0 +1,390 @@
+"""Closed-form steady-state fast path for the pipeline simulator.
+
+The discrete-event simulator in :mod:`repro.pipeline.simulator` executes
+one heap event per (micro-batch, stage, step) job.  For the uniform
+micro-batch schedules the paper's offline serving model produces, that
+event ordering is fully determined in advance, so the same finish times
+admit a closed-form recurrence — the trick Vidur-class LLM-serving
+simulators use to stay fast at fleet scale.
+
+**Why the recurrence is exact.**  Every stage is a FIFO server whose jobs
+arrive from exactly one upstream source (stage ``j-1`` forward, or the
+last stage's feedback for stage 0 in decode), and finish times at a FIFO
+server are nondecreasing in submission order, with event-loop ties broken
+by the submission counter.  By induction the global service order at
+every stage is the lexicographic job order — flat ``(micro-batch, chunk)``
+for prefill and ``(round, micro-batch)`` for decode — so each stage's
+finish times satisfy
+
+    F[j][k] = max(F[j][k-1], A[j][k]) + dur[j][k]
+
+where ``A[j][k]`` is the arrival (upstream finish + link time, or the
+decode feedback ``F[last][m, t-1] + fb``).  The implementation replays
+the *identical* floating-point operations the event loop performs —
+``max`` then one add per job, ``np.cumsum`` (sequential) for the
+zero-arrival first stage, busy-time accumulated in submission order — so
+results are bit-equal to the event-driven oracle, not approximations.
+The differential grid in ``tests/test_fastsim.py`` asserts exact
+equality.
+
+Eligibility: any fault-free uniform-micro-batch run (every
+``simulate_plan`` call) and the fixed-size degenerate case of
+``simulate_plan_variable`` (all requests generating the same number of
+tokens, where retirement never splits a round).  Variable-length decode
+with mid-flight retirement keeps the event-driven path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hardware.cluster import ClusterSpec, Device
+from ..models.architectures import ModelSpec
+from ..models import layers as L
+from ..obs import trace
+from ..plan import ExecutionPlan
+from ..workloads.spec import BatchWorkload, VariableBatchWorkload
+from .stage import RooflineTiming, StageExecutionModel, TimingSource
+
+__all__ = ["fast_eligible", "fast_eligible_variable"]
+
+
+def fast_eligible(plan: ExecutionPlan, workload: BatchWorkload) -> bool:
+    """Whether the closed-form fast path applies to a uniform-batch run.
+
+    Uniform micro-batching with no injected faults is exactly the
+    ``simulate_plan`` contract, so every such run is eligible; the hook
+    exists so ``sim_backend="auto"`` has one documented decision point.
+    """
+    return True
+
+
+def fast_eligible_variable(workload: VariableBatchWorkload) -> bool:
+    """The fixed-size portion of the variable simulator: equal lengths."""
+    lens = workload.output_lens
+    return len(set(lens)) == 1
+
+
+def _build_stage_context(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    timing: TimingSource,
+):
+    """Stage execution models + links, mirroring ``_simulate_plan``."""
+    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
+    n_stages = plan.num_stages
+    stage_models = [
+        StageExecutionModel(
+            stage=st,
+            gpu=by_id[st.device_ids[0]].gpu,
+            spec=spec,
+            timing=timing,
+            is_first=(j == 0),
+            is_last=(j == n_stages - 1),
+        )
+        for j, st in enumerate(plan.stages)
+    ]
+    fwd_links = [
+        cluster.link_between(
+            by_id[plan.stages[j].device_ids[0]],
+            by_id[plan.stages[j + 1].device_ids[0]],
+        )
+        for j in range(n_stages - 1)
+    ]
+    feedback_link = (
+        cluster.link_between(
+            by_id[plan.stages[-1].device_ids[0]],
+            by_id[plan.stages[0].device_ids[0]],
+        )
+        if n_stages > 1
+        else None
+    )
+    return stage_models, fwd_links, feedback_link
+
+
+def _fast_core(
+    plan: ExecutionPlan,
+    spec: ModelSpec,
+    stage_models: List[StageExecutionModel],
+    fwd_links,
+    feedback_link,
+    workload: BatchWorkload,
+    emit_spans: bool,
+) -> Tuple[float, float, List[float], int]:
+    """The cumulative-max recurrence over (micro-batch x stage) arrays.
+
+    Returns ``(prefill_span, decode_span, stage_busy, events)`` with
+    every float bit-equal to what the event loop would produce.
+    """
+    from .simulator import _FEEDBACK_BYTES_PER_REQ, _microbatch_sizes
+
+    n_stages = len(stage_models)
+
+    # -- prefill: flat (micro-batch, chunk) wavefront -------------------
+    pre_sizes = _microbatch_sizes(workload.batch, plan.prefill_microbatch)
+    chunk = workload.chunk_len
+    kappa = workload.kappa
+    pre_time: Dict[Tuple[int, int], float] = {}
+    for size in set(pre_sizes):
+        for j, sm in enumerate(stage_models):
+            pre_time[(j, size)] = sm.prefill_chunk_time(size, chunk)
+    pre_comm: Dict[Tuple[int, int], float] = {}
+    for size in set(pre_sizes):
+        for j, link in enumerate(fwd_links):
+            pre_comm[(j, size)] = link.transfer_time(
+                L.hidden_state_bytes(spec, size, chunk)
+            )
+
+    n_mb = len(pre_sizes)
+    sizes_flat = [size for size in pre_sizes for _ in range(kappa)]
+    n_pre = n_mb * kappa
+    pre_events = n_pre * n_stages
+
+    busy: List[float] = []
+    free: List[float] = []
+    with trace.span(
+        "sim.prefill", microbatches=n_mb, chunks=kappa
+    ) if emit_spans else _NULL_CTX as sp:
+        # Stage 0 sees zero arrivals: finish times are a plain running
+        # sum, and np.cumsum accumulates sequentially (bit-identical to
+        # the event loop's free_at chain).
+        dur0 = np.asarray(
+            [pre_time[(0, s)] for s in sizes_flat], dtype=np.float64
+        )
+        prev = np.cumsum(dur0)
+        b = 0.0
+        for d in dur0.tolist():
+            b += d
+        busy.append(b)
+        free.append(float(prev[-1]))
+        for j in range(1, n_stages):
+            jm1 = j - 1
+            comm = np.asarray(
+                [pre_comm[(jm1, s)] for s in sizes_flat], dtype=np.float64
+            )
+            # Elementwise adds are one IEEE op per job — exact.
+            arrivals = (prev + comm).tolist()
+            dur = [pre_time[(j, s)] for s in sizes_flat]
+            out = np.empty(n_pre, dtype=np.float64)
+            f = 0.0
+            b = 0.0
+            for k in range(n_pre):
+                a = arrivals[k]
+                if f < a:
+                    f = a
+                d = dur[k]
+                f = f + d
+                out[k] = f
+                b += d
+            busy.append(b)
+            free.append(f)
+            prev = out
+        # Per-stage finishes are nondecreasing in FIFO order, so the
+        # last stage's final job is the event loop's max().
+        prefill_span = float(prev[-1])
+        if emit_spans:
+            sp.set(events=pre_events)
+
+    # -- decode: (round, micro-batch) with autoregressive feedback ------
+    n_out = workload.output_len
+    dec_sizes = _microbatch_sizes(workload.batch, plan.decode_microbatch)
+    decode_steps = n_out - 1
+    decode_span = 0.0
+    dec_events = 0
+    if decode_steps > 0:
+        dec_series: Dict[Tuple[int, int], List[float]] = {}
+        for size in set(dec_sizes):
+            for j, sm in enumerate(stage_models):
+                dec_series[(j, size)] = sm.decode_time_series(
+                    size, workload.prompt_len, n_out
+                ).tolist()
+        dec_comm: Dict[Tuple[int, int], float] = {}
+        for size in set(dec_sizes):
+            for j, link in enumerate(fwd_links):
+                dec_comm[(j, size)] = link.transfer_time(
+                    L.hidden_state_bytes(spec, size, 1)
+                )
+        fb_delay = {
+            size: (
+                feedback_link.transfer_time(size * _FEEDBACK_BYTES_PER_REQ)
+                if feedback_link is not None
+                else 0.0
+            )
+            for size in set(dec_sizes)
+        }
+
+        n_dec = len(dec_sizes)
+        dec_events = n_dec * decode_steps * n_stages
+        # Hoisted per-stage structures: durations[j][m] indexed by round,
+        # forward comm per (stage, micro-batch), feedback per micro-batch.
+        series_jm = [
+            [dec_series[(j, size)] for size in dec_sizes]
+            for j in range(n_stages)
+        ]
+        comm_jm = [
+            [dec_comm[(j, size)] for size in dec_sizes]
+            for j in range(n_stages - 1)
+        ]
+        fb_m = [fb_delay[size] for size in dec_sizes]
+
+        with trace.span(
+            "sim.decode", microbatches=n_dec, steps=decode_steps
+        ) if emit_spans else _NULL_CTX as sp:
+            arrivals0 = [prefill_span] * n_dec
+            rng_dec = range(n_dec)
+            finishes: List[float] = arrivals0
+            for t in range(decode_steps):
+                cur = arrivals0
+                for j in range(n_stages):
+                    sj = series_jm[j]
+                    fj = free[j]
+                    bj = busy[j]
+                    nxt: List[float] = []
+                    append = nxt.append
+                    if j == 0:
+                        for m in rng_dec:
+                            a = cur[m]
+                            if fj < a:
+                                fj = a
+                            d = sj[m][t]
+                            fj = fj + d
+                            bj += d
+                            append(fj)
+                    else:
+                        cm = comm_jm[j - 1]
+                        for m in rng_dec:
+                            a = finishes[m] + cm[m]
+                            if fj < a:
+                                fj = a
+                            d = sj[m][t]
+                            fj = fj + d
+                            bj += d
+                            append(fj)
+                    free[j] = fj
+                    busy[j] = bj
+                    finishes = nxt
+                if t + 1 < decode_steps:
+                    arrivals0 = [
+                        finishes[m] + fb_m[m] for m in rng_dec
+                    ]
+            decode_span = max(finishes) - prefill_span
+            if emit_spans:
+                sp.set(events=dec_events)
+
+    return prefill_span, decode_span, busy, pre_events + dec_events
+
+
+class _NullCtx:
+    """A no-op ``with`` target standing in for a span (variable path)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs) -> None:  # pragma: no cover - never called
+        pass
+
+
+_NULL_CTX = _NullCtx()
+
+
+def _fast_simulate_plan(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    timing: Optional[TimingSource],
+    check_memory: bool,
+):
+    """Fast-path twin of ``_simulate_plan`` (bit-equal results)."""
+    from .simulator import PipelineSimResult, check_plan_memory
+
+    if plan.num_layers != spec.num_layers:
+        raise ValueError(
+            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
+        )
+    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
+    stage_mem = (
+        check_plan_memory(plan, cluster, spec, workload)
+        if check_memory
+        else tuple(0 for _ in plan.stages)
+    )
+    stage_models, fwd_links, feedback_link = _build_stage_context(
+        plan, cluster, spec, timing
+    )
+    prefill_span, decode_span, busy, events = _fast_core(
+        plan, spec, stage_models, fwd_links, feedback_link, workload,
+        emit_spans=True,
+    )
+    return PipelineSimResult(
+        makespan_s=prefill_span + decode_span,
+        prefill_span_s=prefill_span,
+        decode_span_s=decode_span,
+        total_tokens=workload.batch * workload.output_len,
+        stage_busy_s=tuple(busy),
+        stage_memory_bytes=stage_mem,
+        events_processed=events,
+        sim_backend="fast",
+    )
+
+
+def _fast_simulate_plan_variable(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: VariableBatchWorkload,
+    timing: Optional[TimingSource],
+    check_memory: bool,
+):
+    """Fast-path twin of ``_simulate_plan_variable`` for equal lengths.
+
+    With every request generating the same token count, retirement only
+    happens after the final round, so the variable-length event schedule
+    degenerates to the uniform one and the same recurrence is exact.
+    Callers must check :func:`fast_eligible_variable` first.
+    """
+    from .simulator import PipelineSimResult, check_plan_memory
+
+    if not fast_eligible_variable(workload):
+        raise ValueError(
+            "fast backend requires uniform output lengths; "
+            "use sim_backend='event' for retiring requests"
+        )
+    if plan.num_layers != spec.num_layers:
+        raise ValueError(
+            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
+        )
+    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
+    uniform = BatchWorkload(
+        batch=workload.batch,
+        prompt_len=workload.prompt_len,
+        output_len=workload.max_output,
+        chunk_tokens=workload.chunk_tokens,
+    )
+    stage_mem = (
+        check_plan_memory(plan, cluster, spec, uniform)
+        if check_memory
+        else tuple(0 for _ in plan.stages)
+    )
+    stage_models, fwd_links, feedback_link = _build_stage_context(
+        plan, cluster, spec, timing
+    )
+    prefill_span, decode_span, busy, events = _fast_core(
+        plan, spec, stage_models, fwd_links, feedback_link, uniform,
+        emit_spans=False,
+    )
+    return PipelineSimResult(
+        makespan_s=prefill_span + decode_span,
+        prefill_span_s=prefill_span,
+        decode_span_s=decode_span,
+        total_tokens=workload.total_output_tokens,
+        stage_busy_s=tuple(busy),
+        stage_memory_bytes=stage_mem,
+        events_processed=events,
+        sim_backend="fast",
+    )

@@ -15,7 +15,7 @@ hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -37,6 +37,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bytes of sampled token ids fed back from LM head to the first stage.
 _FEEDBACK_BYTES_PER_REQ = 4
 
+#: Accepted ``sim_backend`` values for the simulator entry points.
+SIM_BACKENDS = ("event", "fast", "auto")
+
+
+def _check_backend(sim_backend: str) -> None:
+    if sim_backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown sim_backend {sim_backend!r} (expected one of "
+            f"{SIM_BACKENDS})"
+        )
+
 
 @dataclass(frozen=True)
 class PipelineSimResult:
@@ -49,6 +60,10 @@ class PipelineSimResult:
     stage_busy_s: Tuple[float, ...]
     stage_memory_bytes: Tuple[int, ...]
     events_processed: int
+    #: Which simulation backend produced this result (``"event"`` or
+    #: ``"fast"``).  Provenance only: excluded from equality so the
+    #: differential tests can assert fast == event directly.
+    sim_backend: str = field(default="event", compare=False)
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -132,20 +147,42 @@ def simulate_plan(
     workload: BatchWorkload,
     timing: Optional[TimingSource] = None,
     check_memory: bool = True,
+    sim_backend: str = "auto",
 ) -> PipelineSimResult:
-    """Simulate serving ``workload`` under ``plan`` on ``cluster``."""
+    """Simulate serving ``workload`` under ``plan`` on ``cluster``.
+
+    ``sim_backend`` selects the engine: ``"event"`` runs the
+    discrete-event oracle, ``"fast"`` the closed-form steady-state
+    recurrence (:mod:`repro.pipeline.fastsim`), and ``"auto"`` (default)
+    dispatches to the fast path whenever the run is eligible — which for
+    uniform fault-free batches is always.  The two backends produce
+    bit-equal results; :attr:`PipelineSimResult.sim_backend` records
+    which one ran.
+    """
+    _check_backend(sim_backend)
     with trace.span(
         "sim.run",
         stages=plan.num_stages,
         batch=workload.batch,
         output_len=workload.output_len,
     ) as sp:
-        result = _simulate_plan(
-            plan, cluster, spec, workload, timing, check_memory
+        from .fastsim import _fast_simulate_plan, fast_eligible
+
+        use_fast = sim_backend == "fast" or (
+            sim_backend == "auto" and fast_eligible(plan, workload)
         )
+        if use_fast:
+            result = _fast_simulate_plan(
+                plan, cluster, spec, workload, timing, check_memory
+            )
+        else:
+            result = _simulate_plan(
+                plan, cluster, spec, workload, timing, check_memory
+            )
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs").inc()
+            metrics.counter(f"sim.backend_{result.sim_backend}").inc()
             metrics.counter("sim.events").inc(result.events_processed)
             metrics.histogram(
                 "sim.bubble_fraction", DEFAULT_FRACTION_BUCKETS
@@ -225,17 +262,22 @@ def _simulate_plan(
 
     prefill_done_at: List[float] = [0.0] * len(pre_sizes)
     pending = {"prefill": len(pre_sizes) * workload.kappa}
+    # Hot-loop hoists: bind the per-stage submit methods and the last
+    # stage index once so each event pays local loads, not repeated
+    # attribute/global lookups (behavior is bit-identical).
+    submit_at = [s.submit for s in servers]
+    last_stage = n_stages - 1
 
     def submit_prefill(j: int, m: int, c: int, size: int, ready: float) -> None:
         def done(finish: float) -> None:
-            if j + 1 < n_stages:
+            if j < last_stage:
                 arrival = finish + pre_comm[(j, size)]
                 submit_prefill(j + 1, m, c, size, arrival)
             else:
                 prefill_done_at[m] = max(prefill_done_at[m], finish)
                 pending["prefill"] -= 1
 
-        servers[j].submit(
+        submit_at[j](
             pre_time[(j, size)], done, not_before=ready, label=f"P{m}.{c}"
         )
 
@@ -259,12 +301,14 @@ def _simulate_plan(
     decode_steps = n_out - 1
     decode_span = 0.0
     if decode_steps > 0:
-        dec_series: Dict[Tuple[int, int], np.ndarray] = {}
+        # Hoist the per-event ``float(ndarray[i])`` conversion: plain
+        # Python lists carry the exact same float64 values.
+        dec_series: Dict[Tuple[int, int], List[float]] = {}
         for size in set(dec_sizes):
             for j, sm in enumerate(stage_models):
                 dec_series[(j, size)] = sm.decode_time_series(
                     size, workload.prompt_len, n_out
-                )
+                ).tolist()
         dec_comm: Dict[Tuple[int, int], float] = {}
         for size in set(dec_sizes):
             for j, link in enumerate(fwd_links):
@@ -284,10 +328,10 @@ def _simulate_plan(
         remaining = {"jobs": len(dec_sizes)}
 
         def submit_decode(j: int, m: int, t: int, size: int, ready: float) -> None:
-            dur = float(dec_series[(j, size)][t - 1])
+            dur = dec_series[(j, size)][t - 1]
 
             def done(finish: float) -> None:
-                if j + 1 < n_stages:
+                if j < last_stage:
                     submit_decode(j + 1, m, t, size, finish + dec_comm[(j, size)])
                 elif t < decode_steps:
                     submit_decode(0, m, t + 1, size, finish + fb_delay[size])
@@ -295,7 +339,7 @@ def _simulate_plan(
                     last_token_done[m] = finish
                     remaining["jobs"] -= 1
 
-            servers[j].submit(dur, done, not_before=ready, label=f"D{m}.{t}")
+            submit_at[j](dur, done, not_before=ready, label=f"D{m}.{t}")
 
         events_before = loop.processed
         with trace.span(
@@ -538,6 +582,7 @@ def simulate_plan_variable(
     workload: VariableBatchWorkload,
     timing: Optional[TimingSource] = None,
     check_memory: bool = True,
+    sim_backend: str = "auto",
 ) -> PipelineSimResult:
     """Simulate a batch whose requests generate different token counts.
 
@@ -545,19 +590,40 @@ def simulate_plan_variable(
     time and short requests stop paying for long ones — the
     variable-output-length scenario the paper's latency model only
     sketches (Sec. IV-C).  Prefill is identical to the uniform case.
+
+    ``sim_backend="auto"`` uses the closed-form fast path for the
+    fixed-size portion of the problem (all output lengths equal, where
+    retirement never splits a decode round) and falls back to the
+    event-driven engine otherwise; ``"fast"`` raises on a genuinely
+    variable batch.
     """
+    _check_backend(sim_backend)
     with trace.span(
         "sim.run_variable",
         stages=plan.num_stages,
         batch=workload.batch,
         max_output=workload.max_output,
     ) as sp:
-        result = _simulate_plan_variable(
-            plan, cluster, spec, workload, timing, check_memory
+        from .fastsim import (
+            _fast_simulate_plan_variable,
+            fast_eligible_variable,
         )
+
+        use_fast = sim_backend == "fast" or (
+            sim_backend == "auto" and fast_eligible_variable(workload)
+        )
+        if use_fast:
+            result = _fast_simulate_plan_variable(
+                plan, cluster, spec, workload, timing, check_memory
+            )
+        else:
+            result = _simulate_plan_variable(
+                plan, cluster, spec, workload, timing, check_memory
+            )
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs_variable").inc()
+            metrics.counter(f"sim.backend_{result.sim_backend}").inc()
             metrics.counter("sim.events").inc(result.events_processed)
             metrics.histogram(
                 "sim.bubble_fraction", DEFAULT_FRACTION_BUCKETS
@@ -640,16 +706,19 @@ def _simulate_plan_variable(
     }
     pending = {"prefill": len(pre_sizes) * uniform.kappa}
     prefill_done = [0.0]
+    # Hot-loop hoists (bit-identical): bound submit methods, last stage.
+    submit_at = [s.submit for s in servers]
+    last_stage = n_stages - 1
 
     def submit_prefill(j: int, size: int, ready: float) -> None:
         def done(finish: float) -> None:
-            if j + 1 < n_stages:
+            if j < last_stage:
                 submit_prefill(j + 1, size, finish + pre_comm[(j, size)])
             else:
                 prefill_done[0] = max(prefill_done[0], finish)
                 pending["prefill"] -= 1
 
-        servers[j].submit(pre_time[(j, size)], done, not_before=ready)
+        submit_at[j](pre_time[(j, size)], done, not_before=ready)
 
     for size in pre_sizes:
         for _ in range(uniform.kappa):
@@ -663,18 +732,29 @@ def _simulate_plan_variable(
         list(workload.output_lens[s : s + xi])
         for s in range(0, workload.batch, xi)
     ]
-    series_cache: Dict[Tuple[int, int], "np.ndarray"] = {}
+    # Lazily built per-(stage, size) step series and link times, hoisted
+    # to Python floats once instead of per-event array indexing/transfer
+    # recomputation (values bit-identical: both are pure functions).
+    series_cache: Dict[Tuple[int, int], List[float]] = {}
+    comm_cache: Dict[Tuple[int, int], float] = {}
 
     def step_time(j: int, size: int, t: int) -> float:
         key = (j, size)
-        if key not in series_cache:
-            series_cache[key] = stage_models[j].decode_time_series(
+        series = series_cache.get(key)
+        if series is None:
+            series = series_cache[key] = stage_models[j].decode_time_series(
                 size, workload.prompt_len, workload.max_output
-            )
-        return float(series_cache[key][t - 1])
+            ).tolist()
+        return series[t - 1]
 
     def comm_time(j: int, size: int) -> float:
-        return fwd_links[j].transfer_time(L.hidden_state_bytes(spec, size, 1))
+        key = (j, size)
+        t = comm_cache.get(key)
+        if t is None:
+            t = comm_cache[key] = fwd_links[j].transfer_time(
+                L.hidden_state_bytes(spec, size, 1)
+            )
+        return t
 
     def active_at(m: int, t: int) -> int:
         return sum(1 for n in slices[m] if n > t)
@@ -684,7 +764,7 @@ def _simulate_plan_variable(
 
     def submit_decode(j: int, m: int, t: int, size: int, ready: float) -> None:
         def done(finish: float) -> None:
-            if j + 1 < n_stages:
+            if j < last_stage:
                 submit_decode(j + 1, m, t, size, finish + comm_time(j, size))
                 return
             nxt = active_at(m, t + 1)
@@ -699,7 +779,7 @@ def _simulate_plan_variable(
                 last_done[m] = finish
                 remaining["jobs"] -= 1
 
-        servers[j].submit(step_time(j, size, t), done, not_before=ready)
+        submit_at[j](step_time(j, size, t), done, not_before=ready)
 
     for m in range(len(slices)):
         size = active_at(m, 1)

@@ -67,9 +67,12 @@ def trace_plan(
 
     _sim.Server = recording_server  # type: ignore[assignment]
     try:
+        # Per-job recording only exists in the discrete-event engine, so
+        # pin the backend: the fast path computes the same finish times
+        # in closed form without ever materializing servers.
         result = simulate_plan(
             plan, cluster, spec, workload, timing=timing,
-            check_memory=check_memory,
+            check_memory=check_memory, sim_backend="event",
         )
     finally:
         _sim.Server = original  # type: ignore[assignment]

@@ -212,6 +212,7 @@ def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
         "stage_busy_s": [round_trace_float(b) for b in res.stage_busy_s],
         "stage_memory_bytes": list(res.stage_memory_bytes),
         "events_processed": res.events_processed,
+        "sim_backend": res.sim_backend,
     }
 
 
@@ -267,6 +268,7 @@ def sim_result_from_dict(data: Dict[str, Any]) -> "PipelineSimResult":
             int(m) for m in data["stage_memory_bytes"]
         ),
         events_processed=int(data["events_processed"]),
+        sim_backend=str(data.get("sim_backend", "event")),
     )
 
 

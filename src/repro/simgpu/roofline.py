@@ -24,6 +24,8 @@ saturating effective-bandwidth curve between the decode and peak rates.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..hardware.gpus import GPUSpec
 from ..models.architectures import ModelSpec
 from ..models import layers as L
@@ -36,12 +38,16 @@ _BW_KNEE_BYTES = 8 * 1024 * 1024
 _DEQUANT_OPS_PER_ELEMENT = {3: 8.0, 4: 4.0, 8: 2.0}
 
 
+@lru_cache(maxsize=4096)
 def effective_bandwidth(gpu: GPUSpec, nbytes: float) -> float:
     """Achievable bandwidth (bytes/s) for a generic kernel moving ``nbytes``.
 
     Saturating model: ``peak / (1 + knee/nbytes)`` with the knee placed so
     the device hits its calibrated decode bandwidth at 8 MiB.  Used for
     embedding gathers and other non-GEMM transfers.
+
+    Memoized: ``GPUSpec`` is a frozen dataclass (hashable) and callers probe
+    a small set of transfer sizes over and over in the planner's inner loop.
     """
     peak = gpu.mem_bw_gbps * 1e9
     small = gpu.mem_bw_decode_gbps * 1e9
@@ -51,8 +57,14 @@ def effective_bandwidth(gpu: GPUSpec, nbytes: float) -> float:
     return peak / (1.0 + knee / nbytes)
 
 
+@lru_cache(maxsize=1024)
 def _dequant_time(gpu: GPUSpec, spec: ModelSpec, bits: int) -> float:
-    """In-kernel weight dequantization time for weight-only precisions."""
+    """In-kernel weight dequantization time for weight-only precisions.
+
+    Memoized: both specs are frozen dataclasses and the value depends only
+    on the (gpu, model, bits) triple, which ``layer_time`` re-queries for
+    every profiled shape.
+    """
     if bits >= 16:
         return 0.0
     if bits == 8 and gpu.int8_tensor_cores:

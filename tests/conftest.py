@@ -6,6 +6,26 @@ import numpy as np
 import pytest
 
 from repro.costmodel.latency import LatencyCostModel
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp dir.
+
+    Keeps the suite hermetic: tests never read entries warmed by earlier
+    runs under ``~/.cache/splitquant`` and never pollute the user's cache.
+    """
+    import os
+
+    old = os.environ.get("SPLITQUANT_CACHE_DIR")
+    os.environ["SPLITQUANT_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("splitquant-cache")
+    )
+    yield
+    if old is None:
+        os.environ.pop("SPLITQUANT_CACHE_DIR", None)
+    else:
+        os.environ["SPLITQUANT_CACHE_DIR"] = old
 from repro.hardware import get_gpu, make_cluster, table_iii_cluster
 from repro.models import get_model
 from repro.quality import TinyLM, TinyLMConfig, build_eval_corpora

@@ -1,0 +1,202 @@
+"""Tests for the persistent content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    MISS,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    code_version_salt,
+    default_cache,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "store")
+
+
+def test_round_trip(cache):
+    key = cache_key({"x": 1})
+    assert cache.get("ns", key) is MISS
+    cache.put("ns", key, {"answer": [1, 2.5, "three", None]})
+    assert cache.get("ns", key) == {"answer": [1, 2.5, "three", None]}
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.entries("ns") == 1
+
+
+def test_cached_none_distinct_from_miss(cache):
+    key = cache_key("infeasible-case")
+    cache.put("ns", key, None)
+    assert cache.get("ns", key) is None  # a hit, not MISS
+
+
+def test_canonical_json_deterministic():
+    a = canonical_json({"b": 2, "a": [1.5, True]})
+    b = canonical_json({"a": [1.5, True], "b": 2})
+    assert a == b
+    assert cache_key({"b": 2, "a": [1.5, True]}) == cache_key(
+        {"a": [1.5, True], "b": 2}
+    )
+
+
+def test_float_keys_exact():
+    """Distinct floats never collide; equal floats always agree."""
+    assert cache_key(0.1 + 0.2) != cache_key(0.3)
+    assert cache_key(1e300) == cache_key(1e300)
+
+
+def test_corrupt_entry_evicted(cache):
+    key = cache_key("will-corrupt")
+    cache.put("ns", key, {"v": 1})
+    path = cache._path("ns", key)
+    path.write_text('{"key": "abc", "value": {"v"')  # torn write
+    assert cache.get("ns", key) is MISS
+    assert cache.evictions == 1
+    assert not path.exists()
+    # recompute-and-overwrite works after eviction
+    cache.put("ns", key, {"v": 2})
+    assert cache.get("ns", key) == {"v": 2}
+
+
+def test_entry_is_self_describing(cache):
+    key = cache_key({"probe": 1})
+    cache.put("ns", key, 42)
+    entry = json.loads(cache._path("ns", key).read_text())
+    assert entry["key"] == key
+    assert entry["value"] == 42
+
+
+def test_non_hex_key_rejected(cache):
+    with pytest.raises(ValueError, match="hex digest"):
+        cache.get("ns", "../../etc/passwd")
+
+
+def test_clear(cache):
+    for i in range(3):
+        cache.put("a", cache_key(i), i)
+    cache.put("b", cache_key("x"), "x")
+    assert cache.clear("a") == 3
+    assert cache.entries("a") == 0 and cache.entries("b") == 1
+    assert cache.clear() == 1
+
+
+def test_salt_invalidation(cache, monkeypatch):
+    """Changing the code-version salt changes every embedding key."""
+    monkeypatch.setenv("SPLITQUANT_CACHE_SALT", "v1")
+    k1 = cache_key({"salt": code_version_salt(), "payload": "p"})
+    cache.put("ns", k1, "old")
+    monkeypatch.setenv("SPLITQUANT_CACHE_SALT", "v2")
+    k2 = cache_key({"salt": code_version_salt(), "payload": "p"})
+    assert k1 != k2
+    assert cache.get("ns", k2) is MISS  # stale entry silently skipped
+
+
+def test_default_cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("SPLITQUANT_CACHE_DIR", str(tmp_path / "c"))
+    c = default_cache()
+    assert c is not None and str(c.root) == str(tmp_path / "c")
+    monkeypatch.setenv("SPLITQUANT_CACHE", "0")
+    assert default_cache() is None
+    monkeypatch.delenv("SPLITQUANT_CACHE")
+    assert default_cache() is not None
+
+
+# -- consumers -----------------------------------------------------------
+
+def test_profiler_grid_warm_bit_identity(tmp_path, monkeypatch):
+    """A warm profile_grid returns identical samples AND leaves the RNG
+    stream exactly where a recompute would have."""
+    monkeypatch.setenv("SPLITQUANT_CACHE_DIR", str(tmp_path))
+    from repro.hardware import get_gpu
+    from repro.models import get_model
+    from repro.simgpu import Profiler
+
+    gpu, spec = get_gpu("V100"), get_model("opt-13b")
+    p_cold = Profiler(seed=5)
+    cold = p_cold.profile_grid(gpu, spec, 4, "decode", (1, 4), (64, 256))
+    after_cold = p_cold.measure_layer(gpu, spec, 4, "decode", 2, 128)
+
+    p_warm = Profiler(seed=5)
+    warm = p_warm.profile_grid(gpu, spec, 4, "decode", (1, 4), (64, 256))
+    after_warm = p_warm.measure_layer(gpu, spec, 4, "decode", 2, 128)
+
+    assert cold == warm
+    assert after_cold == after_warm  # RNG stream position preserved
+
+
+def test_cost_model_warm_bit_identity(tmp_path, monkeypatch):
+    monkeypatch.setenv("SPLITQUANT_CACHE_DIR", str(tmp_path))
+    from repro.experiments.common import _cost_model_cached
+    from repro.hardware import get_gpu
+
+    _cost_model_cached.cache_clear()
+    cm_cold = _cost_model_cached("opt-13b", ("T4-16G", "V100-32G"))
+    _cost_model_cached.cache_clear()
+    cm_warm = _cost_model_cached("opt-13b", ("T4-16G", "V100-32G"))
+    _cost_model_cached.cache_clear()
+
+    gpu = get_gpu("T4")
+    assert cm_cold.fitted_keys() == cm_warm.fitted_keys()
+    for bits in (3, 4, 8, 16):
+        for b, s in ((1, 64), (19, 777), (256, 2048)):
+            assert cm_cold.prefill_time(gpu, bits, b, s) == \
+                cm_warm.prefill_time(gpu, bits, b, s)
+            assert cm_cold.decode_time(gpu, bits, b, s) == \
+                cm_warm.decode_time(gpu, bits, b, s)
+
+
+def test_cost_model_state_dict_round_trip(cost_model_13b, opt13b, t4):
+    from repro.costmodel.latency import LatencyCostModel
+
+    state = cost_model_13b.state_dict()
+    restored = LatencyCostModel.from_state_dict(opt13b, state)
+    # JSON round-trip in between (what the cache actually does).
+    rejson = LatencyCostModel.from_state_dict(
+        opt13b, json.loads(json.dumps(state))
+    )
+    for cm in (restored, rejson):
+        assert cm.fitted_keys() == cost_model_13b.fitted_keys()
+        assert cm.prefill_time(t4, 4, 8, 512) == \
+            cost_model_13b.prefill_time(t4, 4, 8, 512)
+        assert cm.decode_time(t4, 8, 16, 1024) == \
+            cost_model_13b.decode_time(t4, 8, 16, 1024)
+
+
+def test_state_dict_wrong_model_rejected(cost_model_13b, opt30b):
+    from repro.costmodel.latency import LatencyCostModel
+
+    with pytest.raises(ValueError, match="fitted for"):
+        LatencyCostModel.from_state_dict(opt30b, cost_model_13b.state_dict())
+
+
+def test_planner_pool_persistent_across_pools(tmp_path, monkeypatch):
+    monkeypatch.setenv("SPLITQUANT_CACHE_DIR", str(tmp_path))
+    from repro.core import PlannerConfig
+    from repro.fleet.allocator import GroupSpec, PlannerPool
+    from repro.fleet.jobs import FleetJob
+    from repro.workloads import BatchWorkload
+
+    inv = {"T4-16G": 2, "V100-32G": 1}
+    cfg = PlannerConfig(time_limit_s=10.0, max_orderings=2, verify_top_k=1)
+    wl = BatchWorkload(batch=8, prompt_len=256, output_len=16)
+    job = FleetJob(job_id="j", model="opt-13b", workload=wl)
+    grp = GroupSpec(counts=(("T4-16G", 1), ("V100-32G", 1)))
+
+    cold_pool = PlannerPool(inv, cfg)
+    cold = cold_pool.evaluate(job, grp)
+    assert cold_pool.evaluations == 1 and cold_pool.cache_hits == 0
+
+    warm_pool = PlannerPool(inv, cfg)  # fresh memo, warm disk
+    warm = warm_pool.evaluate(job, grp)
+    assert warm_pool.evaluations == 0 and warm_pool.cache_hits == 1
+    assert warm.result.plan == cold.result.plan
+    # Allocator decisions key off these exact floats.
+    assert warm.result.predicted_latency_s == cold.result.predicted_latency_s
+    assert warm.result.throughput_tokens_s == cold.result.throughput_tokens_s
+    assert warm.result.predicted_quality == cold.result.predicted_quality

@@ -408,9 +408,14 @@ def test_session_schedule_fleet_facade():
     }
 
 
-def test_session_schedule_fleet_traced(tmp_path):
+def test_session_schedule_fleet_traced(tmp_path, monkeypatch):
     from repro import Session
     from repro.obs import parse_trace
+
+    # A warm persistent plan cache would skip the actual group planning
+    # (and with it the fleet.plan_group span this test asserts on), so
+    # point the cache at a private cold directory.
+    monkeypatch.setenv("SPLITQUANT_CACHE_DIR", str(tmp_path / "cache"))
 
     path = tmp_path / "fleet.jsonl"
     sess = Session("opt-1.3b", cluster=1, trace_path=str(path))
