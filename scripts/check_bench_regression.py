@@ -18,6 +18,11 @@ compares them against the records committed under ``benchmarks/``:
   the discrete-event engine on the fleet-scale configuration.  Like the
   planner guard it compares the same-machine ratio, with a hard floor
   of 5x and bit-identical results as a structural invariant.
+* ``BENCH_batchsim.json`` — the batched frontier evaluator's
+  plans-per-second speedup over the per-plan fast path, on both the
+  Table-VI planner frontier and the 25-GPU fleet probe frontier.  Same
+  same-machine ratio comparison, with a hard floor of 10x per frontier
+  and bit-identical results as a structural invariant.
 
 Structural invariants (plan parity between the two search paths, the
 pruner actually pruning, the memo actually hitting) fail the guard
@@ -140,6 +145,31 @@ def measure_sim() -> dict:
     }
 
 
+def measure_batchsim() -> dict:
+    """Fresh batched-vs-per-plan frontier throughput on both frontiers."""
+    sys.path.insert(0, str(REPO))
+    from benchmarks.test_batchsim_scaling import (  # noqa: E402
+        _fleet_frontier,
+        _measure,
+        _planner_frontier,
+    )
+
+    out: dict = {"bench": "batchsim_scaling"}
+    for name, cases in (
+        ("planner_frontier", _planner_frontier()),
+        ("fleet_frontier", _fleet_frontier()),
+    ):
+        loop_wall, batch_wall, loop_res, batch_res = _measure(cases)
+        out[name] = {
+            "plans": len(cases),
+            "per_plan_wall_s": round(loop_wall, 5),
+            "batched_wall_s": round(batch_wall, 5),
+            "speedup": round(loop_wall / batch_wall, 2),
+            "results_identical": batch_res == loop_res,
+        }
+    return out
+
+
 def _per_op_s(fn, n: int = 50_000) -> float:
     best = float("inf")
     for _ in range(3):
@@ -213,6 +243,9 @@ def main(argv=None) -> int:
     )
     baseline_obs = json.loads((BENCH_DIR / "BENCH_obs.json").read_text())
     baseline_sim = json.loads((BENCH_DIR / "BENCH_sim.json").read_text())
+    baseline_batchsim = json.loads(
+        (BENCH_DIR / "BENCH_batchsim.json").read_text()
+    )
 
     failures: list[str] = []
 
@@ -268,6 +301,27 @@ def main(argv=None) -> int:
             f"{baseline_sim['speedup']:.2f}x)"
         )
 
+    fresh_batchsim = measure_batchsim()
+    for frontier in ("planner_frontier", "fleet_frontier"):
+        fresh = fresh_batchsim[frontier]
+        base = baseline_batchsim[frontier]
+        batch_floor = max(base["speedup"] * (1.0 - args.tolerance), 10.0)
+        print(
+            f"batchsim {frontier} speedup: fresh {fresh['speedup']:.2f}x "
+            f"vs baseline {base['speedup']:.2f}x (floor {batch_floor:.2f}x)"
+        )
+        if not fresh["results_identical"]:
+            failures.append(
+                f"batched evaluator diverged from per-plan fastsim "
+                f"on the {frontier}"
+            )
+        if fresh["speedup"] < batch_floor:
+            failures.append(
+                f"batchsim {frontier} speedup regressed: "
+                f"{fresh['speedup']:.2f}x < floor {batch_floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x)"
+            )
+
     record = {
         "tolerance": args.tolerance,
         "planner": fresh_planner,
@@ -276,6 +330,11 @@ def main(argv=None) -> int:
         "obs_budget_fraction": budget,
         "sim": fresh_sim,
         "sim_baseline_speedup": baseline_sim["speedup"],
+        "batchsim": fresh_batchsim,
+        "batchsim_baseline_speedups": {
+            f: baseline_batchsim[f]["speedup"]
+            for f in ("planner_frontier", "fleet_frontier")
+        },
         "failures": failures,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")

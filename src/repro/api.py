@@ -193,6 +193,49 @@ class Session:
                 check_memory=check_memory, sim_backend=sim_backend,
             )
 
+    def score_plans(
+        self,
+        plans,
+        workload: Optional[BatchWorkload] = None,
+        check_memory: bool = False,
+    ):
+        """Score a whole plan frontier in one batched fastsim sweep.
+
+        ``plans`` is a sequence of :class:`ExecutionPlan` or
+        :class:`PlannerResult` objects (mixed is fine); each is simulated
+        against ``workload`` (default: the last :meth:`plan` workload)
+        on this session's cluster via
+        :func:`repro.pipeline.evaluate_plans` — the vectorized max-plus
+        evaluator, bit-identical to the per-plan fast backend.  Returns
+        one :class:`PipelineSimResult` per plan, in order.  Plans the
+        fast path cannot represent exactly fall back to the event engine
+        with :attr:`PipelineSimResult.backend_reason` explaining why.
+        """
+        from .pipeline import PlanCase, evaluate_plans
+
+        resolved = []
+        for p in plans:
+            if isinstance(p, PlannerResult):
+                resolved.append(p.plan)
+            elif isinstance(p, ExecutionPlan):
+                resolved.append(p)
+            else:
+                raise TypeError(
+                    f"plans must contain ExecutionPlan or PlannerResult, "
+                    f"got {type(p).__name__}"
+                )
+        wl = workload or self._last_workload
+        if wl is None:
+            raise ValueError(
+                "no workload: pass one or call Session.plan() first"
+            )
+        cases = [
+            PlanCase(plan=p, cluster=self.cluster, spec=self.spec, workload=wl)
+            for p in resolved
+        ]
+        with self._scope():
+            return evaluate_plans(cases, check_memory=check_memory)
+
     def serve(
         self,
         workload: Optional[BatchWorkload] = None,

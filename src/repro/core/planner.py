@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -313,20 +313,80 @@ class SplitQuantPlanner:
             time_limit_s=cfg.time_limit_s,
         )
 
-    def _verify_candidates(self, top, workload: BatchWorkload):
-        """Dry-run the leading candidates through the event simulator.
+    def _verify_candidates(
+        self, top, workload: BatchWorkload
+    ) -> Tuple[Any, int, int]:
+        """Dry-run the leading candidates through the simulator, batched.
 
         Timing comes from the fitted cost model (never the testbed truth),
         so this is a pure refinement of the analytic pipeline formula —
         it captures bubble/feedback effects the closed form approximates.
+        The whole top-k frontier is scored in one batched fastsim sweep
+        (bit-identical to per-plan simulation); the discrete-event engine
+        then re-simulates the winner as the bit-exactness oracle, falling
+        back to per-candidate event selection if the check ever fails.
+        Returns ``(winner, plans_scored, batches)``.
         """
+        from ..pipeline.batchsim import PlanCase, evaluate_plans
         from ..pipeline.simulator import simulate_plan
         from ..pipeline.stage import CostModelTiming
 
         with trace.span("planner.verify", k=len(top)):
-            return self._verify_candidates_inner(
-                top, workload, simulate_plan, CostModelTiming
+            cases: List[Tuple[Any, "PlanCase"]] = []
+            for cand in top:
+                _, sol, ordering, group_sizes, eta, xi, bit_kv = cand
+                timing = CostModelTiming(
+                    cost_model=self.cost_model_for_kv(bit_kv), spec=self.spec
+                )
+                try:
+                    plan = solution_to_plan(
+                        self.spec, ordering, group_sizes, sol, eta, xi, bit_kv
+                    )
+                except (ValueError, RuntimeError):
+                    continue
+                cases.append(
+                    (cand, PlanCase(plan, self.cluster, self.spec,
+                                    workload, timing))
+                )
+            if not cases:
+                return top[0], 0, 0
+            try:
+                results = evaluate_plans([pc for _, pc in cases])
+            except (ValueError, RuntimeError):
+                best = self._verify_candidates_inner(
+                    top, workload, simulate_plan, CostModelTiming
+                )
+                return best, 0, 0
+            best = None
+            best_makespan = float("inf")
+            best_pc = best_res = None
+            for (cand, pc), res in zip(cases, results):
+                sol = cand[1]
+                penalty = (
+                    0.0
+                    if self.config.quality_budget is not None
+                    else self.config.theta * sol.quality
+                )
+                if res.makespan_s + penalty < best_makespan:
+                    best_makespan = res.makespan_s + penalty
+                    best, best_pc, best_res = cand, pc, res
+            if best is None:
+                return top[0], len(cases), 1
+            # Differential oracle: the event engine re-simulates the
+            # winner; any disagreement with the batched score falls back
+            # to the per-candidate event path (and is counted).
+            oracle = simulate_plan(
+                best_pc.plan, self.cluster, self.spec, workload,
+                timing=best_pc.timing, check_memory=False,
+                sim_backend="event",
             )
+            if oracle != best_res:  # pragma: no cover - exactness guard
+                if trace.enabled:
+                    metrics.counter("planner.verify_oracle_mismatch").inc()
+                best = self._verify_candidates_inner(
+                    top, workload, simulate_plan, CostModelTiming
+                )
+            return best, len(cases), 1
 
     def _verify_candidates_inner(
         self, top, workload, simulate_plan, CostModelTiming
@@ -552,9 +612,17 @@ class SplitQuantPlanner:
             return None
         best = ranked[0]
         if cfg.verify_top_k > 1 and len(ranked) > 1:
-            best = self._verify_candidates(
+            best, verify_plans, verify_batches = self._verify_candidates(
                 ranked[: cfg.verify_top_k], workload
             )
+            if search is not None and verify_batches:
+                search = replace(
+                    search,
+                    batches=search.batches + verify_batches,
+                    batched_plans_scored=(
+                        search.batched_plans_scored + verify_plans
+                    ),
+                )
         _, sol, ordering, group_sizes, eta, xi, bit_kv = best
         plan = solution_to_plan(
             self.spec, ordering, group_sizes, sol, eta, xi, bit_kv

@@ -109,6 +109,13 @@ class SearchStats:
     #: Time spent computing bounds (analytic + LP).
     bound_time_s: float
     parallelism: int
+    #: Incumbent scores seeded by the bulk frontier-scoring stage before
+    #: any solve (heuristic mode only).
+    seeded_incumbents: int = 0
+    #: Batched scoring sweeps run (search seeding + planner verify).
+    batches: int = 0
+    #: Plans scored by batched sweeps (frontier members + verified top-k).
+    batched_plans_scored: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-safe dict (the ``repro.serialization`` round-trip form)."""
@@ -125,6 +132,9 @@ class SearchStats:
         metrics.counter("planner.timing_cache_hits").inc(self.cache_hits)
         metrics.counter("planner.timing_cache_misses").inc(self.cache_misses)
         metrics.counter("planner.warm_starts").inc(self.warm_starts)
+        metrics.counter("planner.batched_plans_scored").inc(
+            self.batched_plans_scored
+        )
         metrics.histogram("planner.search_wall_s").observe(self.wall_time_s)
         metrics.histogram(
             "planner.bound_tightness", DEFAULT_FRACTION_BUCKETS
@@ -496,16 +506,21 @@ class CandidateSearchEngine:
             else list(candidates)
         )
 
-        # The incumbent threshold is the k-th best solved score: anything
-        # whose admissible bound exceeds it cannot enter the verified
-        # top-k, so skipping it cannot change the final plan.
+        # The incumbent threshold is the k-th best *known* score per
+        # candidate: solves record their exact final score, and the bulk
+        # seeding stage below registers warm-start scores that each
+        # candidate's solve can only improve on.  Either way every table
+        # entry upper-bounds its candidate's achievable score, so the
+        # k-th smallest entry upper-bounds the true k-th best score and
+        # anything whose admissible bound exceeds it cannot enter the
+        # verified top-k — skipping it cannot change the final plan.
         k_keep = cfg.verify_top_k if cfg.verify_top_k > 1 else 1
-        solved_scores: List[float] = []
+        known: Dict[int, float] = {}
 
         def threshold() -> float:
-            if len(solved_scores) < k_keep:
+            if len(known) < k_keep:
                 return float("inf")
-            return sorted(solved_scores)[k_keep - 1]
+            return sorted(known.values())[k_keep - 1]
 
         def try_prune(cand: _Candidate) -> bool:
             nonlocal bound_time, lp_bounds
@@ -542,17 +557,64 @@ class CandidateSearchEngine:
         warm_attempts = {}
         self._warm_starts_done = 0
 
+        # Bulk frontier scoring (heuristic mode): before any solve, score
+        # every live candidate's warm-start assignment exactly — the same
+        # analytic score function the backend minimizes — in one sweep,
+        # and seed the incumbent table with the results.  The hill climb
+        # only ever improves a warm start that is feasible for its
+        # subproblem, so each seed upper-bounds that candidate's final
+        # score and pruning on the seeded threshold stays parity-exact,
+        # while incumbents tighten before the first solve instead of
+        # trickling in with solve order.  Warm-start attempts land in the
+        # same memo ``prep`` reads, so no solve is ever repeated.
+        seeded = 0
+        batches_run = 0
+        frontier_scored = 0
+        if prune and cfg.use_heuristic and candidates:
+            tb = time.perf_counter()
+            batches_run = 1
+            frontier_scored = len(order)
+            with trace.span("search.batch_score", plans=len(order)) as sp:
+                for cand in order:
+                    key = (cand.kv_index, cand.ord_index)
+                    warm = self._warm_start_for(
+                        cand, groups[key], warm_attempts.setdefault(key, {})
+                    )
+                    if warm is None:
+                        continue
+                    problem = cand.problem
+                    if not problem.memory_ok(
+                        warm.assign_stage, warm.assign_bits
+                    ):
+                        continue
+                    quality = problem.quality_sum(warm.assign_bits)
+                    if (
+                        cfg.quality_budget is not None
+                        and quality > cfg.quality_budget + 1e-12
+                    ):
+                        continue
+                    score = problem.latency_estimate(
+                        warm.assign_stage, warm.assign_bits
+                    )
+                    if cfg.quality_budget is None:
+                        score += cfg.theta * quality
+                    known[cand.index] = score
+                    seeded += 1
+                sp.set(seeded=seeded)
+            bound_time += time.perf_counter() - tb
+
         def record(cand: _Candidate, sol: Optional[ILPSolution]) -> None:
             cand.sol = sol
             if sol is None:
                 cand.status = "infeasible"
+                known.pop(cand.index, None)
                 return
             cand.status = "solved"
             score = sol.latency_s + cfg.theta * sol.quality
             if cfg.quality_budget is not None:
                 score = sol.latency_s
             cand.score = score
-            solved_scores.append(score)
+            known[cand.index] = score
 
         def prep(cand: _Candidate) -> Optional[ILPSolution]:
             """Pre-solve work that must stay on the coordinating thread."""
@@ -679,6 +741,9 @@ class CandidateSearchEngine:
             ),
             bound_time_s=bound_time,
             parallelism=cfg.parallelism,
+            seeded_incumbents=seeded,
+            batches=batches_run,
+            batched_plans_scored=frontier_scored,
         )
         if trace.enabled:
             search_stats.publish_metrics()

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -130,12 +130,18 @@ class Assignment:
     ``None`` means the canonical :meth:`GroupSpec.to_cluster`
     materialization (degraded assignments keep their reduced cluster so
     original device numbering survives a reclaimed GPU).
+
+    ``sim_makespan_s`` is an optional simulated per-batch makespan from
+    the batched pipeline evaluator (:meth:`PlannerPool.score_assignments`);
+    when present, :attr:`lookahead_duration_s` uses it instead of the
+    analytic cost-model prediction.
     """
 
     job: FleetJob
     group: GroupSpec
     result: PlannerResult
     cluster: Optional[ClusterSpec] = None
+    sim_makespan_s: Optional[float] = None
 
     def materialize_cluster(self, cross_node_link: str) -> ClusterSpec:
         if self.cluster is not None:
@@ -153,6 +159,13 @@ class Assignment:
     def duration_s(self) -> float:
         """Predicted runtime of the whole job on its group."""
         return self.job.num_batches * self.batch_makespan_s
+
+    @property
+    def lookahead_duration_s(self) -> float:
+        """Job runtime using the simulated batch makespan when available."""
+        if self.sim_makespan_s is not None:
+            return self.job.num_batches * self.sim_makespan_s
+        return self.duration_s
 
     @property
     def tokens_s(self) -> float:
@@ -259,10 +272,12 @@ class PlannerPool:
         self._cost_models: Dict[Tuple[str, int], LatencyCostModel] = {}
         self._omegas: Dict[str, np.ndarray] = {}
         self._plans: Dict[tuple, Optional[Assignment]] = {}
+        self._sim_scores: Dict[tuple, float] = {}
         #: Pool-level observability counters.
         self.evaluations = 0
         self.cache_hits = 0
         self.infeasible = 0
+        self.sim_scored = 0
 
     # -- shared memos --------------------------------------------------
 
@@ -472,30 +487,101 @@ class PlannerPool:
         return Assignment(job=job, group=group, result=result)
 
     def evaluate_many(
-        self, pairs: Sequence[Tuple[FleetJob, GroupSpec]]
+        self,
+        pairs: Sequence[Tuple[FleetJob, GroupSpec]],
+        attach_sim: bool = False,
     ) -> List[Optional[Assignment]]:
         """Evaluate candidate (job, group) pairs, possibly in parallel.
 
         Results come back in submission order regardless of completion
         order, so allocator decisions are deterministic for any
-        ``parallelism``.
+        ``parallelism``.  With ``attach_sim`` the feasible assignments
+        are additionally scored through one batched pipeline-simulator
+        sweep and returned with :attr:`Assignment.sim_makespan_s` set.
         """
         if self.parallelism == 1 or len(pairs) <= 1:
-            return [self.evaluate(j, g) for j, g in pairs]
-        # Warm the shared memos serially first: cost-model fits and
-        # indicator tables are racy to build twice and cheap to prime.
-        for model in {j.model for j, _ in pairs}:
-            self._cost_model(model)
-            self._omega(model)
-        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            futures = [pool.submit(self.evaluate, j, g) for j, g in pairs]
-            return [f.result() for f in futures]
+            results = [self.evaluate(j, g) for j, g in pairs]
+        else:
+            # Warm the shared memos serially first: cost-model fits and
+            # indicator tables are racy to build twice and cheap to prime.
+            for model in {j.model for j, _ in pairs}:
+                self._cost_model(model)
+                self._omega(model)
+            with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+                futures = [
+                    pool.submit(self.evaluate, j, g) for j, g in pairs
+                ]
+                results = [f.result() for f in futures]
+        if attach_sim:
+            feas = [i for i, a in enumerate(results) if a is not None]
+            scores = self.score_assignments([results[i] for i in feas])
+            for i, score in zip(feas, scores):
+                if score is not None:
+                    results[i] = replace(results[i], sim_makespan_s=score)
+        return results
+
+    def _sim_key(self, assignment: Assignment) -> tuple:
+        wl = assignment.job.workload
+        return (
+            assignment.job.model,
+            assignment.group.counts,
+            (wl.batch, wl.prompt_len, wl.output_len, wl.chunk_tokens,
+             wl.reserve_output_len),
+            assignment.job.min_uniform_bits,
+            assignment.cluster,
+        )
+
+    def score_assignments(
+        self, assignments: Sequence[Assignment]
+    ) -> List[Optional[float]]:
+        """Simulated per-batch makespans, one batched fastsim sweep.
+
+        Every uncached assignment's plan is stacked into a single
+        :func:`repro.pipeline.batchsim.evaluate_plans` call; results are
+        memoized alongside the plan memo so beam probes that revisit a
+        (job, group) pair are free.  ``None`` marks an assignment the
+        batched evaluator could not score (the caller keeps the analytic
+        duration).
+        """
+        out: List[Optional[float]] = [None] * len(assignments)
+        pending: List[Tuple[int, tuple, Assignment]] = []
+        for i, a in enumerate(assignments):
+            key = self._sim_key(a)
+            if key in self._sim_scores:
+                out[i] = self._sim_scores[key]
+            else:
+                pending.append((i, key, a))
+        if not pending:
+            return out
+        from ..pipeline.batchsim import PlanCase, evaluate_plans
+
+        cases = [
+            PlanCase(
+                plan=a.result.plan,
+                cluster=a.materialize_cluster(self.cross_node_link),
+                spec=get_model(a.job.model),
+                workload=a.job.workload,
+            )
+            for _, _, a in pending
+        ]
+        try:
+            results = evaluate_plans(cases)
+        except (ValueError, RuntimeError):  # pragma: no cover - defensive
+            return out
+        for (i, key, _), res in zip(pending, results):
+            self._sim_scores[key] = res.makespan_s
+            out[i] = res.makespan_s
+        self.sim_scored += len(pending)
+        if trace.enabled:
+            metrics.counter("fleet.batchsim_scored").inc(len(pending))
+        return out
 
     def stats(self) -> Dict[str, int]:
         return {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
             "infeasible": self.infeasible,
+            "sim_scored": self.sim_scored,
         }
 
 
@@ -511,7 +597,14 @@ class _BeamState:
         """(makespan, -aggregate tokens/s): lexicographically smaller wins."""
         if not self.assignments:
             return (0.0, 0.0)
-        _, _, makespan = list_schedule(self.assignments, inventory)
+        if any(a.sim_makespan_s is not None for a in self.assignments):
+            _, _, makespan = list_schedule(
+                self.assignments,
+                inventory,
+                durations=[a.lookahead_duration_s for a in self.assignments],
+            )
+        else:
+            _, _, makespan = list_schedule(self.assignments, inventory)
         total_tokens = sum(a.job.total_output_tokens for a in self.assignments)
         agg = total_tokens / makespan if makespan > 0 else 0.0
         return (makespan, -agg)
@@ -572,6 +665,7 @@ class BeamAllocator:
         top_groups: int = 3,
         max_gpus: int = 4,
         max_types: int = 2,
+        sim_lookahead: bool = False,
     ) -> None:
         if width <= 0 or top_groups <= 0:
             raise ValueError("width and top_groups must be positive")
@@ -579,12 +673,17 @@ class BeamAllocator:
         self.top_groups = top_groups
         self.max_gpus = max_gpus
         self.max_types = max_types
+        #: Score beam states with simulated (batched fastsim) batch
+        #: makespans instead of the analytic cost-model prediction.
+        self.sim_lookahead = sim_lookahead
 
     def _expansions(
         self, job: FleetJob, pool: PlannerPool, groups: Sequence[GroupSpec]
     ) -> List[Assignment]:
         """The job's candidate assignments: top-k by tokens/s + frugal."""
-        evaluated = pool.evaluate_many([(job, g) for g in groups])
+        evaluated = pool.evaluate_many(
+            [(job, g) for g in groups], attach_sim=self.sim_lookahead
+        )
         feasible = [a for a in evaluated if a is not None]
         if not feasible:
             return []
@@ -631,11 +730,16 @@ class BeamAllocator:
         # Never regress the baseline: the greedy allocation (evaluated
         # from the same memoized pool, so nearly free) competes as one
         # more final state under the beam's own objective.
-        greedy_state = _BeamState(
-            assignments=GreedyAllocator(
-                max_gpus=self.max_gpus, max_types=self.max_types
-            ).allocate(jobs, pool)
-        )
+        greedy_assignments = GreedyAllocator(
+            max_gpus=self.max_gpus, max_types=self.max_types
+        ).allocate(jobs, pool)
+        if self.sim_lookahead and greedy_assignments:
+            scores = pool.score_assignments(greedy_assignments)
+            greedy_assignments = [
+                a if s is None else replace(a, sim_makespan_s=s)
+                for a, s in zip(greedy_assignments, scores)
+            ]
+        greedy_state = _BeamState(assignments=greedy_assignments)
         finalists = beam + [greedy_state]
         best = min(
             enumerate(finalists),

@@ -41,6 +41,17 @@ class ClusterSpec:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate device ids in cluster")
 
+    def __hash__(self):
+        # Clusters appear in every simulator memo key; hashing the whole
+        # device tuple per lookup dominates cache cost on large fleets,
+        # so the (immutable) field hash is computed once and pinned.
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            h = hash((self.name, self.devices, self.cross_node_link))
+            object.__setattr__(self, "_hash_cache", h)
+            return h
+
     @property
     def num_devices(self) -> int:
         return len(self.devices)

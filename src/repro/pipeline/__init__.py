@@ -1,7 +1,15 @@
 """Pipeline serving: discrete-event engine, stage timing, simulator."""
 
 from .events import EventLoop, FaultEvent, Server
-from .fastsim import fast_eligible, fast_eligible_variable
+from .batchsim import PlanCase, evaluate_plans
+from .fastsim import (
+    build_plan_tables,
+    clear_table_caches,
+    fast_eligibility,
+    fast_eligibility_variable,
+    fast_eligible,
+    fast_eligible_variable,
+)
 from .simulator import (
     DegradedSimResult,
     PipelineSimResult,
@@ -27,6 +35,12 @@ __all__ = [
     "PipelineSimResult",
     "SIM_BACKENDS",
     "check_plan_memory",
+    "PlanCase",
+    "build_plan_tables",
+    "clear_table_caches",
+    "evaluate_plans",
+    "fast_eligibility",
+    "fast_eligibility_variable",
     "fast_eligible",
     "fast_eligible_variable",
     "simulate_degraded",

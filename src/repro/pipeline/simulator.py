@@ -64,6 +64,10 @@ class PipelineSimResult:
     #: ``"fast"``).  Provenance only: excluded from equality so the
     #: differential tests can assert fast == event directly.
     sim_backend: str = field(default="event", compare=False)
+    #: Why the fast path was declined when a dispatcher (``auto`` or the
+    #: batched evaluator) dropped this run to the event engine; ``None``
+    #: when no fallback happened.  Provenance only, like ``sim_backend``.
+    backend_reason: Optional[str] = field(default=None, compare=False)
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -166,10 +170,11 @@ def simulate_plan(
         batch=workload.batch,
         output_len=workload.output_len,
     ) as sp:
-        from .fastsim import _fast_simulate_plan, fast_eligible
+        from .fastsim import _fast_simulate_plan, fast_eligibility
 
+        reason = fast_eligibility(plan, workload)
         use_fast = sim_backend == "fast" or (
-            sim_backend == "auto" and fast_eligible(plan, workload)
+            sim_backend == "auto" and reason is None
         )
         if use_fast:
             result = _fast_simulate_plan(
@@ -179,6 +184,8 @@ def simulate_plan(
             result = _simulate_plan(
                 plan, cluster, spec, workload, timing, check_memory
             )
+            if sim_backend == "auto" and reason is not None:
+                result = replace(result, backend_reason=reason)
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs").inc()
@@ -606,11 +613,12 @@ def simulate_plan_variable(
     ) as sp:
         from .fastsim import (
             _fast_simulate_plan_variable,
-            fast_eligible_variable,
+            fast_eligibility_variable,
         )
 
+        reason = fast_eligibility_variable(workload)
         use_fast = sim_backend == "fast" or (
-            sim_backend == "auto" and fast_eligible_variable(workload)
+            sim_backend == "auto" and reason is None
         )
         if use_fast:
             result = _fast_simulate_plan_variable(
@@ -620,6 +628,8 @@ def simulate_plan_variable(
             result = _simulate_plan_variable(
                 plan, cluster, spec, workload, timing, check_memory
             )
+            if sim_backend == "auto" and reason is not None:
+                result = replace(result, backend_reason=reason)
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs_variable").inc()

@@ -40,6 +40,19 @@ class StagePlan:
         if not self.layer_bits:
             raise ValueError("stage must hold at least one layer")
 
+    def __hash__(self):
+        # Stages (and the plans holding them) are hashed on every
+        # simulator memo lookup; cache the field hash once per object.
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            h = hash(
+                (self.device_ids, self.gpu_name, self.layer_start,
+                 self.layer_bits)
+            )
+            object.__setattr__(self, "_hash_cache", h)
+            return h
+
     @property
     def num_layers(self) -> int:
         return len(self.layer_bits)
@@ -85,6 +98,17 @@ class ExecutionPlan:
                 if d in seen:
                     raise ValueError(f"device {d} used by two stages")
                 seen.add(d)
+
+    def __hash__(self):
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            h = hash(
+                (self.model_name, self.stages, self.prefill_microbatch,
+                 self.decode_microbatch, self.bit_kv)
+            )
+            object.__setattr__(self, "_hash_cache", h)
+            return h
 
     @property
     def num_layers(self) -> int:

@@ -203,7 +203,7 @@ def round_trace_float(x: float) -> float:
 
 def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
     """A JSON-safe dict of one simulated batch (floats rounded)."""
-    return {
+    out = {
         "kind": "pipeline_sim",
         "makespan_s": round_trace_float(res.makespan_s),
         "prefill_span_s": round_trace_float(res.prefill_span_s),
@@ -214,6 +214,11 @@ def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
         "events_processed": res.events_processed,
         "sim_backend": res.sim_backend,
     }
+    # Only serialized when set: keeps pre-existing golden fixtures
+    # byte-stable while round-tripping fallback provenance.
+    if res.backend_reason is not None:
+        out["backend_reason"] = res.backend_reason
+    return out
 
 
 def degraded_result_to_dict(res: "DegradedSimResult") -> Dict[str, Any]:
@@ -269,6 +274,7 @@ def sim_result_from_dict(data: Dict[str, Any]) -> "PipelineSimResult":
         ),
         events_processed=int(data["events_processed"]),
         sim_backend=str(data.get("sim_backend", "event")),
+        backend_reason=data.get("backend_reason"),
     )
 
 
