@@ -28,16 +28,16 @@ from repro.obs import normalize_trace  # noqa: E402
 from tests.golden_utils import regenerate_all  # noqa: E402
 
 
-def regen_fault_demo_trace() -> Path:
-    """Traced subprocess run of the fault demo -> normalized fixture."""
-    fixture = REPO / "tests" / "data" / "fault_demo_trace.norm.jsonl"
+def _regen_demo_trace(demo: str, fixture_name: str) -> Path:
+    """Traced subprocess run of a demo -> normalized fixture."""
+    fixture = REPO / "tests" / "data" / fixture_name
     with tempfile.TemporaryDirectory() as tmp:
-        trace_path = Path(tmp) / "fault_demo.jsonl"
+        trace_path = Path(tmp) / "demo.jsonl"
         env = dict(os.environ)
         env["SPLITQUANT_TRACE"] = str(trace_path)
         env["PYTHONPATH"] = str(REPO / "src")
         subprocess.run(
-            [sys.executable, str(REPO / "examples" / "fault_tolerance_demo.py")],
+            [sys.executable, str(REPO / "examples" / demo)],
             env=env,
             check=True,
             cwd=str(REPO),
@@ -47,11 +47,25 @@ def regen_fault_demo_trace() -> Path:
     return fixture
 
 
+def regen_fault_demo_trace() -> Path:
+    return _regen_demo_trace(
+        "fault_tolerance_demo.py", "fault_demo_trace.norm.jsonl"
+    )
+
+
+def regen_online_demo_trace() -> Path:
+    return _regen_demo_trace(
+        "online_serving_demo.py", "online_demo_trace.norm.jsonl"
+    )
+
+
 def main() -> int:
     for name, path in regenerate_all().items():
         print(f"wrote {path.relative_to(REPO)}  ({name})")
     path = regen_fault_demo_trace()
     print(f"wrote {path.relative_to(REPO)}  (fault_demo_trace)")
+    path = regen_online_demo_trace()
+    print(f"wrote {path.relative_to(REPO)}  (online_demo_trace)")
     return 0
 
 

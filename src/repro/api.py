@@ -33,11 +33,18 @@ from .core import PlannerConfig, PlannerResult, SplitQuantPlanner
 from .hardware import ClusterSpec, table_iii_cluster
 from .models import ModelSpec, get_model
 from .obs import Tracer, flame_summary, metrics, use_tracer
-from .pipeline import DegradedSimResult, PipelineSimResult, simulate_plan
+from .pipeline import (
+    DegradedSimResult,
+    OnlineConfig,
+    OnlineSimResult,
+    PipelineSimResult,
+    simulate_online,
+    simulate_plan,
+)
 from .plan import ExecutionPlan, InfeasibleError
 from .quality import TinyLM, TinyLMConfig
 from .runtime import FaultPlan, GenerationResult, PipelineEngine
-from .workloads import BatchWorkload
+from .workloads import ArrivalTrace, BatchWorkload
 
 __all__ = ["Session", "Summary"]
 
@@ -48,7 +55,10 @@ class Summary(Protocol):
 
     Implemented by :class:`~repro.core.planner.PlannerResult`,
     :class:`~repro.pipeline.simulator.PipelineSimResult`,
-    :class:`~repro.pipeline.simulator.DegradedSimResult` and
+    :class:`~repro.pipeline.simulator.DegradedSimResult`,
+    :class:`~repro.pipeline.online.OnlineSimResult`,
+    :class:`~repro.fleet.simulator.FleetSimResult`,
+    :class:`~repro.fleet.online.OnlineFleetResult` and
     :class:`~repro.runtime.engine.GenerationResult`: a JSON-safe
     :meth:`to_dict` (round-trippable via :mod:`repro.serialization`),
     the paper's headline :attr:`throughput_tokens_s` metric, and
@@ -303,6 +313,33 @@ class Session:
                 return engine.generate(
                     prompts, n_tokens=n_tokens, microbatch=microbatch
                 )
+
+    def serve_online(
+        self,
+        arrivals: "ArrivalTrace",
+        plan: Optional[Union[ExecutionPlan, PlannerResult]] = None,
+        config: Optional["OnlineConfig"] = None,
+        check_memory: bool = True,
+    ) -> "OnlineSimResult":
+        """Simulate online serving of an arrival stream on this session.
+
+        ``arrivals`` is an :class:`~repro.workloads.arrivals.ArrivalTrace`
+        (build one with :func:`~repro.workloads.poisson_trace`,
+        :func:`~repro.workloads.diurnal_trace`,
+        :func:`~repro.workloads.bursty_trace`, or
+        :func:`~repro.workloads.closed_batch_trace`); ``plan`` defaults
+        to the last :meth:`plan` result.  ``config`` is an
+        :class:`~repro.pipeline.OnlineConfig` controlling chunking,
+        continuous-batching group size, and KV/SLO admission.  Returns an
+        :class:`~repro.pipeline.OnlineSimResult` (a :class:`Summary`)
+        with per-request TTFT/TPOT/latency percentiles.
+        """
+        ex_plan = self._resolve_plan(plan)
+        with self._scope():
+            return simulate_online(
+                ex_plan, self.cluster, self.spec, arrivals,
+                config=config, check_memory=check_memory,
+            )
 
     def schedule_fleet(
         self,

@@ -34,6 +34,14 @@ from .allocator import (
     list_schedule,
 )
 from .jobs import DEADLINE_HOURS, FleetJob, make_job_queue
+from .online import (
+    JobArrival,
+    OnlineFleetResult,
+    OnlineFleetScheduler,
+    OnlineJobRecord,
+    make_job_arrivals,
+    simulate_online_fleet,
+)
 from .scheduler import (
     FleetSchedule,
     FleetScheduler,
@@ -53,9 +61,15 @@ __all__ = [
     "FleetSimResult",
     "GreedyAllocator",
     "GroupSpec",
+    "JobArrival",
     "JobSimRecord",
+    "OnlineFleetResult",
+    "OnlineFleetScheduler",
+    "OnlineJobRecord",
     "PlannerPool",
     "ScheduledJob",
+    "make_job_arrivals",
+    "simulate_online_fleet",
     "compare_allocators",
     "default_fleet_config",
     "enumerate_groups",

@@ -10,6 +10,12 @@ from .fastsim import (
     fast_eligible,
     fast_eligible_variable,
 )
+from .online import (
+    ADMISSION_POLICIES,
+    OnlineConfig,
+    OnlineSimResult,
+    simulate_online,
+)
 from .simulator import (
     DegradedSimResult,
     PipelineSimResult,
@@ -19,6 +25,7 @@ from .simulator import (
     simulate_plan,
     simulate_plan_variable,
 )
+from .topology import PipelineTopology, microbatch_sizes
 from .trace import Timeline, render_gantt, trace_plan
 from .stage import (
     CostModelTiming,
@@ -31,10 +38,16 @@ __all__ = [
     "EventLoop",
     "FaultEvent",
     "Server",
+    "ADMISSION_POLICIES",
     "DegradedSimResult",
+    "OnlineConfig",
+    "OnlineSimResult",
     "PipelineSimResult",
+    "PipelineTopology",
     "SIM_BACKENDS",
     "check_plan_memory",
+    "microbatch_sizes",
+    "simulate_online",
     "PlanCase",
     "build_plan_tables",
     "clear_table_caches",

@@ -1,0 +1,644 @@
+"""Online serving simulation: arrivals, continuous batching, admission.
+
+The online driver runs the *same* event core as the offline simulator —
+:class:`~repro.pipeline.events.EventLoop` FIFO servers parameterized by
+:class:`~repro.pipeline.topology.PipelineTopology` — but feeds it a
+stream of requests instead of one closed batch:
+
+* Requests enter a FIFO queue as they arrive.
+* The scheduler greedily drains admissible requests into *groups*; each
+  group is chunk-prefilled as padded micro-batches and then decoded with
+  per-request retirement, exactly like the offline drivers.
+* Groups overlap on the stage servers: a new group's prefill micro-
+  batches slot in between an older group's decode steps (continuous
+  micro-batch refill), with decode submissions keeping priority at each
+  refill point.
+* Admission is KV-aware: each request reserves its per-stage KV cache
+  under the paging budget of :mod:`repro.costmodel.memory` at admission
+  and releases it at completion.  Requests can also be rejected on queue
+  overflow or an expired TTFT SLO.
+
+The contract with the offline path is differential: with every arrival
+at t=0, admission disabled, and one unbounded group, the event sequence
+replays the offline ``simulate_plan`` run *bit-identically* (makespan,
+spans, busy times, memory tuple, and event count) — enforced by
+``tests/test_online_sim.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..costmodel.memory import (
+    activation_workspace_bytes,
+    embedding_memory_bytes,
+)
+from ..hardware.cluster import ClusterSpec
+from ..models.architectures import ModelSpec
+from ..models import layers as L
+from ..obs import metrics, trace
+from ..plan import ExecutionPlan
+from ..simgpu.memory import OutOfMemoryError
+from ..workloads.arrivals import ArrivalTrace, Request
+from ..workloads.spec import BatchWorkload
+from .events import EventLoop
+from .simulator import check_plan_memory
+from .stage import TimingSource
+from .topology import PipelineTopology, microbatch_sizes
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "OnlineConfig",
+    "OnlineSimResult",
+    "simulate_online",
+]
+
+#: Accepted admission policies: ``"kv"`` reserves per-request KV cache
+#: against each stage's memory budget; ``"none"`` admits everything
+#: (the offline-equivalent mode — memory is then pre-checked worst-case).
+ADMISSION_POLICIES = ("kv", "none")
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs of the online serving simulation."""
+
+    #: Prefill chunking cap, like ``BatchWorkload.chunk_tokens``.
+    chunk_tokens: int = 2048
+    #: Admission policy (see :data:`ADMISSION_POLICIES`).
+    admission: str = "kv"
+    #: Cap on requests per continuous-batching group (None = unbounded).
+    max_group_size: Optional[int] = None
+    #: Queue overflow limit; arrivals beyond it are rejected (None = ∞).
+    max_queue: Optional[int] = None
+    #: Reject still-queued requests whose wait already exceeds this TTFT
+    #: SLO at the next scheduling point (None = no SLO admission).
+    ttft_slo_s: Optional[float] = None
+    #: Stop admitting arrivals after this time; they count as unserved.
+    horizon_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission {self.admission!r} "
+                f"(expected one of {ADMISSION_POLICIES})"
+            )
+        if self.chunk_tokens <= 0:
+            raise ValueError("chunk_tokens must be positive")
+        if self.max_group_size is not None and self.max_group_size <= 0:
+            raise ValueError("max_group_size must be positive")
+        if self.max_queue is not None and self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive")
+        if self.horizon_s is not None and self.horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+
+
+def _percentile(values: Tuple[float, ...], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class OnlineSimResult:
+    """Outcome of one online serving simulation (Summary-compliant)."""
+
+    makespan_s: float
+    prefill_span_s: float
+    decode_span_s: float
+    total_tokens: int
+    stage_busy_s: Tuple[float, ...]
+    stage_memory_bytes: Tuple[int, ...]
+    events_processed: int
+    arrived: int
+    admitted: int
+    completed: int
+    rejected_queue: int
+    rejected_slo: int
+    rejected_oom: int
+    unserved: int
+    groups_formed: int
+    #: Per completed request (ascending ``req_id``): first-token latency,
+    #: per-output-token time, and end-to-end latency.
+    ttft_s: Tuple[float, ...]
+    tpot_s: Tuple[float, ...]
+    latency_s: Tuple[float, ...]
+    #: Time-integral of the in-system request count (request-seconds),
+    #: accumulated event-by-event — the independent side of the
+    #: Little's-law consistency property.
+    area_request_s: float
+    #: SLO echoed from the config so attainment is self-contained.
+    ttft_slo_s: Optional[float] = None
+    #: Provenance only (excluded from equality), like the offline result.
+    sim_backend: str = field(default="event", compare=False)
+    backend_reason: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_queue + self.rejected_slo + self.rejected_oom
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Output token throughput — the Summary-protocol headline."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated wall-clock (the Summary-protocol duration)."""
+        return self.makespan_s
+
+    @property
+    def stage_utilization(self) -> Tuple[float, ...]:
+        if self.makespan_s <= 0:
+            return tuple(0.0 for _ in self.stage_busy_s)
+        return tuple(min(b / self.makespan_s, 1.0) for b in self.stage_busy_s)
+
+    @property
+    def bubble_fraction(self) -> float:
+        util = self.stage_utilization
+        return 1.0 - float(np.mean(util)) if util else 0.0
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Little's-law L: time-averaged requests in system."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.area_request_s / self.makespan_s
+
+    def ttft_percentile(self, q: float) -> float:
+        return _percentile(self.ttft_s, q)
+
+    def tpot_percentile(self, q: float) -> float:
+        return _percentile(self.tpot_s, q)
+
+    def latency_percentile(self, q: float) -> float:
+        return _percentile(self.latency_s, q)
+
+    @property
+    def ttft_slo_attainment(self) -> Optional[float]:
+        """Fraction of completed requests whose TTFT met the SLO."""
+        if self.ttft_slo_s is None or not self.ttft_s:
+            return None
+        met = sum(1 for t in self.ttft_s if t <= self.ttft_slo_s)
+        return met / len(self.ttft_s)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
+        from ..serialization import online_result_to_dict
+
+        return online_result_to_dict(self)
+
+
+class _Group:
+    """One continuous-batching group in flight."""
+
+    __slots__ = (
+        "gid", "requests", "pad", "kappa", "chunk_len", "max_output",
+        "pending_prefill", "prefill_end",
+    )
+
+    def __init__(self, gid: int, requests: List[Request], chunk_tokens: int):
+        self.gid = gid
+        self.requests = requests
+        self.pad = max(r.prompt_len for r in requests)
+        self.kappa = -(-self.pad // chunk_tokens)
+        self.chunk_len = -(-self.pad // self.kappa)
+        self.max_output = max(r.output_len for r in requests)
+        self.pending_prefill = 0
+        self.prefill_end = 0.0
+
+
+def _chunk_len_of(prompt_len: int, chunk_tokens: int) -> int:
+    kappa = -(-prompt_len // chunk_tokens)
+    return -(-prompt_len // kappa)
+
+
+def simulate_online(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    arrivals: ArrivalTrace,
+    config: Optional[OnlineConfig] = None,
+    timing: Optional[TimingSource] = None,
+    check_memory: bool = True,
+) -> OnlineSimResult:
+    """Simulate serving an arrival stream under ``plan`` on ``cluster``.
+
+    See the module docstring for the scheduling and admission semantics.
+    With ``admission="none"`` and ``check_memory`` set, memory is
+    pre-checked against the all-resident worst case exactly as the
+    offline :func:`~repro.pipeline.simulator.check_plan_memory` would,
+    raising :class:`~repro.simgpu.memory.OutOfMemoryError` on misfit.
+    """
+    config = config or OnlineConfig()
+    with trace.span(
+        "sim.online",
+        stages=plan.num_stages,
+        requests=arrivals.n_requests,
+        admission=config.admission,
+    ) as sp:
+        result = _simulate_online(
+            plan, cluster, spec, arrivals, config, timing, check_memory
+        )
+        sp.set(
+            events=result.events_processed,
+            completed=result.completed,
+            rejected=result.rejected,
+            groups=result.groups_formed,
+        )
+        if trace.enabled:
+            metrics.counter("sim.online_runs").inc()
+            metrics.counter("sim.online_arrived").inc(result.arrived)
+            metrics.counter("sim.online_completed").inc(result.completed)
+            metrics.counter("sim.online_rejected").inc(result.rejected)
+            metrics.counter("sim.online_groups").inc(result.groups_formed)
+            metrics.counter("sim.events").inc(result.events_processed)
+        return result
+
+
+def _simulate_online(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    arrivals: ArrivalTrace,
+    config: OnlineConfig,
+    timing: Optional[TimingSource],
+    check_memory: bool,
+) -> OnlineSimResult:
+    topo = PipelineTopology.build(plan, cluster, spec, timing)
+    n_stages = topo.num_stages
+    last_stage = n_stages - 1
+    capacities = topo.stage_capacities()
+    layers_per_stage = [len(st.layer_bits) for st in plan.stages]
+
+    max_output = max(r.output_len for r in arrivals.requests)
+    ref_chunk = max(
+        _chunk_len_of(r.prompt_len, config.chunk_tokens)
+        for r in arrivals.requests
+    )
+
+    # Static per-stage residency: weights + activation workspace (+ the
+    # embeddings / LM head placement of check_plan_memory).  KV is the
+    # dynamic part the admission controller meters on top.
+    static: List[int] = []
+    for j, st in enumerate(plan.stages):
+        b = sum(L.weight_storage_bytes(spec, bits) for bits in st.layer_bits)
+        b += activation_workspace_bytes(
+            spec, plan.prefill_microbatch, ref_chunk
+        )
+        if j == 0:
+            b += embedding_memory_bytes(spec, plan.prefill_microbatch)
+        if j == last_stage and j != 0:
+            b += spec.lm_head_elements * L.FP16_BYTES
+        static.append(b)
+
+    if config.admission == "none":
+        if check_memory:
+            # All-resident worst case — the exact offline pre-check, so
+            # the degenerate configuration raises (or not) identically.
+            worst = BatchWorkload(
+                batch=arrivals.n_requests,
+                prompt_len=arrivals.max_prompt,
+                output_len=max_output,
+                chunk_tokens=config.chunk_tokens,
+            )
+            stage_mem = check_plan_memory(plan, cluster, spec, worst)
+        else:
+            stage_mem = tuple(0 for _ in plan.stages)
+    elif check_memory:
+        for j, st in enumerate(plan.stages):
+            if static[j] > capacities[j]:
+                raise OutOfMemoryError(
+                    f"stage{j}({st.gpu_name})", static[j], capacities[j]
+                )
+
+    loop = EventLoop()
+    servers = topo.make_servers(loop)
+    submit_at = [s.submit for s in servers]
+
+    # ---- bookkeeping --------------------------------------------------
+    queue: Deque[Request] = deque()
+    kv_used = [0] * n_stages
+    kv_peak = [0] * n_stages
+    counts = {
+        "arrived": 0, "admitted": 0, "completed": 0,
+        "rejected_queue": 0, "rejected_slo": 0, "rejected_oom": 0,
+        "unserved": 0, "groups": 0, "tokens": 0,
+    }
+    first_token_t: Dict[int, float] = {}
+    completion_t: Dict[int, float] = {}
+    prefill_end_max = [0.0]
+    completion_max = [0.0]
+    # Little's-law area: integrate the in-system count event-by-event.
+    area = {"value": 0.0, "n": 0, "last_t": 0.0}
+
+    def area_advance(now: float) -> None:
+        area["value"] += area["n"] * (now - area["last_t"])
+        area["last_t"] = now
+
+    kv_req_cache: Dict[int, Tuple[int, ...]] = {}
+
+    def kv_req(context_len: int) -> Tuple[int, ...]:
+        got = kv_req_cache.get(context_len)
+        if got is None:
+            got = kv_req_cache[context_len] = tuple(
+                layers_per_stage[j]
+                * L.kv_cache_bytes(spec, 1, context_len, plan.bit_kv)
+                for j in range(n_stages)
+            )
+        return got
+
+    # ---- duration caches (pure topology functions) --------------------
+    pre_time_cache: Dict[Tuple[int, int, int], float] = {}
+    pre_comm_cache: Dict[Tuple[int, int, int], float] = {}
+    dec_series_cache: Dict[Tuple[int, int, int, int], List[float]] = {}
+    dec_comm_cache: Dict[Tuple[int, int], float] = {}
+
+    def pre_time(j: int, size: int, chunk_len: int) -> float:
+        key = (j, size, chunk_len)
+        t = pre_time_cache.get(key)
+        if t is None:
+            t = pre_time_cache[key] = topo.prefill_time(j, size, chunk_len)
+        return t
+
+    def pre_comm(j: int, size: int, chunk_len: int) -> float:
+        key = (j, size, chunk_len)
+        t = pre_comm_cache.get(key)
+        if t is None:
+            t = pre_comm_cache[key] = topo.prefill_comm(j, size, chunk_len)
+        return t
+
+    def dec_step(
+        j: int, size: int, pad: int, max_n: int, t: int
+    ) -> float:
+        key = (j, size, pad, max_n)
+        series = dec_series_cache.get(key)
+        if series is None:
+            series = dec_series_cache[key] = topo.decode_series(
+                j, size, pad, max_n
+            )
+        return series[t - 1]
+
+    def dec_comm(j: int, size: int) -> float:
+        key = (j, size)
+        t = dec_comm_cache.get(key)
+        if t is None:
+            t = dec_comm_cache[key] = topo.decode_comm(j, size)
+        return t
+
+    # ---- request lifecycle --------------------------------------------
+    def reject(req: Request, now: float, kind: str) -> None:
+        area_advance(now)
+        area["n"] -= 1
+        counts[f"rejected_{kind}"] += 1
+
+    def enqueue(req: Request, now: float) -> None:
+        counts["arrived"] += 1
+        if config.horizon_s is not None and req.arrival_s > config.horizon_s:
+            counts["unserved"] += 1
+            return
+        area_advance(now)
+        area["n"] += 1
+        if (
+            config.max_queue is not None
+            and len(queue) >= config.max_queue
+        ):
+            reject(req, now, "queue")
+            return
+        queue.append(req)
+
+    def complete(req: Request, now: float) -> None:
+        area_advance(now)
+        area["n"] -= 1
+        counts["completed"] += 1
+        counts["tokens"] += req.output_len
+        completion_t[req.req_id] = now
+        if now > completion_max[0]:
+            completion_max[0] = now
+        if config.admission == "kv":
+            need = kv_req(req.context_len)
+            for j in range(n_stages):
+                kv_used[j] -= need[j]
+
+    # ---- scheduling ----------------------------------------------------
+    def try_schedule(now: float) -> None:
+        while queue:
+            group: List[Request] = []
+            while queue and (
+                config.max_group_size is None
+                or len(group) < config.max_group_size
+            ):
+                req = queue[0]
+                if (
+                    config.ttft_slo_s is not None
+                    and now - req.arrival_s > config.ttft_slo_s
+                ):
+                    queue.popleft()
+                    reject(req, now, "slo")
+                    continue
+                if config.admission == "kv":
+                    need = kv_req(req.context_len)
+                    if any(
+                        static[j] + need[j] > capacities[j]
+                        for j in range(n_stages)
+                    ):
+                        # Can never fit, even on an idle pipeline.
+                        queue.popleft()
+                        reject(req, now, "oom")
+                        continue
+                    if any(
+                        static[j] + kv_used[j] + need[j] > capacities[j]
+                        for j in range(n_stages)
+                    ):
+                        break  # head-of-line block until KV frees up
+                    for j in range(n_stages):
+                        kv_used[j] += need[j]
+                        if kv_used[j] > kv_peak[j]:
+                            kv_peak[j] = kv_used[j]
+                group.append(queue.popleft())
+            if not group:
+                break
+            counts["admitted"] += len(group)
+            counts["groups"] += 1
+            launch_group(group, now)
+
+    def launch_group(requests: List[Request], now: float) -> None:
+        g = _Group(counts["groups"] - 1, requests, config.chunk_tokens)
+        pre_sizes = microbatch_sizes(len(requests), plan.prefill_microbatch)
+        g.pending_prefill = len(pre_sizes) * g.kappa
+
+        def submit_prefill(j: int, m: int, c: int, size: int,
+                           ready: float) -> None:
+            def done(finish: float) -> None:
+                if j < last_stage:
+                    arrival = finish + pre_comm(j, size, g.chunk_len)
+                    submit_prefill(j + 1, m, c, size, arrival)
+                else:
+                    if finish > g.prefill_end:
+                        g.prefill_end = finish
+                    g.pending_prefill -= 1
+                    if g.pending_prefill == 0:
+                        on_group_prefill_done(g)
+
+            submit_at[j](
+                pre_time(j, size, g.chunk_len), done,
+                not_before=ready, label=f"P{g.gid}.{m}.{c}",
+            )
+
+        with trace.span(
+            "sim.online.group",
+            size=len(requests), kappa=g.kappa, start=now,
+        ):
+            for m, size in enumerate(pre_sizes):
+                for c in range(g.kappa):
+                    submit_prefill(0, m, c, size, now)
+
+    def on_group_prefill_done(g: _Group) -> None:
+        # The zeroing event is the group's latest prefill completion, so
+        # loop.now == g.prefill_end here (same barrier as offline).
+        end = g.prefill_end
+        if end > prefill_end_max[0]:
+            prefill_end_max[0] = end
+        if end > completion_max[0]:
+            completion_max[0] = end
+        for r in g.requests:
+            first_token_t[r.req_id] = end
+        singles = [r for r in g.requests if r.output_len == 1]
+        xi = plan.decode_microbatch
+        slices = [
+            g.requests[s : s + xi]
+            for s in range(0, len(g.requests), xi)
+        ]
+        for m, sl in enumerate(slices):
+            size = sum(1 for r in sl if r.output_len > 1)
+            if size > 0:
+                launch_decode(g, m, sl, size, end)
+        for r in singles:
+            complete(r, end)
+        # Refill point: freed KV (one-token requests) or queued arrivals
+        # can now form the next group; decode above keeps priority.
+        try_schedule(end)
+
+    def launch_decode(g: _Group, m: int, sl: List[Request],
+                      size0: int, ready0: float) -> None:
+        def active(t: int) -> int:
+            return sum(1 for r in sl if r.output_len > t)
+
+        def submit_dec(j: int, t: int, size: int, ready: float) -> None:
+            def done(finish: float) -> None:
+                if j < last_stage:
+                    submit_dec(j + 1, t, size, finish + dec_comm(j, size))
+                    return
+                nxt = active(t + 1)
+                if nxt > 0:
+                    fb = topo.feedback_delay(nxt)
+                    submit_dec(0, t + 1, nxt, finish + fb)
+                retired = [r for r in sl if r.output_len == t + 1]
+                if retired:
+                    for r in retired:
+                        complete(r, finish)
+                    try_schedule(finish)
+
+            submit_at[j](
+                dec_step(j, size, g.pad, g.max_output, t), done,
+                not_before=ready, label=f"D{g.gid}.{m}.{t}",
+            )
+
+        submit_dec(0, 1, size0, ready0)
+
+    # ---- inject arrivals and run ---------------------------------------
+    initial = [r for r in arrivals.requests if r.arrival_s <= 0.0]
+    later = [r for r in arrivals.requests if r.arrival_s > 0.0]
+    for r in initial:
+        enqueue(r, 0.0)
+    try_schedule(0.0)
+
+    # One loop event per *distinct* arrival time, so a same-instant wave
+    # is offered to the scheduler together (and the event count stays
+    # zero for the offline-degenerate all-at-t0 configuration).
+    i = 0
+    while i < len(later):
+        k = i
+        t_arr = later[i].arrival_s
+        while k < len(later) and later[k].arrival_s == t_arr:
+            k += 1
+        wave = later[i:k]
+        i = k
+
+        def fire(wave: List[Request] = wave, t_arr: float = t_arr) -> None:
+            for r in wave:
+                enqueue(r, t_arr)
+            try_schedule(t_arr)
+
+        loop.at(t_arr, fire)
+
+    loop.run()
+
+    # Defensive: a future policy could leave the queue blocked at drain;
+    # count leftovers as unserved so work conservation stays exact.
+    for req in queue:
+        area_advance(loop.now)
+        area["n"] -= 1
+        counts["unserved"] += 1
+    queue.clear()
+    area_advance(max(loop.now, completion_max[0]))
+
+    prefill_span = prefill_end_max[0]
+    decode_span = (
+        completion_max[0] - prefill_span if completion_max[0] > 0 else 0.0
+    )
+    makespan = prefill_span + decode_span
+
+    if config.admission == "kv":
+        stage_mem = tuple(
+            static[j] + kv_peak[j] for j in range(n_stages)
+        )
+    elif not check_memory:
+        stage_mem = tuple(0 for _ in plan.stages)
+    # (admission "none" + check_memory computed stage_mem upfront)
+
+    done_ids = sorted(completion_t)
+    by_id = {r.req_id: r for r in arrivals.requests}
+    ttft = tuple(
+        first_token_t[i] - by_id[i].arrival_s for i in done_ids
+    )
+    tpot = tuple(
+        (completion_t[i] - first_token_t[i]) / (by_id[i].output_len - 1)
+        if by_id[i].output_len > 1
+        else 0.0
+        for i in done_ids
+    )
+    latency = tuple(
+        completion_t[i] - by_id[i].arrival_s for i in done_ids
+    )
+
+    return OnlineSimResult(
+        makespan_s=makespan,
+        prefill_span_s=prefill_span,
+        decode_span_s=decode_span,
+        total_tokens=counts["tokens"],
+        stage_busy_s=tuple(s.busy_time for s in servers),
+        stage_memory_bytes=stage_mem,
+        events_processed=loop.processed,
+        arrived=counts["arrived"],
+        admitted=counts["admitted"],
+        completed=counts["completed"],
+        rejected_queue=counts["rejected_queue"],
+        rejected_slo=counts["rejected_slo"],
+        rejected_oom=counts["rejected_oom"],
+        unserved=counts["unserved"],
+        groups_formed=counts["groups"],
+        ttft_s=ttft,
+        tpot_s=tpot,
+        latency_s=latency,
+        area_request_s=area["value"],
+        ttft_slo_s=config.ttft_slo_s,
+    )

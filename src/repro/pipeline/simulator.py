@@ -28,14 +28,16 @@ from ..obs import DEFAULT_FRACTION_BUCKETS, metrics, trace
 from ..plan import ExecutionPlan
 from ..simgpu.memory import OutOfMemoryError
 from ..workloads.spec import BatchWorkload, VariableBatchWorkload
-from .events import EventLoop, FaultEvent, Server
-from .stage import RooflineTiming, StageExecutionModel, TimingSource
+from .events import EventLoop, FaultEvent
+from .stage import TimingSource
+from .topology import (
+    FEEDBACK_BYTES_PER_REQ as _FEEDBACK_BYTES_PER_REQ,
+    PipelineTopology,
+    microbatch_sizes,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.faults import FaultPlan
-
-#: Bytes of sampled token ids fed back from LM head to the first stage.
-_FEEDBACK_BYTES_PER_REQ = 4
 
 #: Accepted ``sim_backend`` values for the simulator entry points.
 SIM_BACKENDS = ("event", "fast", "auto")
@@ -100,11 +102,10 @@ class PipelineSimResult:
         return sim_result_to_dict(self)
 
 
-def _microbatch_sizes(total: int, micro: int) -> List[int]:
-    sizes = [micro] * (total // micro)
-    if total % micro:
-        sizes.append(total % micro)
-    return sizes
+# Historical location of the micro-batch splitter; the shared
+# implementation (with edge-case validation) lives in
+# :func:`repro.pipeline.topology.microbatch_sizes`.
+_microbatch_sizes = microbatch_sizes
 
 
 def check_plan_memory(
@@ -205,13 +206,8 @@ def _simulate_plan(
     timing: Optional[TimingSource],
     check_memory: bool,
 ) -> PipelineSimResult:
-    if plan.num_layers != spec.num_layers:
-        raise ValueError(
-            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
-        )
-    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
-    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
-    n_stages = plan.num_stages
+    topo = PipelineTopology.build(plan, cluster, spec, timing)
+    n_stages = topo.num_stages
 
     stage_mem = (
         check_plan_memory(plan, cluster, spec, workload)
@@ -219,53 +215,22 @@ def _simulate_plan(
         else tuple(0 for _ in plan.stages)
     )
 
-    stage_models = [
-        StageExecutionModel(
-            stage=st,
-            gpu=by_id[st.device_ids[0]].gpu,
-            spec=spec,
-            timing=timing,
-            is_first=(j == 0),
-            is_last=(j == n_stages - 1),
-        )
-        for j, st in enumerate(plan.stages)
-    ]
-
-    # Inter-stage links (stage j -> j+1) and the decode feedback link.
-    fwd_links = [
-        cluster.link_between(
-            by_id[plan.stages[j].device_ids[0]],
-            by_id[plan.stages[j + 1].device_ids[0]],
-        )
-        for j in range(n_stages - 1)
-    ]
-    feedback_link = (
-        cluster.link_between(
-            by_id[plan.stages[-1].device_ids[0]],
-            by_id[plan.stages[0].device_ids[0]],
-        )
-        if n_stages > 1
-        else None
-    )
-
     loop = EventLoop()
-    servers = [Server(loop, f"stage{j}") for j in range(n_stages)]
+    servers = topo.make_servers(loop)
 
     # ------------------------------------------------------------------
     # Prefill phase: mu_pre micro-batches x kappa chunks, chained FIFO.
     # ------------------------------------------------------------------
-    pre_sizes = _microbatch_sizes(workload.batch, plan.prefill_microbatch)
+    pre_sizes = microbatch_sizes(workload.batch, plan.prefill_microbatch)
     chunk = workload.chunk_len
     pre_time: Dict[Tuple[int, int], float] = {}
     for size in set(pre_sizes):
-        for j, sm in enumerate(stage_models):
-            pre_time[(j, size)] = sm.prefill_chunk_time(size, chunk)
+        for j in range(n_stages):
+            pre_time[(j, size)] = topo.prefill_time(j, size, chunk)
     pre_comm: Dict[Tuple[int, int], float] = {}
     for size in set(pre_sizes):
-        for j, link in enumerate(fwd_links):
-            pre_comm[(j, size)] = link.transfer_time(
-                L.hidden_state_bytes(spec, size, chunk)
-            )
+        for j in range(n_stages - 1):
+            pre_comm[(j, size)] = topo.prefill_comm(j, size, chunk)
 
     prefill_done_at: List[float] = [0.0] * len(pre_sizes)
     pending = {"prefill": len(pre_sizes) * workload.kappa}
@@ -304,7 +269,7 @@ def _simulate_plan(
     # Decode phase: token-by-token with autoregressive feedback.
     # ------------------------------------------------------------------
     n_out = workload.output_len
-    dec_sizes = _microbatch_sizes(workload.batch, plan.decode_microbatch)
+    dec_sizes = microbatch_sizes(workload.batch, plan.decode_microbatch)
     decode_steps = n_out - 1
     decode_span = 0.0
     if decode_steps > 0:
@@ -312,23 +277,16 @@ def _simulate_plan(
         # Python lists carry the exact same float64 values.
         dec_series: Dict[Tuple[int, int], List[float]] = {}
         for size in set(dec_sizes):
-            for j, sm in enumerate(stage_models):
-                dec_series[(j, size)] = sm.decode_time_series(
-                    size, workload.prompt_len, n_out
-                ).tolist()
+            for j in range(n_stages):
+                dec_series[(j, size)] = topo.decode_series(
+                    j, size, workload.prompt_len, n_out
+                )
         dec_comm: Dict[Tuple[int, int], float] = {}
         for size in set(dec_sizes):
-            for j, link in enumerate(fwd_links):
-                dec_comm[(j, size)] = link.transfer_time(
-                    L.hidden_state_bytes(spec, size, 1)
-                )
+            for j in range(n_stages - 1):
+                dec_comm[(j, size)] = topo.decode_comm(j, size)
         fb_delay = {
-            size: (
-                feedback_link.transfer_time(size * _FEEDBACK_BYTES_PER_REQ)
-                if feedback_link is not None
-                else 0.0
-            )
-            for size in set(dec_sizes)
+            size: topo.feedback_delay(size) for size in set(dec_sizes)
         }
 
         last_token_done = [0.0] * len(dec_sizes)
@@ -649,13 +607,8 @@ def _simulate_plan_variable(
     timing: Optional[TimingSource],
     check_memory: bool,
 ) -> PipelineSimResult:
-    if plan.num_layers != spec.num_layers:
-        raise ValueError(
-            f"plan covers {plan.num_layers} layers, model has {spec.num_layers}"
-        )
-    timing = timing or RooflineTiming(spec=spec, bit_kv=plan.bit_kv)
-    by_id: Dict[int, Device] = {d.device_id: d for d in cluster.devices}
-    n_stages = plan.num_stages
+    topo = PipelineTopology.build(plan, cluster, spec, timing)
+    n_stages = topo.num_stages
 
     # Memory and prefill follow the worst-case uniform view (KV reserved
     # for the longest request, as the paper's memory model does).
@@ -671,48 +624,21 @@ def _simulate_plan_variable(
         else tuple(0 for _ in plan.stages)
     )
 
-    stage_models = [
-        StageExecutionModel(
-            stage=st,
-            gpu=by_id[st.device_ids[0]].gpu,
-            spec=spec,
-            timing=timing,
-            is_first=(j == 0),
-            is_last=(j == n_stages - 1),
-        )
-        for j, st in enumerate(plan.stages)
-    ]
-    fwd_links = [
-        cluster.link_between(
-            by_id[plan.stages[j].device_ids[0]],
-            by_id[plan.stages[j + 1].device_ids[0]],
-        )
-        for j in range(n_stages - 1)
-    ]
-    feedback_link = (
-        cluster.link_between(
-            by_id[plan.stages[-1].device_ids[0]],
-            by_id[plan.stages[0].device_ids[0]],
-        )
-        if n_stages > 1
-        else None
-    )
-
     loop = EventLoop()
-    servers = [Server(loop, f"stage{j}") for j in range(n_stages)]
+    servers = topo.make_servers(loop)
 
     # ---- prefill (same wavefront as the uniform simulator) -------------
-    pre_sizes = _microbatch_sizes(workload.batch, plan.prefill_microbatch)
+    pre_sizes = microbatch_sizes(workload.batch, plan.prefill_microbatch)
     chunk = uniform.chunk_len
     pre_time = {
-        (j, size): sm.prefill_chunk_time(size, chunk)
+        (j, size): topo.prefill_time(j, size, chunk)
         for size in set(pre_sizes)
-        for j, sm in enumerate(stage_models)
+        for j in range(n_stages)
     }
     pre_comm = {
-        (j, size): link.transfer_time(L.hidden_state_bytes(spec, size, chunk))
+        (j, size): topo.prefill_comm(j, size, chunk)
         for size in set(pre_sizes)
-        for j, link in enumerate(fwd_links)
+        for j in range(n_stages - 1)
     }
     pending = {"prefill": len(pre_sizes) * uniform.kappa}
     prefill_done = [0.0]
@@ -752,18 +678,16 @@ def _simulate_plan_variable(
         key = (j, size)
         series = series_cache.get(key)
         if series is None:
-            series = series_cache[key] = stage_models[j].decode_time_series(
-                size, workload.prompt_len, workload.max_output
-            ).tolist()
+            series = series_cache[key] = topo.decode_series(
+                j, size, workload.prompt_len, workload.max_output
+            )
         return series[t - 1]
 
     def comm_time(j: int, size: int) -> float:
         key = (j, size)
         t = comm_cache.get(key)
         if t is None:
-            t = comm_cache[key] = fwd_links[j].transfer_time(
-                L.hidden_state_bytes(spec, size, 1)
-            )
+            t = comm_cache[key] = topo.decode_comm(j, size)
         return t
 
     def active_at(m: int, t: int) -> int:
@@ -779,11 +703,7 @@ def _simulate_plan_variable(
                 return
             nxt = active_at(m, t + 1)
             if nxt > 0:
-                fb = (
-                    feedback_link.transfer_time(nxt * _FEEDBACK_BYTES_PER_REQ)
-                    if feedback_link is not None
-                    else 0.0
-                )
+                fb = topo.feedback_delay(nxt)
                 submit_decode(0, m, t + 1, nxt, finish + fb)
             else:
                 last_done[m] = finish

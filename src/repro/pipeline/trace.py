@@ -52,20 +52,20 @@ def trace_plan(
     """Simulate ``plan`` with per-job recording and return the timeline."""
     captured: List[Tuple[str, Tuple[Tuple[float, float, str], ...]]] = []
 
-    # simulate_plan constructs its own servers; intercept them by wrapping
-    # the Server class used inside the simulator module.
-    from . import simulator as _sim
+    # simulate_plan constructs its own servers (via the shared topology);
+    # intercept them by wrapping the Server class used at that call site.
+    from . import topology as _topo
     from .events import Server
 
     servers_seen: List[Server] = []
-    original = _sim.Server
+    original = _topo.Server
 
     def recording_server(loop, name):  # matches Server(loop, name) call sites
         srv = original(loop, name, record_jobs=True)
         servers_seen.append(srv)
         return srv
 
-    _sim.Server = recording_server  # type: ignore[assignment]
+    _topo.Server = recording_server  # type: ignore[assignment]
     try:
         # Per-job recording only exists in the discrete-event engine, so
         # pin the backend: the fast path computes the same finish times
@@ -75,7 +75,7 @@ def trace_plan(
             check_memory=check_memory, sim_backend="event",
         )
     finally:
-        _sim.Server = original  # type: ignore[assignment]
+        _topo.Server = original  # type: ignore[assignment]
     for srv in servers_seen:
         captured.append((srv.name, tuple(srv.jobs)))
     return Timeline(

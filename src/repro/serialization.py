@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core.planner import PlannerResult
     from .core.search import CandidateStat, SearchStats
     from .fleet.simulator import FleetSimResult
+    from .pipeline.online import OnlineSimResult
     from .pipeline.simulator import DegradedSimResult, PipelineSimResult
     from .runtime.engine import GenerationResult
     from .runtime.faults import FaultPlan, FaultRecord, FaultSpec
@@ -33,6 +34,7 @@ FAULT_SCHEMA_VERSION = 1
 TRACE_SCHEMA_VERSION = 1
 RESULT_SCHEMA_VERSION = 1
 FLEET_SCHEMA_VERSION = 1
+ONLINE_SCHEMA_VERSION = 1
 
 
 def plan_to_dict(plan: ExecutionPlan) -> Dict[str, Any]:
@@ -503,6 +505,82 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetSimResult":
         makespan_s=float(data["makespan_s"]),
         total_tokens=int(data["total_tokens"]),
         allocator=str(data["allocator"]),
+    )
+
+
+def online_result_to_dict(res: "OnlineSimResult") -> Dict[str, Any]:
+    """A JSON-safe dict of one online-serving simulation (round-trip)."""
+    out = {
+        "schema_version": ONLINE_SCHEMA_VERSION,
+        "kind": "online_sim",
+        "makespan_s": round_trace_float(res.makespan_s),
+        "prefill_span_s": round_trace_float(res.prefill_span_s),
+        "decode_span_s": round_trace_float(res.decode_span_s),
+        "total_tokens": res.total_tokens,
+        "stage_busy_s": [round_trace_float(b) for b in res.stage_busy_s],
+        "stage_memory_bytes": list(res.stage_memory_bytes),
+        "events_processed": res.events_processed,
+        "arrived": res.arrived,
+        "admitted": res.admitted,
+        "completed": res.completed,
+        "rejected_queue": res.rejected_queue,
+        "rejected_slo": res.rejected_slo,
+        "rejected_oom": res.rejected_oom,
+        "unserved": res.unserved,
+        "groups_formed": res.groups_formed,
+        "ttft_s": [round_trace_float(t) for t in res.ttft_s],
+        "tpot_s": [round_trace_float(t) for t in res.tpot_s],
+        "latency_s": [round_trace_float(t) for t in res.latency_s],
+        "area_request_s": round_trace_float(res.area_request_s),
+        "ttft_slo_s": (
+            None if res.ttft_slo_s is None
+            else round_trace_float(res.ttft_slo_s)
+        ),
+        "sim_backend": res.sim_backend,
+    }
+    # Same convention as sim_result_to_dict: only serialized when set.
+    if res.backend_reason is not None:
+        out["backend_reason"] = res.backend_reason
+    return out
+
+
+def online_result_from_dict(data: Dict[str, Any]) -> "OnlineSimResult":
+    """Reconstruct an :class:`OnlineSimResult` written by
+    :func:`online_result_to_dict`."""
+    from .pipeline.online import OnlineSimResult
+
+    version = data.get("schema_version")
+    if version != ONLINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported online schema version {version!r} "
+            f"(expected {ONLINE_SCHEMA_VERSION})"
+        )
+    ttft_slo = data.get("ttft_slo_s")
+    return OnlineSimResult(
+        makespan_s=float(data["makespan_s"]),
+        prefill_span_s=float(data["prefill_span_s"]),
+        decode_span_s=float(data["decode_span_s"]),
+        total_tokens=int(data["total_tokens"]),
+        stage_busy_s=tuple(float(b) for b in data["stage_busy_s"]),
+        stage_memory_bytes=tuple(
+            int(m) for m in data["stage_memory_bytes"]
+        ),
+        events_processed=int(data["events_processed"]),
+        arrived=int(data["arrived"]),
+        admitted=int(data["admitted"]),
+        completed=int(data["completed"]),
+        rejected_queue=int(data["rejected_queue"]),
+        rejected_slo=int(data["rejected_slo"]),
+        rejected_oom=int(data["rejected_oom"]),
+        unserved=int(data["unserved"]),
+        groups_formed=int(data["groups_formed"]),
+        ttft_s=tuple(float(t) for t in data["ttft_s"]),
+        tpot_s=tuple(float(t) for t in data["tpot_s"]),
+        latency_s=tuple(float(t) for t in data["latency_s"]),
+        area_request_s=float(data["area_request_s"]),
+        ttft_slo_s=None if ttft_slo is None else float(ttft_slo),
+        sim_backend=str(data.get("sim_backend", "event")),
+        backend_reason=data.get("backend_reason"),
     )
 
 

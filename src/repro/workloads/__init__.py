@@ -1,5 +1,14 @@
 """Workload substrate: length distributions, batch synthesis, specs."""
 
+from .arrivals import (
+    ArrivalTrace,
+    Request,
+    bursty_trace,
+    closed_batch_trace,
+    diurnal_trace,
+    poisson_trace,
+    rate_for_daily,
+)
 from .distributions import (
     DATASET_SAMPLERS,
     SHAREGPT_BUCKETS,
@@ -19,6 +28,13 @@ from .generator import (
 from .spec import BatchWorkload, VariableBatchWorkload
 
 __all__ = [
+    "ArrivalTrace",
+    "Request",
+    "bursty_trace",
+    "closed_batch_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "rate_for_daily",
     "DATASET_SAMPLERS",
     "SHAREGPT_BUCKETS",
     "LengthSample",

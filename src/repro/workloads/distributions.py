@@ -43,9 +43,15 @@ class LengthSample:
         return int(self.prompt_lens.size)
 
     def mean_prompt(self) -> float:
+        """Mean prompt length; 0.0 for an empty sample (not NaN)."""
+        if self.n == 0:
+            return 0.0
         return float(self.prompt_lens.mean())
 
     def mean_output(self) -> float:
+        """Mean output length; 0.0 for an empty sample (not NaN)."""
+        if self.n == 0:
+            return 0.0
         return float(self.output_lens.mean())
 
 

@@ -86,8 +86,12 @@ def representative_workload(
     prompts = sorted(b.prompt_len for b in batches)
     outputs = sorted(b.output_len for b in batches)
     mid = len(batches) // 2
+    # When context filtering leaves fewer requests than one full batch,
+    # plan for the largest batch that actually exists — not the phantom
+    # configured size.
+    batch = min(config.batch_size, max(b.batch for b in batches))
     return BatchWorkload(
-        batch=config.batch_size,
+        batch=batch,
         prompt_len=prompts[mid],
         output_len=outputs[mid],
         chunk_tokens=config.chunk_tokens,

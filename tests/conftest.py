@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.costmodel.latency import LatencyCostModel
+
+# Fixed profile for CI: derandomized so property suites are reproducible
+# run-to-run (select with HYPOTHESIS_PROFILE=ci).
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session", autouse=True)

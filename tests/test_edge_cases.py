@@ -125,3 +125,75 @@ def test_channel_pending_count():
     assert ch.pending == 2
     ch.recv(timeout=1.0)
     assert ch.pending == 1
+
+
+# -- workload generator / micro-batch sizing edge cases ------------------
+
+
+def test_empty_sample_means_are_zero_not_nan():
+    """Context filtering can strip every request; stats must stay finite."""
+    from repro.workloads.distributions import LengthSample, sample_dataset
+    from repro.workloads.generator import filter_by_context
+
+    spec = get_model("opt-13b")  # 2048-token context
+    survivors = filter_by_context(sample_dataset("loogle", 64, 0), spec)
+    assert survivors.n == 0
+    assert survivors.mean_prompt() == 0.0
+    assert survivors.mean_output() == 0.0
+
+
+def test_synthesize_rejects_empty_after_filter():
+    from repro.workloads import WorkloadConfig, synthesize_batches
+
+    spec = get_model("opt-13b")
+    with pytest.raises(ValueError, match="fits"):
+        synthesize_batches(spec, WorkloadConfig(dataset="loogle"),
+                           n_requests=64)
+
+
+def test_representative_workload_caps_batch_at_survivors():
+    """Fewer surviving requests than one configured batch: plan for the
+    batch that exists, not the phantom configured size."""
+    from repro.workloads import WorkloadConfig, representative_workload
+
+    spec = get_model("opt-13b")
+    cfg = WorkloadConfig(dataset="sharegpt", batch_size=256)
+    wl = representative_workload(spec, cfg, n_requests=40)
+    assert wl.batch <= 40
+    assert wl.prompt_len + wl.output_len <= spec.max_position_embeddings
+
+
+def test_microbatch_sizes_validation_and_small_totals():
+    from repro.pipeline import microbatch_sizes
+
+    assert microbatch_sizes(0, 8) == []
+    assert microbatch_sizes(3, 8) == [3]  # burst smaller than one micro
+    assert microbatch_sizes(16, 8) == [8, 8]
+    assert microbatch_sizes(19, 8) == [8, 8, 3]
+    with pytest.raises(ValueError):
+        microbatch_sizes(8, 0)
+    with pytest.raises(ValueError):
+        microbatch_sizes(-1, 8)
+
+
+def test_online_burst_smaller_than_microbatch(small_cluster, opt13b):
+    """A lone arrival forms a group far below the plan's micro-batch;
+    prefill and decode must run it as one undersized slice."""
+    from repro.pipeline import OnlineConfig, simulate_online
+    from repro.plan import uniform_plan
+    from repro.workloads import ArrivalTrace, Request
+
+    groups = [((d.device_id,), d.gpu.name) for d in small_cluster.devices]
+    plan = uniform_plan(opt13b.name, opt13b.num_layers, groups, 8, 8, 8)
+    trace = ArrivalTrace(
+        requests=(
+            Request(req_id=0, arrival_s=0.0, prompt_len=64, output_len=4),
+        ),
+        source="test",
+    )
+    res = simulate_online(plan, small_cluster, opt13b, trace,
+                          config=OnlineConfig(chunk_tokens=2048))
+    assert res.completed == 1
+    assert res.groups_formed == 1
+    assert res.total_tokens == 4
+    assert len(res.ttft_s) == 1 and res.ttft_s[0] > 0.0

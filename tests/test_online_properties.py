@@ -1,0 +1,150 @@
+"""Property-based tests of the online serving driver.
+
+Four invariants, checked over randomized arrival traces and admission
+configs (Hypothesis; run derandomized in CI via ``HYPOTHESIS_PROFILE=ci``):
+
+* **Work conservation** — every arrival is accounted for exactly once:
+  ``arrived == completed + rejected + unserved``.
+* **Little's law** — the independently-accumulated time-integral of the
+  in-system request count equals the sum of per-request residency times
+  when everything completes, so ``L == λ·W`` to float tolerance.  The two
+  sides come from different accounting paths in the simulator.
+* **TTFT monotonicity** — tightening the admission queue serves a prefix
+  subset, and in a FIFO no-preemption system removing later work never
+  delays earlier work: per-request TTFT can only improve.
+* **Determinism** — the same trace and config give a bit-identical
+  ``OnlineSimResult`` (``to_dict()`` equality).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import make_cluster
+from repro.models import get_model
+from repro.pipeline import OnlineConfig, simulate_online
+from repro.plan import uniform_plan
+from repro.workloads import ArrivalTrace, Request, poisson_trace
+
+_CLUSTER = make_cluster("prop-2dev", [("T4-16G", 1), ("V100-32G", 1)])
+_SPEC = get_model("opt-13b")
+_PLAN = uniform_plan(
+    _SPEC.name,
+    _SPEC.num_layers,
+    [((d.device_id,), d.gpu.name) for d in _CLUSTER.devices],
+    4, 4, 4,
+)
+
+
+@st.composite
+def traces(draw, max_requests=10, at_t0=False):
+    n = draw(st.integers(min_value=1, max_value=max_requests))
+    reqs = []
+    for i in range(n):
+        if at_t0:
+            t = 0.0
+        else:
+            t = draw(st.floats(min_value=0.0, max_value=5.0,
+                               allow_nan=False, allow_infinity=False))
+        reqs.append(
+            Request(
+                req_id=i,
+                arrival_s=t,
+                prompt_len=draw(st.integers(min_value=16, max_value=512)),
+                output_len=draw(st.integers(min_value=1, max_value=24)),
+            )
+        )
+    reqs.sort(key=lambda r: r.arrival_s)
+    reqs = tuple(
+        Request(req_id=i, arrival_s=r.arrival_s,
+                prompt_len=r.prompt_len, output_len=r.output_len)
+        for i, r in enumerate(reqs)
+    )
+    return ArrivalTrace(requests=reqs, source="hypothesis")
+
+
+_configs = st.builds(
+    OnlineConfig,
+    chunk_tokens=st.sampled_from([256, 512, 2048]),
+    admission=st.just("kv"),
+    max_group_size=st.one_of(st.none(), st.integers(1, 4)),
+    max_queue=st.one_of(st.none(), st.integers(1, 6)),
+    ttft_slo_s=st.one_of(st.none(), st.floats(0.01, 10.0)),
+    horizon_s=st.one_of(st.none(), st.floats(0.0, 4.0)),
+)
+
+
+@given(trace=traces(), config=_configs)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_work_conservation(trace, config):
+    res = simulate_online(_PLAN, _CLUSTER, _SPEC, trace, config=config)
+    assert res.arrived == trace.n_requests
+    assert res.arrived == (
+        res.completed + res.rejected_queue + res.rejected_slo
+        + res.rejected_oom + res.unserved
+    )
+    assert res.admitted == res.completed
+    assert len(res.ttft_s) == len(res.tpot_s) == len(res.latency_s)
+    assert len(res.ttft_s) == res.completed
+
+
+@given(trace=traces())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_littles_law_consistency(trace):
+    """With no admission limits, everything completes and the running
+    area integral must equal the summed residencies: L == λ·W."""
+    res = simulate_online(
+        _PLAN, _CLUSTER, _SPEC, trace,
+        config=OnlineConfig(chunk_tokens=512, admission="kv"),
+    )
+    assert res.completed == trace.n_requests
+    total_residency = sum(res.latency_s)
+    assert math.isclose(res.area_request_s, total_residency,
+                        rel_tol=1e-9, abs_tol=1e-12)
+    if res.makespan_s > 0:
+        lam = res.completed / res.makespan_s
+        w = total_residency / res.completed
+        assert math.isclose(res.mean_concurrency, lam * w,
+                            rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(trace=traces(at_t0=True, max_requests=8),
+       tight=st.integers(1, 4), extra=st.integers(1, 6))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_ttft_monotone_under_tightened_admission(trace, tight, extra):
+    """Admitting fewer requests never worsens TTFT for the survivors."""
+    loose_cfg = OnlineConfig(chunk_tokens=512, admission="kv",
+                             max_queue=tight + extra)
+    tight_cfg = OnlineConfig(chunk_tokens=512, admission="kv",
+                             max_queue=tight)
+    loose = simulate_online(_PLAN, _CLUSTER, _SPEC, trace, config=loose_cfg)
+    tighter = simulate_online(_PLAN, _CLUSTER, _SPEC, trace,
+                              config=tight_cfg)
+    # With all arrivals at t=0 a queue cap admits a FIFO prefix, so the
+    # tight run's completions are a subset of the loose run's.
+    assert tighter.completed <= loose.completed
+    for i in range(tighter.completed):
+        assert tighter.ttft_s[i] <= loose.ttft_s[i] + 1e-9
+
+
+@given(seed=st.integers(0, 2**16), rate=st.floats(0.5, 8.0))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_seed_determinism(seed, rate):
+    trace = poisson_trace(rate_per_s=rate, duration_s=4.0, seed=seed,
+                          max_prompt_len=512, max_output_len=16)
+    cfg = OnlineConfig(chunk_tokens=512, admission="kv", ttft_slo_s=30.0)
+    a = simulate_online(_PLAN, _CLUSTER, _SPEC, trace, config=cfg)
+    b = simulate_online(_PLAN, _CLUSTER, _SPEC, trace, config=cfg)
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+    # And the trace generator itself is seed-deterministic.
+    again = poisson_trace(rate_per_s=rate, duration_s=4.0, seed=seed,
+                          max_prompt_len=512, max_output_len=16)
+    assert again == trace

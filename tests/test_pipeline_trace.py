@@ -82,10 +82,10 @@ def test_render_gantt_custom_labels(timeline):
 
 def test_server_class_restored_after_trace(small_cluster, opt13b,
                                            small_workload):
-    from repro.pipeline import simulator as sim_module
+    from repro.pipeline import topology as topo_module
     from repro.pipeline.events import Server
 
-    assert sim_module.Server is Server
+    assert topo_module.Server is Server
 
 
 # ---------------------------------------------------------------------------
