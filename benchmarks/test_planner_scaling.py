@@ -46,7 +46,7 @@ def test_planner_scaling():
     fast = planner.plan(workload)
     t_fast = time.perf_counter() - t0
     t0 = time.perf_counter()
-    naive = planner.plan_naive(workload)
+    naive = planner.plan_reference(workload)
     t_naive = time.perf_counter() - t0
 
     assert fast is not None and naive is not None

@@ -15,7 +15,7 @@ that idle capacity:
 4. replays both schedules through the discrete-event fleet simulator
    and verifies the beam allocator beats greedy on aggregate tokens/s,
 5. kills one GPU of the busiest job mid-schedule and repairs the
-   schedule (degrade-and-replan via ``reduced_cluster``),
+   schedule (degrade-and-replan via ``planner.replan`` + ``ClusterDelta``),
 6. reports the headline metric: idle GPU-hours reclaimed vs the Fig. 1
    baseline.
 

@@ -23,6 +23,15 @@ compares them against the records committed under ``benchmarks/``:
   Table-VI planner frontier and the 25-GPU fleet probe frontier.  Same
   same-machine ratio comparison, with a hard floor of 10x per frontier
   and bit-identical results as a structural invariant.
+* ``BENCH_planner_scale.json`` — the scalable planning tier.  The guard
+  re-measures the cheap sections (the 1000-GPU DP plan and the
+  incremental-vs-cold re-solve; the 100-job fleet schedule is
+  nightly-only) and enforces the hard contracts: auto routing lands on
+  the DP tier, the certified gap bound stays inside ``[1, 25)`` and
+  within tolerance of the committed bound, and the incremental re-solve
+  beats a cold re-plan by >= 3x while keeping >= half its throughput.
+  The raw incremental speedup (~1000x) is reported, not gated — the
+  numerator is milliseconds and CI-noise dominated.
 
 Structural invariants (plan parity between the two search paths, the
 pruner actually pruning, the memo actually hitting) fail the guard
@@ -88,7 +97,7 @@ def measure_planner() -> dict:
     fast = planner.plan(workload)
     engine_wall_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    naive = planner.plan_naive(workload)
+    naive = planner.plan_reference(workload)
     naive_wall_s = time.perf_counter() - t0
     assert fast is not None and naive is not None
     s = fast.search
@@ -170,6 +179,27 @@ def measure_batchsim() -> dict:
     return out
 
 
+def measure_planner_scale() -> dict:
+    """Fresh DP-tier gap + incremental-vs-cold from the scale bench.
+
+    Reuses the bench's own section helpers, so their hard floors
+    (incremental >= 3x cold at >= half the throughput, gap bound inside
+    ``[1, 25)``, DP plan under its wall budget) fail the guard outright
+    via ``AssertionError``.
+    """
+    sys.path.insert(0, str(REPO))
+    from benchmarks.test_planner_scale import (  # noqa: E402
+        _dp_large_cluster,
+        _incremental_vs_cold,
+    )
+
+    return {
+        "bench": "planner_scale",
+        "dp_large_cluster": _dp_large_cluster(),
+        "incremental_vs_cold": _incremental_vs_cold(),
+    }
+
+
 def _per_op_s(fn, n: int = 50_000) -> float:
     best = float("inf")
     for _ in range(3):
@@ -245,6 +275,9 @@ def main(argv=None) -> int:
     baseline_sim = json.loads((BENCH_DIR / "BENCH_sim.json").read_text())
     baseline_batchsim = json.loads(
         (BENCH_DIR / "BENCH_batchsim.json").read_text()
+    )
+    baseline_scale = json.loads(
+        (BENCH_DIR / "BENCH_planner_scale.json").read_text()
     )
 
     failures: list[str] = []
@@ -322,6 +355,38 @@ def main(argv=None) -> int:
                 f"(baseline {base['speedup']:.2f}x)"
             )
 
+    fresh_scale = measure_planner_scale()
+    fresh_dp = fresh_scale["dp_large_cluster"]
+    fresh_inc = fresh_scale["incremental_vs_cold"]
+    base_dp = baseline_scale["dp_large_cluster"]
+    base_inc = baseline_scale["incremental_vs_cold"]
+    gap_ceiling = base_dp["gap_bound"] * (1.0 + args.tolerance)
+    print(
+        f"planner-scale DP gap bound: fresh {fresh_dp['gap_bound']:.3f} "
+        f"vs baseline {base_dp['gap_bound']:.3f} "
+        f"(ceiling {gap_ceiling:.3f})"
+    )
+    print(
+        f"planner-scale incremental speedup: fresh "
+        f"{fresh_inc['speedup']:.0f}x vs baseline "
+        f"{base_inc['speedup']:.0f}x (hard floor 3x; drift not gated)"
+    )
+    if fresh_dp["tier"] != "dp":
+        failures.append(
+            f"auto routing sent the 1000-GPU plan to the "
+            f"{fresh_dp['tier']!r} tier, not 'dp'"
+        )
+    if fresh_dp["gap_bound"] > gap_ceiling:
+        failures.append(
+            f"DP gap bound loosened: {fresh_dp['gap_bound']:.3f} > "
+            f"ceiling {gap_ceiling:.3f} (baseline "
+            f"{base_dp['gap_bound']:.3f})"
+        )
+    if baseline_scale["fleet_schedule"]["unscheduled"] != 0:
+        failures.append(
+            "committed planner-scale baseline left fleet jobs unscheduled"
+        )
+
     record = {
         "tolerance": args.tolerance,
         "planner": fresh_planner,
@@ -334,6 +399,11 @@ def main(argv=None) -> int:
         "batchsim_baseline_speedups": {
             f: baseline_batchsim[f]["speedup"]
             for f in ("planner_frontier", "fleet_frontier")
+        },
+        "planner_scale": fresh_scale,
+        "planner_scale_baseline": {
+            "gap_bound": base_dp["gap_bound"],
+            "incremental_speedup": base_inc["speedup"],
         },
         "failures": failures,
     }

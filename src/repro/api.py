@@ -154,12 +154,47 @@ class Session:
     # The three phases
     # ------------------------------------------------------------------
 
-    def plan(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+    def plan(
+        self, workload: BatchWorkload, *, tier: Optional[str] = None
+    ) -> Optional[PlannerResult]:
         """Run the SplitQuant assigner; remembers the plan for
-        :meth:`simulate` / :meth:`serve`.  ``None`` when nothing fits."""
+        :meth:`simulate` / :meth:`serve`.  ``None`` when nothing fits.
+
+        ``tier`` selects the planning tier for this call (``"exact"``,
+        ``"dp"`` or ``"auto"``); ``None`` defers to ``config.tier``.  See
+        :meth:`repro.core.SplitQuantPlanner.plan`.
+        """
         with self._scope():
-            result = self.planner.plan(workload)
+            result = self.planner.plan(workload, tier=tier)
         self._last_workload = workload
+        self._last_result = result
+        return result
+
+    def replan(
+        self,
+        delta,
+        prev: Optional[PlannerResult] = None,
+        *,
+        workload: Optional[BatchWorkload] = None,
+    ) -> PlannerResult:
+        """Incremental re-solve after a cluster or job change.
+
+        ``delta`` is a :class:`repro.core.ClusterDelta` or
+        :class:`repro.core.JobDelta`; ``prev`` defaults to the session's
+        last planning result.  The returned result becomes the session's
+        remembered plan.  See :meth:`repro.core.SplitQuantPlanner.replan`.
+        """
+        previous = prev if prev is not None else self._last_result
+        if previous is None:
+            raise ValueError(
+                "no previous result: pass prev= or call Session.plan() first"
+            )
+        with self._scope():
+            result = self.planner.replan(
+                previous, delta, workload=workload
+            )
+        if result.workload is not None:
+            self._last_workload = result.workload
         self._last_result = result
         return result
 

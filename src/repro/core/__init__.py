@@ -2,10 +2,12 @@
 
 from .config import PlannerConfig
 from .costs import PlanningProblem, StageGroup, build_problem, group_layers
+from .dp import DPOutcome, dp_search, flow_relaxed_span, segment_partition
 from .enumeration import (
     candidate_orderings,
     microbatch_candidates,
     node_tp_groupings,
+    scalable_orderings,
 )
 from .exhaustive import brute_force_solve
 from .heuristic import bitwidth_transfer
@@ -23,6 +25,7 @@ from .planner import (
     reduced_cluster,
     solution_to_plan,
 )
+from .replan import ClusterDelta, JobDelta, replan_incremental
 from .search import (
     CandidateSearchEngine,
     SearchOutcome,
@@ -37,15 +40,23 @@ __all__ = [
     "StageGroup",
     "build_problem",
     "group_layers",
+    "DPOutcome",
+    "dp_search",
+    "flow_relaxed_span",
+    "segment_partition",
     "candidate_orderings",
     "microbatch_candidates",
     "node_tp_groupings",
+    "scalable_orderings",
     "brute_force_solve",
     "bitwidth_transfer",
     "ILPSolution",
     "solve_adabits",
     "solve_partition_ilp",
     "solve_partition_lp_relaxation",
+    "ClusterDelta",
+    "JobDelta",
+    "replan_incremental",
     "CandidateSearchEngine",
     "SearchOutcome",
     "SearchStats",

@@ -19,6 +19,18 @@ class PlannerConfig:
     """
 
     bit_choices: Tuple[int, ...] = (3, 4, 8, 16)
+    #: Planning tier: ``"exact"`` runs the enumerating candidate search
+    #: (MILP or hill-climb per candidate), ``"dp"`` the scalable
+    #: DP-over-contiguous-segments planner, ``"auto"`` routes by instance
+    #: size (exact up to ``auto_exact_max_devices`` GPUs, DP beyond).
+    tier: str = "auto"
+    #: Largest cluster (device count) ``tier="auto"`` still plans exactly.
+    auto_exact_max_devices: int = 8
+    #: Stage-count prefixes the DP tier tries per ordering (ranked by the
+    #: flow relaxation); higher explores more pipeline depths.
+    dp_prefix_candidates: int = 3
+    #: Hill-climb polish iterations after the segment DP (0 disables).
+    dp_polish_iters: int = 40
     theta: float = 10.0
     quality_budget: Optional[float] = None
     group_size: int = 2
@@ -73,3 +85,11 @@ class PlannerConfig:
             raise ValueError(
                 "bound must be one of 'auto', 'lp', 'analytic', 'none'"
             )
+        if self.tier not in ("auto", "exact", "dp"):
+            raise ValueError("tier must be one of 'auto', 'exact', 'dp'")
+        if self.auto_exact_max_devices <= 0:
+            raise ValueError("auto_exact_max_devices must be positive")
+        if self.dp_prefix_candidates <= 0:
+            raise ValueError("dp_prefix_candidates must be positive")
+        if self.dp_polish_iters < 0:
+            raise ValueError("dp_polish_iters must be non-negative")

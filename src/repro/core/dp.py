@@ -1,0 +1,502 @@
+"""The scalable DP planning tier (ROADMAP item 2, ``tier="dp"``).
+
+The exact tier enumerates GPU-group *permutations* and solves a MILP (or
+hill climb) per candidate — fine for the paper's <= 10-GPU clusters,
+hopeless for fleet-scale instances.  This module plans the same joint
+partition / quantization / micro-batch problem in polynomial time:
+
+1. **Orderings without permutations** —
+   :func:`~repro.core.enumeration.scalable_orderings` builds a handful of
+   heuristically sorted stage-group sequences in ``O(D log D)``.  Small
+   instances keep the exact tier's :func:`candidate_orderings` so the two
+   tiers search the same space (and agree bit-for-bit where the
+   assignment is forced).
+2. **Flow-style depth relaxation** — for each ordering the pipeline
+   depth (how many leading groups become stages) is ranked by a
+   fractional water-filling relaxation of the analytic latency formula
+   (:func:`flow_relaxed_span`): layer mass splits across stages in
+   proportion to their rates, memory and integrality dropped.  Only the
+   best few depths are solved, Helix-style.
+3. **Segment DP** — stages are contiguous layer ranges, so the min-bits
+   partition is a classic min-max contiguous-partition DP over layer
+   groups (``O(stages * groups^2)``), memory-checked per stage.
+4. **Bit upgrades + polish** — per-stage greedy bit upgrades by quality
+   gain (the MCKP direction of :func:`greedy_adabits`) meet the quality
+   budget, then a capped :func:`bitwidth_transfer` hill climb polishes
+   partition boundaries and bitwidths against the true objective.
+
+No MILP solve happens anywhere on this path.  Every solved candidate also
+gets the admissible :func:`~repro.core.search.analytic_lower_bound`
+(MCKP + structural bounds), and the reported
+:attr:`DPOutcome.gap_bound` — best DP score over the best lower bound —
+certifies the optimality gap over the enumerated candidate set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.latency import LatencyCostModel
+from ..hardware.cluster import ClusterSpec
+from ..models import layers as _L
+from ..models.architectures import ModelSpec
+from ..obs import metrics, trace
+from ..pipeline.stage import CostModelTiming
+from ..workloads.spec import BatchWorkload
+from .config import PlannerConfig
+from .costs import (
+    PlanningProblem,
+    StageGroup,
+    build_problem,
+    group_layers,
+    problem_invariants,
+)
+from .enumeration import (
+    candidate_orderings,
+    microbatch_candidates,
+    scalable_orderings,
+)
+from .heuristic import bitwidth_transfer
+from .ilp import ILPSolution
+from .search import CandidateStat, SearchStats, analytic_lower_bound
+
+__all__ = [
+    "DPOutcome",
+    "dp_search",
+    "flow_relaxed_span",
+    "segment_partition",
+]
+
+
+@dataclass(frozen=True)
+class DPOutcome:
+    """What the DP tier hands back to the planner's shared tail."""
+
+    #: Candidates ranked by score, same tuple shape as the exact search.
+    ranked: List[tuple]
+    stats: Tuple[CandidateStat, ...]
+    search: SearchStats
+    #: ``best_score / best_lower_bound`` over the enumerated candidates
+    #: (>= 1); ``None`` when nothing was solved or the bound degenerates.
+    gap_bound: Optional[float]
+
+
+def flow_relaxed_span(
+    u_pre: np.ndarray,
+    u_dec: np.ndarray,
+    comm_pre: np.ndarray,
+    comm_dec: np.ndarray,
+    num_layers: int,
+    prefill_jobs: int,
+    mu_dec: int,
+    output_len: int,
+) -> float:
+    """Fractional (flow-style) relaxation of the analytic pipeline span.
+
+    Layer mass splits continuously across stages so every stage's compute
+    time equalizes at ``L / sum(1/u_j)`` (water-filling on rates) —
+    memory, integrality and per-stage constants dropped.  Mirrors
+    :meth:`PlanningProblem.latency_estimate` on that relaxed assignment,
+    so it ranks pipeline depths (more stages cut the bottleneck, more
+    boundaries add communication) in real seconds.
+    """
+    inv_pre = float(np.sum(1.0 / np.maximum(u_pre, 1e-12)))
+    inv_dec = float(np.sum(1.0 / np.maximum(u_dec, 1e-12)))
+    b_pre = num_layers / inv_pre
+    b_dec = num_layers / inv_dec
+    n_stages = len(u_pre)
+    comm_pre_max = float(comm_pre.max()) if comm_pre.size else 0.0
+    comm_dec_max = float(comm_dec.max()) if comm_dec.size else 0.0
+    prefill_span = n_stages * b_pre + float(comm_pre.sum()) + (
+        prefill_jobs - 1
+    ) * max(b_pre, comm_pre_max)
+    round_trip = n_stages * b_dec + float(comm_dec.sum())
+    decode_span = (output_len - 1) * max(
+        mu_dec * max(b_dec, comm_dec_max), round_trip
+    )
+    return prefill_span + decode_span
+
+
+def _prefix_depths(
+    ordering: Tuple[StageGroup, ...],
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    timing: CostModelTiming,
+    config: PlannerConfig,
+    max_depth: int,
+) -> List[int]:
+    """Pipeline depths worth solving, ranked by the flow relaxation.
+
+    Depths shallower than the min-bits capacity floor are skipped; the
+    survivors are scored with :func:`flow_relaxed_span` and the best
+    ``config.dp_prefix_candidates`` (always including ``max_depth``) are
+    solved exactly by the segment DP.
+    """
+    min_bits = min(config.bit_choices)
+    per_layer = _L.weight_storage_bytes(spec, min_bits)
+    need = spec.num_layers * per_layer
+    chunk = workload.chunk_len
+    avg_ctx = workload.prompt_len + workload.output_len // 2
+    mbs = microbatch_candidates(workload.batch, config.microbatch_candidates)
+    eta = xi = mbs[-1]
+    mu_dec = -(-workload.batch // xi)
+    prefill_jobs = -(-workload.batch // eta) * workload.kappa
+
+    by_id = {d.device_id: d for d in cluster.devices}
+    u_pre = np.array(
+        [
+            timing.prefill(sg.gpu, min_bits, eta, chunk, sg.tp_degree)
+            for sg in ordering[:max_depth]
+        ]
+    )
+    u_dec = np.array(
+        [
+            timing.decode(sg.gpu, min_bits, xi, avg_ctx, sg.tp_degree)
+            for sg in ordering[:max_depth]
+        ]
+    )
+    pre_bytes = _L.hidden_state_bytes(spec, eta, chunk)
+    dec_bytes = _L.hidden_state_bytes(spec, xi, 1)
+    comm_pre = np.zeros(max(max_depth - 1, 0))
+    comm_dec = np.zeros(max(max_depth - 1, 0))
+    for j in range(max_depth - 1):
+        link = cluster.link_between(
+            by_id[ordering[j].device_ids[0]],
+            by_id[ordering[j + 1].device_ids[0]],
+        )
+        comm_pre[j] = link.transfer_time(pre_bytes)
+        comm_dec[j] = link.transfer_time(dec_bytes)
+
+    capacity = 0.0
+    scored: List[Tuple[float, int]] = []
+    for n in range(1, max_depth + 1):
+        capacity += ordering[n - 1].capacity_bytes
+        if capacity < need:
+            continue
+        span = flow_relaxed_span(
+            u_pre[:n],
+            u_dec[:n],
+            comm_pre[: n - 1],
+            comm_dec[: n - 1],
+            spec.num_layers,
+            prefill_jobs,
+            mu_dec,
+            workload.output_len,
+        )
+        scored.append((span, n))
+    scored.sort()
+    depths = {n for _, n in scored[: config.dp_prefix_candidates]}
+    depths.add(max_depth)  # the full prefix is always a candidate
+    return sorted(depths)
+
+
+def segment_partition(
+    problem: PlanningProblem,
+) -> Optional[List[int]]:
+    """Min-max contiguous partition of the layer groups at min bits.
+
+    ``dp[j][g]`` is the best achievable bottleneck stage load placing the
+    first ``g`` layer groups on the first ``j + 1`` stages (every stage
+    non-empty, per-stage min-bits memory respected).  The load proxy
+    weighs prefill and decode stage times by how often the pipeline
+    replays them — the hill-climb polish then optimizes the true
+    objective.  Returns the per-group stage assignment or ``None`` when
+    no memory-feasible partition exists.
+    """
+    G, N = problem.n_groups, problem.n_stages
+    if G < N:
+        return None
+    w_pre = float(problem.prefill_jobs)
+    w_dec = float(max(problem.workload.output_len - 1, 1) * problem.mu_dec)
+    # Prefix sums over layer groups of min-bits stage time / memory.
+    pre_cs = np.zeros((N, G + 1))
+    dec_cs = np.zeros((N, G + 1))
+    for j in range(N):
+        pre_cs[j, 1:] = np.cumsum(problem.l_pre[:, j, 0])
+        dec_cs[j, 1:] = np.cumsum(problem.l_dec[:, j, 0])
+    mem_cs = np.concatenate([[0.0], np.cumsum(problem.mem[:, 0])])
+
+    def load(a: int, b: int, j: int) -> float:
+        t_pre = problem.const_pre[j] + pre_cs[j, b] - pre_cs[j, a]
+        t_dec = problem.const_dec[j] + dec_cs[j, b] - dec_cs[j, a]
+        return w_pre * t_pre + w_dec * t_dec
+
+    def fits(a: int, b: int, j: int) -> bool:
+        return mem_cs[b] - mem_cs[a] <= problem.capacity[j] + 1e-6
+
+    INF = float("inf")
+    dp = np.full((N, G + 1), INF)
+    parent = np.zeros((N, G + 1), dtype=int)
+    for g in range(1, G - N + 2):
+        if fits(0, g, 0):
+            dp[0, g] = load(0, g, 0)
+    for j in range(1, N):
+        # First g leaves room for one group per remaining stage.
+        for g in range(j + 1, G - (N - 1 - j) + 1):
+            best, arg = INF, -1
+            for a in range(j, g):
+                if dp[j - 1, a] >= INF or not fits(a, g, j):
+                    continue
+                val = max(dp[j - 1, a], load(a, g, j))
+                if val < best:
+                    best, arg = val, a
+            dp[j, g] = best
+            parent[j, g] = arg
+    if not np.isfinite(dp[N - 1, G]):
+        return None
+    stage = [0] * G
+    g = G
+    for j in range(N - 1, 0, -1):
+        a = int(parent[j, g])
+        for i in range(a, g):
+            stage[i] = j
+        g = a
+    return stage
+
+
+def _upgrade_bits(
+    problem: PlanningProblem,
+    stage: Sequence[int],
+    quality_budget: Optional[float],
+) -> Optional[List[int]]:
+    """Greedy per-stage bit upgrades by quality gain within memory slack.
+
+    The MCKP direction of :func:`greedy_adabits`, applied to the DP
+    partition: every group starts at min bits and the upgrade with the
+    best indicator reduction that still fits its stage is taken until no
+    upgrade fits.  ``None`` when the quality budget stays violated.
+    """
+    G, N, K = problem.n_groups, problem.n_stages, problem.n_bits
+    kidx = [0] * G
+    for j in range(N):
+        gs = [g for g in range(G) if stage[g] == j]
+        slack = float(
+            problem.capacity[j] - sum(problem.mem[g, 0] for g in gs)
+        )
+        while True:
+            best_g, best_gain, best_cost = -1, 0.0, 0.0
+            for g in gs:
+                k = kidx[g]
+                if k + 1 >= K:
+                    continue
+                cost = problem.mem[g, k + 1] - problem.mem[g, k]
+                if cost > slack:
+                    continue
+                gain = problem.omega[g, k] - problem.omega[g, k + 1]
+                if gain > best_gain:
+                    best_g, best_gain, best_cost = g, gain, cost
+            if best_g < 0:
+                break
+            kidx[best_g] += 1
+            slack -= best_cost
+    quality = float(sum(problem.omega[g, kidx[g]] for g in range(G)))
+    if quality_budget is not None and quality > quality_budget + 1e-12:
+        return None
+    return kidx
+
+
+def solve_segment_dp(
+    problem: PlanningProblem,
+    theta: float,
+    quality_budget: Optional[float],
+    config: PlannerConfig,
+) -> Optional[ILPSolution]:
+    """One DP-tier solve: partition DP + bit upgrades + hill-climb polish."""
+    stage = segment_partition(problem)
+    if stage is None:
+        return None
+    kidx = _upgrade_bits(problem, stage, quality_budget)
+    if kidx is None:
+        return None
+    bits = tuple(problem.bit_choices[k] for k in kidx)
+    sol = ILPSolution(
+        assign_stage=tuple(stage),
+        assign_bits=bits,
+        objective=problem.latency_estimate(stage, bits)
+        + theta * problem.quality_sum(bits),
+        latency_s=problem.latency_estimate(stage, bits),
+        quality=problem.quality_sum(bits),
+        solve_time_s=0.0,
+        status="dp",
+    )
+    if config.dp_polish_iters > 0:
+        polished = bitwidth_transfer(
+            problem,
+            theta=theta,
+            quality_budget=quality_budget,
+            time_limit_s=config.time_limit_s,
+            max_iters=config.dp_polish_iters,
+            start=sol,
+        )
+        if polished is not None:
+            sol = replace(polished, status="dp")
+    return sol
+
+
+def dp_search(
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    config: PlannerConfig,
+    omega_layers: np.ndarray,
+    cost_model_for_kv: Callable[[int], LatencyCostModel],
+    workload: BatchWorkload,
+) -> DPOutcome:
+    """Run the DP tier over the pruned candidate grid.
+
+    Enumerates (KV bits, ordering, pipeline depth, eta, xi) exactly like
+    the exact tier's outer loops — same loop order, so equal-score ties
+    resolve identically — but solves each candidate with the polynomial
+    segment DP instead of a MILP.  Small clusters reuse the exact tier's
+    ordering enumeration (full depth only), so where the assignment is
+    forced the two tiers return bit-identical plans.
+    """
+    t0 = time.perf_counter()
+    cfg = config
+    theta = 0.0 if cfg.quality_budget is not None else cfg.theta
+    n_layer_groups = len(group_layers(spec.num_layers, cfg.group_size))
+    small = len(cluster.devices) <= cfg.auto_exact_max_devices
+    if small:
+        orderings = candidate_orderings(
+            cluster, enable_tp=cfg.enable_tp, max_orderings=cfg.max_orderings
+        )
+    else:
+        orderings = scalable_orderings(
+            cluster, enable_tp=cfg.enable_tp, max_orderings=cfg.max_orderings
+        )
+    mbs = microbatch_candidates(workload.batch, cfg.microbatch_candidates)
+    kv_choices = cfg.kv_bit_choices or (cfg.bit_kv,)
+    min_weights = spec.num_layers * _L.weight_storage_bytes(
+        spec, min(cfg.bit_choices)
+    )
+
+    stats: List[CandidateStat] = []
+    candidates: List[tuple] = []
+    enumerated = solved = infeasible = 0
+    bound_time = 0.0
+    cum_solve = 0.0
+    best_lb = float("inf")
+    tightness: List[float] = []
+
+    for bit_kv in kv_choices:
+        cost_model = cost_model_for_kv(bit_kv)
+        timing = CostModelTiming(cost_model=cost_model, spec=spec)
+        for ordering in orderings:
+            max_depth = min(len(ordering), n_layer_groups)
+            if small:
+                # Mirror the exact tier's search space: every ordering
+                # uses all of its stage groups.
+                depths = [len(ordering)]
+            else:
+                depths = _prefix_depths(
+                    ordering, cluster, spec, workload, timing, cfg, max_depth
+                )
+            for depth in depths:
+                prefix = ordering[:depth]
+                if min_weights > sum(sg.capacity_bytes for sg in prefix):
+                    continue
+                invariants = problem_invariants(
+                    spec,
+                    cluster,
+                    prefix,
+                    workload,
+                    omega_layers,
+                    cfg.bit_choices,
+                    group_size=cfg.group_size,
+                    bit_kv=bit_kv,
+                )
+                key = tuple(sg.key() for sg in prefix)
+                for eta in mbs:
+                    for xi in mbs:
+                        if cfg.tie_microbatches and xi != eta:
+                            continue
+                        enumerated += 1
+                        problem = build_problem(
+                            spec,
+                            cluster,
+                            prefix,
+                            workload,
+                            cost_model,
+                            omega_layers,
+                            eta,
+                            xi,
+                            cfg.bit_choices,
+                            group_size=cfg.group_size,
+                            bit_kv=bit_kv,
+                            phase_blind=cfg.phase_blind,
+                            timing=timing,
+                            invariants=invariants,
+                        )
+                        ts = time.perf_counter()
+                        sol = solve_segment_dp(
+                            problem, theta, cfg.quality_budget, cfg
+                        )
+                        cum_solve += time.perf_counter() - ts
+                        solved += 1
+                        if sol is None:
+                            infeasible += 1
+                            stats.append(
+                                CandidateStat(
+                                    key, eta, xi, "infeasible", 0.0, 0.0, 0.0
+                                )
+                            )
+                            continue
+                        tb = time.perf_counter()
+                        lb = analytic_lower_bound(
+                            problem, theta, cfg.quality_budget
+                        )
+                        bound_time += time.perf_counter() - tb
+                        best_lb = min(best_lb, lb)
+                        stats.append(
+                            CandidateStat(
+                                key,
+                                eta,
+                                xi,
+                                sol.status,
+                                sol.latency_s,
+                                sol.quality,
+                                sol.solve_time_s,
+                            )
+                        )
+                        score = sol.latency_s + theta * sol.quality
+                        if score > 0:
+                            tightness.append(min(lb / score, 1.0))
+                        candidates.append(
+                            (score, sol, prefix, problem.group_sizes,
+                             eta, xi, bit_kv)
+                        )
+
+    candidates.sort(key=lambda c: c[0])  # stable: ties keep loop order
+    gap_bound: Optional[float] = None
+    if candidates and np.isfinite(best_lb) and best_lb > 0:
+        gap_bound = float(candidates[0][0] / best_lb)
+    search = SearchStats(
+        enumerated=enumerated,
+        solved=solved,
+        pruned=0,
+        infeasible=infeasible,
+        cache_hits=0,
+        cache_misses=0,
+        lp_bounds=0,
+        warm_starts=0,
+        mean_bound_tightness=(
+            float(np.mean(tightness)) if tightness else 0.0
+        ),
+        wall_time_s=time.perf_counter() - t0,
+        cum_solve_time_s=cum_solve,
+        bound_time_s=bound_time,
+        parallelism=1,
+    )
+    if trace.enabled:
+        metrics.counter("planner.dp_searches").inc()
+        metrics.counter("planner.dp_candidates").inc(enumerated)
+    return DPOutcome(
+        ranked=candidates,
+        stats=tuple(stats),
+        search=search,
+        gap_bound=gap_bound,
+    )

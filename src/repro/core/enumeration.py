@@ -95,6 +95,83 @@ def candidate_orderings(
     return [o for _, o in scored[:max_orderings]]
 
 
+def _greedy_tp_partition(n: int) -> Tuple[int, ...]:
+    """Largest-first power-of-two partition of ``n`` (one partition only)."""
+    out: List[int] = []
+    remaining = n
+    for p in _TP_SIZES:
+        while p <= remaining:
+            out.append(p)
+            remaining -= p
+    return tuple(out)
+
+
+def _node_groups(
+    devices: Sequence[Device], tp: bool
+) -> List[StageGroup]:
+    """One grouping of a node's devices: solo GPUs or greedy max-TP."""
+    gpu = devices[0].gpu
+    ids = [d.device_id for d in devices]
+    part = _greedy_tp_partition(len(devices)) if tp else (1,) * len(devices)
+    groups: List[StageGroup] = []
+    cursor = 0
+    for size in part:
+        groups.append(
+            StageGroup(device_ids=tuple(ids[cursor : cursor + size]), gpu=gpu)
+        )
+        cursor += size
+    return groups
+
+
+def scalable_orderings(
+    cluster: ClusterSpec,
+    enable_tp: bool = True,
+    max_orderings: int = 24,
+) -> List[Tuple[StageGroup, ...]]:
+    """Heuristic stage orderings without permutation enumeration.
+
+    :func:`candidate_orderings` takes the product of per-node TP
+    groupings and then permutes the groups — exponential in the group
+    count, hopeless beyond ~8 stage groups.  This constructor builds a
+    handful of orderings in ``O(D log D)``: per node either solo GPUs or
+    one greedy max-TP grouping, node blocks kept contiguous (zero extra
+    cross-node hops) and sorted by a per-variant heuristic — roomiest
+    node first (embedding residency), fastest node first (bottleneck
+    stage), or memory-per-compute first.  The DP tier consumes prefixes
+    of these orderings, so putting the strongest groups first matters
+    more than the exact tail order.
+    """
+    per_node = list(cluster.nodes().values())
+
+    def node_key_capacity(devs: Sequence[Device]) -> float:
+        return -float(sum(d.gpu.usable_mem_bytes for d in devs))
+
+    def node_key_compute(devs: Sequence[Device]) -> float:
+        return -float(sum(d.gpu.compute_tflops(16) for d in devs))
+
+    def node_key_balance(devs: Sequence[Device]) -> float:
+        return -float(devs[0].gpu.flops_per_byte)
+
+    variants = [node_key_capacity, node_key_compute, node_key_balance]
+    tp_options = [False, True] if enable_tp else [False]
+    seen: set = set()
+    out: List[Tuple[StageGroup, ...]] = []
+    for tp in tp_options:
+        for key in variants:
+            nodes = sorted(per_node, key=key)
+            ordering = tuple(
+                g for devs in nodes for g in _node_groups(devs, tp)
+            )
+            dedup = tuple(sg.key() for sg in ordering)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            out.append(ordering)
+            if len(out) >= max_orderings:
+                return out
+    return out
+
+
 def microbatch_candidates(
     batch: int, given: Iterable[int] | None = None, max_candidates: int = 4
 ) -> Tuple[int, ...]:

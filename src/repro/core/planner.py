@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,10 +50,25 @@ __all__ = [
 def reduced_cluster(
     cluster: ClusterSpec, surviving_device_ids: Sequence[int]
 ) -> ClusterSpec:
+    """Deprecated shim: use :meth:`SplitQuantPlanner.replan` with a
+    :class:`~repro.core.replan.ClusterDelta` (or :func:`_reduced_cluster`
+    internally)."""
+    warnings.warn(
+        "repro.core.planner.reduced_cluster is deprecated; use "
+        "SplitQuantPlanner.replan(prev, ClusterDelta(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _reduced_cluster(cluster, surviving_device_ids)
+
+
+def _reduced_cluster(
+    cluster: ClusterSpec, surviving_device_ids: Sequence[int]
+) -> ClusterSpec:
     """The cluster restricted to the surviving devices.
 
-    The degrade-and-replan entry point plans against this after GPU
-    failures.  Raises :class:`InfeasibleError` when nothing survives.
+    The degrade-and-replan path plans against this after GPU failures.
+    Raises :class:`InfeasibleError` when nothing survives.
     """
     surviving = set(surviving_device_ids)
     devices = tuple(d for d in cluster.devices if d.device_id in surviving)
@@ -69,6 +84,27 @@ def reduced_cluster(
 
 
 def degrade_execution_plan(
+    plan: ExecutionPlan,
+    surviving_device_ids: Sequence[int],
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> ExecutionPlan:
+    """Deprecated shim: use :meth:`SplitQuantPlanner.replan` with a
+    :class:`~repro.core.replan.ClusterDelta` (the incremental repair path
+    runs this plan-level degrade as its first candidate)."""
+    warnings.warn(
+        "repro.core.planner.degrade_execution_plan is deprecated; use "
+        "SplitQuantPlanner.replan(prev, ClusterDelta(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return degrade_execution_plan_internal(
+        plan, surviving_device_ids, cluster, spec, workload
+    )
+
+
+def degrade_execution_plan_internal(
     plan: ExecutionPlan,
     surviving_device_ids: Sequence[int],
     cluster: ClusterSpec,
@@ -177,6 +213,17 @@ class PlannerResult:
     stats: Tuple[CandidateStat, ...]
     #: Search-engine observability (``None`` for the naive reference path).
     search: Optional[SearchStats] = None
+    #: Provenance: which planning tier produced this result ("exact",
+    #: "dp", "incremental-repair", "incremental-resolve", ...), mirroring
+    #: the simulator's ``sim_backend`` / ``backend_reason`` pattern.
+    tier: str = field(default="exact", compare=False)
+    tier_reason: str = field(default="", compare=False)
+    #: DP tier only: certified score / lower-bound ratio (>= 1) over the
+    #: enumerated candidate set; ``None`` on the exact tier.
+    gap_bound: Optional[float] = field(default=None, compare=False)
+    #: The workload this result planned (incremental re-solve warm-starts
+    #: from it); ``None`` on results restored from older caches.
+    workload: Optional[BatchWorkload] = field(default=None, compare=False)
 
     @property
     def predicted_throughput(self) -> float:
@@ -418,13 +465,44 @@ class SplitQuantPlanner:
                 best = cand
         return best if best is not None else top[0]
 
-    def plan(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+    def resolve_tier(self, tier: Optional[str] = None) -> Tuple[str, str]:
+        """Resolve a requested tier to a concrete one, with a reason.
+
+        ``None`` defers to ``config.tier``; ``"auto"`` routes by instance
+        size: the exact tier up to ``config.auto_exact_max_devices``
+        devices, the scalable DP tier beyond.
+        """
+        requested = tier if tier is not None else self.config.tier
+        if requested not in ("auto", "exact", "dp"):
+            raise ValueError(
+                f"unknown planner tier {requested!r} "
+                "(expected 'auto', 'exact' or 'dp')"
+            )
+        if requested != "auto":
+            return requested, "requested"
+        n = len(self.cluster.devices)
+        limit = self.config.auto_exact_max_devices
+        if n <= limit:
+            return "exact", f"auto: {n} devices <= {limit}"
+        return "dp", f"auto: {n} devices > {limit}"
+
+    def plan(
+        self, workload: BatchWorkload, *, tier: Optional[str] = None
+    ) -> Optional[PlannerResult]:
         """Plan serving of ``workload``; ``None`` when nothing fits.
 
-        Routed through the :class:`~repro.core.search.CandidateSearchEngine`
-        (memoized costs, admissible bound pruning, optional parallel
-        solving).  The chosen plan is bit-identical to :meth:`plan_naive`.
+        ``tier`` overrides ``config.tier`` for this call: ``"exact"``
+        routes through the
+        :class:`~repro.core.search.CandidateSearchEngine` (memoized
+        costs, admissible bound pruning, optional parallel solving;
+        bit-identical to the naive reference), ``"dp"`` through the
+        scalable segment-DP planner (:mod:`repro.core.dp`), ``"auto"``
+        picks by instance size.  :attr:`PlannerResult.tier` records the
+        resolved tier.
         """
+        resolved, reason = self.resolve_tier(tier)
+        if resolved == "dp":
+            return self._plan_dp(workload, reason)
         t0 = time.perf_counter()
         with trace.span(
             "planner.plan",
@@ -449,6 +527,8 @@ class SplitQuantPlanner:
                 t0,
                 search=outcome.search,
             )
+            if result is not None:
+                result = replace(result, tier="exact", tier_reason=reason)
             sp.set(feasible=result is not None)
             if trace.enabled:
                 metrics.counter("planner.plans").inc()
@@ -459,26 +539,112 @@ class SplitQuantPlanner:
                     metrics.counter("planner.plans_infeasible").inc()
             return result
 
+    def _plan_dp(
+        self, workload: BatchWorkload, reason: str
+    ) -> Optional[PlannerResult]:
+        """The scalable tier: segment DP + flow relaxation, no MILP."""
+        from .dp import dp_search
+
+        t0 = time.perf_counter()
+        with trace.span(
+            "planner.plan_dp",
+            model=self.spec.name,
+            cluster=self.cluster.name,
+            batch=workload.batch,
+            output_len=workload.output_len,
+        ) as sp:
+            outcome = dp_search(
+                self.spec,
+                self.cluster,
+                self.config,
+                self.omega_layers,
+                self.cost_model_for_kv,
+                workload,
+            )
+            result = self._finish(
+                outcome.ranked,
+                outcome.stats,
+                workload,
+                t0,
+                search=outcome.search,
+            )
+            if result is not None:
+                result = replace(
+                    result,
+                    tier="dp",
+                    tier_reason=reason,
+                    gap_bound=outcome.gap_bound,
+                )
+            sp.set(feasible=result is not None)
+            if trace.enabled:
+                metrics.counter("planner.plans").inc()
+                metrics.counter("planner.dp_plans").inc()
+                if result is None:
+                    metrics.counter("planner.plans_infeasible").inc()
+            return result
+
     def replan(
+        self,
+        prev: Union[PlannerResult, BatchWorkload],
+        delta: Any = None,
+        *,
+        workload: Optional[BatchWorkload] = None,
+    ) -> PlannerResult:
+        """Re-solve after a cluster or job change, warm-starting from
+        ``prev``.
+
+        The unified re-planning surface: ``prev`` is the previous
+        :class:`PlannerResult` and ``delta`` a
+        :class:`~repro.core.replan.ClusterDelta` (GPUs died) or
+        :class:`~repro.core.replan.JobDelta` (the workload changed).
+        Incremental repair candidates (plan-level degrade, warm-started
+        segment re-solve) are scored through one batched fastsim sweep;
+        a cold re-plan runs only when every repair fails, so the result
+        is feasibility-equivalent to planning from scratch.  ``workload``
+        overrides ``prev.workload`` when the previous result predates
+        workload provenance.  Raises :class:`InfeasibleError` when
+        nothing fits.
+
+        The legacy form ``replan(workload, surviving_device_ids)`` is
+        deprecated and runs the old cold re-plan on the reduced cluster.
+        """
+        if isinstance(prev, BatchWorkload):
+            warnings.warn(
+                "SplitQuantPlanner.replan(workload, surviving_device_ids) "
+                "is deprecated; use replan(prev_result, "
+                "ClusterDelta(removed_device_ids=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if delta is None:
+                raise TypeError(
+                    "legacy replan(workload, surviving_device_ids) needs "
+                    "the surviving device ids"
+                )
+            return self.replan_cold(prev, delta)
+        from .replan import replan_incremental
+
+        return replan_incremental(self, prev, delta, workload=workload)
+
+    def replan_cold(
         self,
         workload: BatchWorkload,
         surviving_device_ids: Sequence[int],
     ) -> PlannerResult:
-        """Full re-plan on the reduced cluster of surviving GPUs.
+        """Full re-plan from scratch on the reduced cluster of survivors.
 
-        Unlike :func:`degrade_execution_plan` (which keeps per-layer
-        bitwidths fixed so an in-flight generation stays bit-exact), this
-        runs the complete joint optimization from scratch over the
-        survivors — bitwidths, partition and micro-batching may all
-        change.  Intended for the offline path: the next batch after a
-        permanent GPU loss.  Raises :class:`InfeasibleError` when no plan
-        fits on the survivors.
+        Unlike the plan-level degrade (which keeps per-layer bitwidths
+        fixed so an in-flight generation stays bit-exact), this runs the
+        complete joint optimization over the survivors — bitwidths,
+        partition and micro-batching may all change.  The incremental
+        path (:meth:`replan`) falls back to this when no repair fits.
+        Raises :class:`InfeasibleError` when no plan fits.
         """
         with trace.span(
             "planner.replan",
             survivors=len(tuple(surviving_device_ids)),
         ):
-            reduced = reduced_cluster(self.cluster, surviving_device_ids)
+            reduced = _reduced_cluster(self.cluster, surviving_device_ids)
             planner = SplitQuantPlanner(
                 self.spec,
                 reduced,
@@ -497,6 +663,23 @@ class SplitQuantPlanner:
             return result
 
     def plan_naive(self, workload: BatchWorkload) -> Optional[PlannerResult]:
+        """Deprecated shim over the exhaustive serial reference search.
+
+        Use :meth:`plan` (bit-identical via the engine) or, for the
+        ground-truth oracle in benches and determinism tests,
+        :meth:`plan_reference`.
+        """
+        warnings.warn(
+            "SplitQuantPlanner.plan_naive is deprecated; use plan() "
+            "(bit-identical) or plan_reference() for the oracle path",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.plan_reference(workload)
+
+    def plan_reference(
+        self, workload: BatchWorkload
+    ) -> Optional[PlannerResult]:
         """The exhaustive serial reference search (no memo, bounds or pool).
 
         Kept as the ground truth for determinism regression tests and the
@@ -639,4 +822,5 @@ class SplitQuantPlanner:
             candidates_tried=len(stats),
             stats=tuple(stats),
             search=search,
+            workload=workload,
         )

@@ -269,6 +269,13 @@ class PlannerPool:
         self.config = config
         self.cross_node_link = cross_node_link
         self.parallelism = max(1, parallelism)
+        # Exact and DP plans for the same (job, group) must never collide
+        # in the memo: the full config (tier included) keys every entry.
+        from dataclasses import asdict
+
+        self._config_key = tuple(
+            (k, repr(v)) for k, v in sorted(asdict(config).items())
+        )
         self._cost_models: Dict[Tuple[str, int], LatencyCostModel] = {}
         self._omegas: Dict[str, np.ndarray] = {}
         self._plans: Dict[tuple, Optional[Assignment]] = {}
@@ -335,7 +342,9 @@ class PlannerPool:
 
         if default_cache() is None:
             return None
-        model, counts, wl, min_bits = key
+        # The trailing config fingerprint is only for the in-memory memo;
+        # the persistent key hashes the full config dict below.
+        model, counts, wl, min_bits = key[:4]
         return cache_key(
             {
                 "kind": "fleet_plan",
@@ -427,6 +436,7 @@ class PlannerPool:
             (wl.batch, wl.prompt_len, wl.output_len, wl.chunk_tokens,
              wl.reserve_output_len),
             job.min_uniform_bits,
+            self._config_key,
         )
         if key in self._plans:
             self.cache_hits += 1
@@ -529,6 +539,7 @@ class PlannerPool:
              wl.reserve_output_len),
             assignment.job.min_uniform_bits,
             assignment.cluster,
+            self._config_key,
         )
 
     def score_assignments(

@@ -325,9 +325,7 @@ class FleetScheduler:
         if not reduced_counts:
             return None
         job = assignment.job
-        cluster = assignment.group.to_cluster(
-            f"fleet-{job.job_id}", self.pool.cross_node_link
-        )
+        cluster = assignment.materialize_cluster(self.pool.cross_node_link)
         # The reclaimed device is the *last* device of the dead type
         # (deterministic choice; device ids are group-local).
         dead_id = max(
@@ -343,17 +341,24 @@ class FleetScheduler:
             cost_model=self.pool._cost_model(job.model),
             omega_layers=self.pool._omega(job.model),
         )
+        from ..core.planner import _reduced_cluster
+        from ..core.replan import ClusterDelta
+
         try:
-            result = planner.replan(job.workload, survivors)
+            # Incremental: repair the previous plan (bits kept, layers
+            # re-partitioned) and only re-solve when the repair fails.
+            result = planner.replan(
+                assignment.result,
+                ClusterDelta(removed_device_ids=(dead_id,)),
+                workload=job.workload,
+            )
         except InfeasibleError:
             return None
-        from ..core.planner import reduced_cluster
-
         return Assignment(
             job=job,
             group=GroupSpec(counts=reduced_counts),
             result=result,
-            cluster=reduced_cluster(cluster, survivors),
+            cluster=_reduced_cluster(cluster, survivors),
         )
 
     def _reallocate(

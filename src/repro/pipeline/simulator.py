@@ -419,12 +419,12 @@ def simulate_degraded(
     time a late stage dies).
     """
     if replan is None:
-        from ..core.planner import degrade_execution_plan
+        from ..core.planner import degrade_execution_plan_internal
 
         def replan(
             cur: ExecutionPlan, surviving: Tuple[int, ...]
         ) -> ExecutionPlan:
-            return degrade_execution_plan(
+            return degrade_execution_plan_internal(
                 cur, surviving, cluster, spec, workload
             )
 

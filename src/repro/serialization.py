@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .pipeline.simulator import DegradedSimResult, PipelineSimResult
     from .runtime.engine import GenerationResult
     from .runtime.faults import FaultPlan, FaultRecord, FaultSpec
+    from .workloads.spec import BatchWorkload
 
 SCHEMA_VERSION = 1
 FAULT_SCHEMA_VERSION = 1
@@ -355,6 +356,30 @@ def search_stats_from_dict(data: Dict[str, Any]) -> "SearchStats":
     return SearchStats(**data)
 
 
+def workload_to_dict(wl: "BatchWorkload") -> Dict[str, Any]:
+    """A JSON-safe dict of a :class:`BatchWorkload` (round-trip)."""
+    return {
+        "batch": wl.batch,
+        "prompt_len": wl.prompt_len,
+        "output_len": wl.output_len,
+        "chunk_tokens": wl.chunk_tokens,
+        "reserve_output_len": wl.reserve_output_len,
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> "BatchWorkload":
+    from .workloads.spec import BatchWorkload
+
+    reserve = data.get("reserve_output_len")
+    return BatchWorkload(
+        batch=int(data["batch"]),
+        prompt_len=int(data["prompt_len"]),
+        output_len=int(data["output_len"]),
+        chunk_tokens=int(data.get("chunk_tokens", 2048)),
+        reserve_output_len=None if reserve is None else int(reserve),
+    )
+
+
 def planner_result_to_dict(res: "PlannerResult") -> Dict[str, Any]:
     """A JSON-safe dict of a :class:`PlannerResult` (round-trip)."""
     return {
@@ -368,6 +393,15 @@ def planner_result_to_dict(res: "PlannerResult") -> Dict[str, Any]:
         "candidates_tried": res.candidates_tried,
         "stats": [candidate_stat_to_dict(s) for s in res.stats],
         "search": None if res.search is None else res.search.to_dict(),
+        "tier": res.tier,
+        "tier_reason": res.tier_reason,
+        "gap_bound": (
+            None if res.gap_bound is None
+            else round_trace_float(res.gap_bound)
+        ),
+        "workload": (
+            None if res.workload is None else workload_to_dict(res.workload)
+        ),
     }
 
 
@@ -383,6 +417,8 @@ def planner_result_from_dict(data: Dict[str, Any]) -> "PlannerResult":
             f"(expected {RESULT_SCHEMA_VERSION})"
         )
     search = data.get("search")
+    gap = data.get("gap_bound")
+    wl = data.get("workload")
     return PlannerResult(
         plan=plan_from_dict(data["plan"]),
         predicted_latency_s=float(data["predicted_latency_s"]),
@@ -392,6 +428,10 @@ def planner_result_from_dict(data: Dict[str, Any]) -> "PlannerResult":
         candidates_tried=int(data["candidates_tried"]),
         stats=tuple(candidate_stat_from_dict(s) for s in data["stats"]),
         search=None if search is None else search_stats_from_dict(search),
+        tier=str(data.get("tier", "exact")),
+        tier_reason=str(data.get("tier_reason", "")),
+        gap_bound=None if gap is None else float(gap),
+        workload=None if wl is None else workload_from_dict(wl),
     )
 
 

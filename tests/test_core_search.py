@@ -44,7 +44,7 @@ def test_engine_matches_naive_small(opt13b, small_cluster, cost_model_13b,
     planner = SplitQuantPlanner(opt13b, small_cluster, cfg,
                                 cost_model=cost_model_13b)
     _assert_same_plan(planner.plan(small_workload),
-                      planner.plan_naive(small_workload))
+                      planner.plan_reference(small_workload))
 
 
 def test_engine_matches_naive_cluster5(opt30b, cluster5):
@@ -60,7 +60,7 @@ def test_engine_matches_naive_cluster5(opt30b, cluster5):
         omega_layers=seed_planner.omega_layers,
     )
     wl = BatchWorkload(batch=16, prompt_len=256, output_len=32)
-    _assert_same_plan(planner.plan(wl), planner.plan_naive(wl))
+    _assert_same_plan(planner.plan(wl), planner.plan_reference(wl))
 
 
 def test_engine_parallel_matches_serial(opt13b, small_cluster,
@@ -202,7 +202,7 @@ def test_search_stats_surface_on_result(opt13b, small_cluster,
         st.status for st in res.stats if st.status.startswith("status-")
     }
     # Naive path reports no search stats.
-    assert planner.plan_naive(small_workload).search is None
+    assert planner.plan_reference(small_workload).search is None
 
 
 def test_search_prunes_on_budget_config(opt13b, small_cluster,
@@ -224,7 +224,7 @@ def test_search_prunes_on_budget_config(opt13b, small_cluster,
     pruned_stats = [st for st in res.stats if st.status == "pruned"]
     assert len(pruned_stats) == s.pruned
     assert all(st.bound_s > 0 for st in pruned_stats)
-    _assert_same_plan(res, planner.plan_naive(small_workload))
+    _assert_same_plan(res, planner.plan_reference(small_workload))
 
 
 def test_config_validates_search_knobs():

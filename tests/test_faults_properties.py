@@ -174,9 +174,9 @@ def test_random_fault_plans_are_replayable(seed, n_faults):
 
 @pytest.mark.parametrize("kill", [(0,), (1,), (0, 1), (1, 2), (0, 2)])
 def test_planner_replan_on_reduced_cluster(kill):
-    """Planner.replan over survivors plans a valid degraded topology (or
-    raises InfeasibleError explicitly)."""
-    from repro.core import PlannerConfig, SplitQuantPlanner
+    """Planner.replan after a ClusterDelta plans a valid degraded topology
+    (or raises InfeasibleError explicitly)."""
+    from repro.core import ClusterDelta, PlannerConfig, SplitQuantPlanner
     from repro.hardware import make_cluster
     from repro.models import get_model
     from repro.workloads import BatchWorkload
@@ -196,10 +196,13 @@ def test_planner_replan_on_reduced_cluster(kill):
     ]
     from repro.plan import InfeasibleError as IE
 
+    prev = planner.plan(wl)
+    assert prev is not None
     try:
-        res = planner.replan(wl, surviving)
+        res = planner.replan(prev, ClusterDelta(removed_device_ids=kill))
     except IE:
         return
+    assert res.tier in ("incremental-repair", "incremental-resolve")
     plan = res.plan
     assert plan.num_layers == spec.num_layers
     for st_ in plan.stages:

@@ -1,0 +1,238 @@
+"""Incremental re-solve: equivalence with cold re-plan, and the shims."""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClusterDelta,
+    JobDelta,
+    PlannerConfig,
+    SplitQuantPlanner,
+)
+from repro.hardware import make_cluster
+from repro.models import get_model
+from repro.plan import InfeasibleError
+from repro.workloads import BatchWorkload
+
+WL = BatchWorkload(batch=8, prompt_len=256, output_len=32)
+FAST = PlannerConfig(
+    use_heuristic=True, microbatch_candidates=(4,), verify_top_k=1,
+    enable_tp=False,
+)
+
+
+def _planner(counts=(("A100-40G", 1), ("V100-32G", 1), ("T4-16G", 1))):
+    spec = get_model("opt-13b")
+    cluster = make_cluster("inc", [list(c) for c in counts])
+    return SplitQuantPlanner(spec, cluster, FAST)
+
+
+# ---------------------------------------------------------------------------
+# ClusterDelta: differential equivalence with the cold re-plan
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(kill=st.integers(min_value=0, max_value=2))
+def test_kill_one_gpu_matches_cold_replan(kill):
+    """After a kill-one-GPU delta, incremental re-solve is feasibility-
+    equivalent to a cold re-plan and loses at most half its throughput."""
+    planner = _planner()
+    prev = planner.plan(WL)
+    assert prev is not None
+    survivors = [
+        d.device_id
+        for d in planner.cluster.devices
+        if d.device_id != kill
+    ]
+    cold_fails = False
+    try:
+        cold = planner.replan_cold(WL, survivors)
+    except InfeasibleError:
+        cold_fails = True
+    inc_fails = False
+    try:
+        inc = planner.replan(prev, ClusterDelta(removed_device_ids=(kill,)))
+    except InfeasibleError:
+        inc_fails = True
+    assert cold_fails == inc_fails
+    if cold_fails:
+        return
+    assert inc.tier in ("incremental-repair", "incremental-resolve")
+    assert inc.throughput_tokens_s >= 0.5 * cold.throughput_tokens_s
+    assert inc.plan.num_layers == planner.spec.num_layers
+    for st_ in inc.plan.stages:
+        assert all(d in survivors for d in st_.device_ids)
+
+
+def test_incremental_repair_is_much_faster_than_cold():
+    import time
+
+    planner = _planner(
+        (("A100-40G", 2), ("V100-32G", 2), ("T4-16G", 2))
+    )
+    prev = planner.plan(WL)
+    survivors = [
+        d.device_id for d in planner.cluster.devices if d.device_id != 5
+    ]
+    t0 = time.perf_counter()
+    planner.replan_cold(WL, survivors)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    inc = planner.replan(prev, ClusterDelta(removed_device_ids=(5,)))
+    inc_s = time.perf_counter() - t0
+    assert inc.tier == "incremental-repair"
+    # Empirically >1000x; 3x is a conservative floor for noisy CI boxes.
+    assert cold_s / inc_s >= 3.0
+
+
+def test_cluster_delta_needs_workload_provenance():
+    planner = _planner()
+    prev = planner.plan(WL)
+    import dataclasses
+
+    stripped = dataclasses.replace(prev, workload=None)
+    with pytest.raises(ValueError, match="workload"):
+        planner.replan(stripped, ClusterDelta(removed_device_ids=(0,)))
+    # Passing workload= explicitly repairs the provenance gap.
+    res = planner.replan(
+        stripped, ClusterDelta(removed_device_ids=(0,)), workload=WL
+    )
+    assert res.tier in ("incremental-repair", "incremental-resolve")
+
+
+def test_cluster_delta_validation():
+    with pytest.raises(ValueError):
+        ClusterDelta(removed_device_ids=())
+    planner = _planner()
+    prev = planner.plan(WL)
+    with pytest.raises(TypeError, match="delta must be"):
+        planner.replan(prev, object())
+
+
+# ---------------------------------------------------------------------------
+# JobDelta: warm re-solve on the previous ordering
+# ---------------------------------------------------------------------------
+
+
+def test_job_delta_warm_resolves_on_previous_ordering():
+    planner = _planner()
+    prev = planner.plan(WL)
+    new_wl = BatchWorkload(batch=8, prompt_len=512, output_len=16)
+    res = planner.replan(prev, JobDelta(workload=new_wl))
+    assert res.tier == "incremental-resolve"
+    assert res.workload == new_wl
+    assert res.plan.num_layers == planner.spec.num_layers
+    assert res.throughput_tokens_s > 0
+    # The stage topology is inherited from the previous plan.
+    assert [st.device_ids for st in res.plan.stages] == [
+        st.device_ids for st in prev.plan.stages
+    ]
+
+
+def test_job_delta_quality_close_to_cold():
+    planner = _planner()
+    prev = planner.plan(WL)
+    new_wl = BatchWorkload(batch=16, prompt_len=256, output_len=32)
+    warm = planner.replan(prev, JobDelta(workload=new_wl))
+    cold = planner.plan(new_wl)
+    assert warm.throughput_tokens_s >= 0.5 * cold.throughput_tokens_s
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+
+
+def test_legacy_replan_signature_warns_and_works():
+    planner = _planner()
+    survivors = [1, 2]
+    with pytest.warns(DeprecationWarning, match="replan"):
+        res = planner.replan(WL, survivors)
+    assert res.plan.num_layers == planner.spec.num_layers
+
+
+def test_plan_naive_shim_warns():
+    planner = _planner((("A100-40G", 1), ("V100-32G", 1)))
+    with pytest.warns(DeprecationWarning, match="plan_naive"):
+        res = planner.plan_naive(WL)
+    assert res.plan == planner.plan_reference(WL).plan
+
+
+def test_reduced_cluster_shim_warns():
+    from repro.core.planner import _reduced_cluster, reduced_cluster
+
+    cluster = make_cluster("rc", [["V100-32G", 2]])
+    with pytest.warns(DeprecationWarning, match="reduced_cluster"):
+        shim = reduced_cluster(cluster, [0])
+    assert shim == _reduced_cluster(cluster, [0])
+
+
+def test_degrade_execution_plan_shim_warns():
+    from repro.core.planner import (
+        degrade_execution_plan,
+        degrade_execution_plan_internal,
+    )
+
+    planner = _planner()
+    prev = planner.plan(WL)
+    survivors = [
+        d.device_id for d in planner.cluster.devices if d.device_id != 2
+    ]
+    with pytest.warns(DeprecationWarning, match="degrade_execution_plan"):
+        shim = degrade_execution_plan(
+            prev.plan, survivors, planner.cluster, planner.spec, WL
+        )
+    assert shim == degrade_execution_plan_internal(
+        prev.plan, survivors, planner.cluster, planner.spec, WL
+    )
+
+
+# ---------------------------------------------------------------------------
+# Session facade & fleet memo keys
+# ---------------------------------------------------------------------------
+
+
+def test_session_replan_passthrough():
+    from repro.api import Session
+
+    spec = get_model("opt-13b")
+    cluster = make_cluster(
+        "sess", [["A100-40G", 1], ["V100-32G", 1], ["T4-16G", 1]]
+    )
+    with Session(spec, cluster, FAST) as s:
+        with pytest.raises(ValueError, match="no previous result"):
+            s.replan(ClusterDelta(removed_device_ids=(0,)))
+        assert s.plan(WL, tier="auto") is not None
+        res = s.replan(ClusterDelta(removed_device_ids=(0,)))
+        assert res.tier in ("incremental-repair", "incremental-resolve")
+        # The session remembers the re-planned result.
+        assert s._last_result is res
+
+
+def test_planner_pool_memo_keys_include_config():
+    """Exact and DP plans for the same (job, group) never collide."""
+    from dataclasses import replace as dc_replace
+
+    from repro.fleet import PlannerPool, make_job_queue
+    from repro.fleet.allocator import GroupSpec
+
+    inv = {"V100-32G": 2, "T4-16G": 2}
+    cfg_exact = dc_replace(FAST, tier="exact")
+    cfg_dp = dc_replace(FAST, tier="dp")
+    pool_exact = PlannerPool(inv, config=cfg_exact)
+    pool_dp = PlannerPool(inv, config=cfg_dp)
+    assert pool_exact._config_key != pool_dp._config_key
+    job = make_job_queue(n_jobs=1, seed=0)[0]
+    group = GroupSpec(counts=(("V100-32G", 2),))
+    a = pool_exact.evaluate(job, group)
+    b = pool_dp.evaluate(job, group)
+    # In-memory memo keys carry the fingerprint.
+    for key in pool_exact._plans:
+        assert key[-1] == pool_exact._config_key
+    if a is not None and b is not None:
+        assert a.result.tier == "exact"
+        assert b.result.tier == "dp"
