@@ -23,6 +23,13 @@ compares them against the records committed under ``benchmarks/``:
   Table-VI planner frontier and the 25-GPU fleet probe frontier.  Same
   same-machine ratio comparison, with a hard floor of 10x per frontier
   and bit-identical results as a structural invariant.
+* ``BENCH_energy.json`` — the energy/cost accounting layer.  The
+  numbers are deterministic cost-model outputs (no wall-clock), so the
+  guard enforces hard ceilings: the fresh throughput-optimal plan's
+  J/token and $/Mtoken must stay within ``--tolerance`` of the
+  committed record, the energy/cost objectives must still improve (or
+  match) their respective metrics, and the event/fast/batched backends
+  must agree on joules and dollars bit-for-bit (structural, not noise).
 * ``BENCH_planner_scale.json`` — the scalable planning tier.  The guard
   re-measures the cheap sections (the 1000-GPU DP plan and the
   incremental-vs-cold re-solve; the 100-job fleet schedule is
@@ -179,6 +186,21 @@ def measure_batchsim() -> dict:
     return out
 
 
+def measure_energy() -> dict:
+    """Fresh energy parity + objective headlines from the energy bench."""
+    sys.path.insert(0, str(REPO))
+    from benchmarks.test_energy import (  # noqa: E402
+        measure_objectives,
+        measure_parity,
+    )
+
+    return {
+        "bench": "energy",
+        "parity": measure_parity(),
+        "objectives": measure_objectives(),
+    }
+
+
 def measure_planner_scale() -> dict:
     """Fresh DP-tier gap + incremental-vs-cold from the scale bench.
 
@@ -252,6 +274,29 @@ def measure_obs() -> dict:
     }
 
 
+def _load_baseline(name: str) -> dict:
+    """A committed BENCH baseline, or a hard, explicit failure.
+
+    A missing baseline must never silently skip its guard — that would
+    read as "no regression" when nothing was checked.
+    """
+    path = BENCH_DIR / name
+    if not path.exists():
+        raise SystemExit(
+            f"ERROR: committed baseline benchmarks/{name} is missing — "
+            "the regression guard cannot run without it.  Regenerate it "
+            "with `PYTHONPATH=src python -m pytest benchmarks/ -q` and "
+            "commit the refreshed file."
+        )
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"ERROR: committed baseline benchmarks/{name} is not valid "
+            f"JSON ({exc}); regenerate and commit it."
+        ) from None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -268,17 +313,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline_planner = json.loads(
-        (BENCH_DIR / "BENCH_planner.json").read_text()
-    )
-    baseline_obs = json.loads((BENCH_DIR / "BENCH_obs.json").read_text())
-    baseline_sim = json.loads((BENCH_DIR / "BENCH_sim.json").read_text())
-    baseline_batchsim = json.loads(
-        (BENCH_DIR / "BENCH_batchsim.json").read_text()
-    )
-    baseline_scale = json.loads(
-        (BENCH_DIR / "BENCH_planner_scale.json").read_text()
-    )
+    baseline_planner = _load_baseline("BENCH_planner.json")
+    baseline_obs = _load_baseline("BENCH_obs.json")
+    baseline_sim = _load_baseline("BENCH_sim.json")
+    baseline_batchsim = _load_baseline("BENCH_batchsim.json")
+    baseline_scale = _load_baseline("BENCH_planner_scale.json")
+    baseline_energy = _load_baseline("BENCH_energy.json")
 
     failures: list[str] = []
 
@@ -387,6 +427,56 @@ def main(argv=None) -> int:
             "committed planner-scale baseline left fleet jobs unscheduled"
         )
 
+    fresh_energy = measure_energy()
+    base_obj = baseline_energy["objectives"]
+    fresh_obj = fresh_energy["objectives"]
+    jpt_ceiling = base_obj["throughput"]["j_per_token"] * (
+        1.0 + args.tolerance
+    )
+    upm_ceiling = base_obj["throughput"]["usd_per_mtoken"] * (
+        1.0 + args.tolerance
+    )
+    print(
+        f"energy: fresh {fresh_obj['throughput']['j_per_token']:.4f} "
+        f"J/token vs baseline "
+        f"{base_obj['throughput']['j_per_token']:.4f} "
+        f"(ceiling {jpt_ceiling:.4f}); "
+        f"{fresh_obj['throughput']['usd_per_mtoken']:.4f} $/Mtoken "
+        f"(ceiling {upm_ceiling:.4f})"
+    )
+    if not fresh_energy["parity"]["all_identical"]:
+        failures.append(
+            "energy accounting diverged across event/fast/batched backends"
+        )
+    if fresh_obj["throughput"]["j_per_token"] > jpt_ceiling:
+        failures.append(
+            f"J/token regressed: "
+            f"{fresh_obj['throughput']['j_per_token']:.4f} > "
+            f"ceiling {jpt_ceiling:.4f} (baseline "
+            f"{base_obj['throughput']['j_per_token']:.4f})"
+        )
+    if fresh_obj["throughput"]["usd_per_mtoken"] > upm_ceiling:
+        failures.append(
+            f"$/Mtoken regressed: "
+            f"{fresh_obj['throughput']['usd_per_mtoken']:.4f} > "
+            f"ceiling {upm_ceiling:.4f} (baseline "
+            f"{base_obj['throughput']['usd_per_mtoken']:.4f})"
+        )
+    if (
+        fresh_obj["energy"]["j_per_token"]
+        > fresh_obj["throughput"]["j_per_token"] + 1e-9
+    ):
+        failures.append(
+            "energy objective no longer improves J/token over throughput"
+        )
+    if (
+        fresh_obj["cost"]["usd_per_mtoken"]
+        > fresh_obj["throughput"]["usd_per_mtoken"] + 1e-9
+    ):
+        failures.append(
+            "cost objective no longer improves $/Mtoken over throughput"
+        )
+
     record = {
         "tolerance": args.tolerance,
         "planner": fresh_planner,
@@ -404,6 +494,11 @@ def main(argv=None) -> int:
         "planner_scale_baseline": {
             "gap_bound": base_dp["gap_bound"],
             "incremental_speedup": base_inc["speedup"],
+        },
+        "energy": fresh_energy,
+        "energy_baseline": {
+            "j_per_token": base_obj["throughput"]["j_per_token"],
+            "usd_per_mtoken": base_obj["throughput"]["usd_per_mtoken"],
         },
         "failures": failures,
     }

@@ -155,17 +155,27 @@ class Session:
     # ------------------------------------------------------------------
 
     def plan(
-        self, workload: BatchWorkload, *, tier: Optional[str] = None
+        self,
+        workload: BatchWorkload,
+        *,
+        tier: Optional[str] = None,
+        objective: Optional[str] = None,
+        budget: Optional[float] = None,
     ) -> Optional[PlannerResult]:
         """Run the SplitQuant assigner; remembers the plan for
         :meth:`simulate` / :meth:`serve`.  ``None`` when nothing fits.
 
         ``tier`` selects the planning tier for this call (``"exact"``,
-        ``"dp"`` or ``"auto"``); ``None`` defers to ``config.tier``.  See
-        :meth:`repro.core.SplitQuantPlanner.plan`.
+        ``"dp"`` or ``"auto"``); ``None`` defers to ``config.tier``.
+        ``objective`` (``"throughput"``, ``"energy"``, ``"cost"``) and
+        ``budget`` (a J/token or $/Mtoken ceiling for the latter two)
+        select the planning objective; ``None`` defers to the config.
+        See :meth:`repro.core.SplitQuantPlanner.plan`.
         """
         with self._scope():
-            result = self.planner.plan(workload, tier=tier)
+            result = self.planner.plan(
+                workload, tier=tier, objective=objective, budget=budget
+            )
         self._last_workload = workload
         self._last_result = result
         return result
@@ -386,6 +396,9 @@ class Session:
         parallelism: int = 1,
         pool_gpus: int = 24,
         n_jobs: int = 8,
+        objective: str = "throughput",
+        spot_types=(),
+        price_book=None,
     ):
         """Schedule a multi-job queue onto an idle-GPU fleet inventory.
 
@@ -404,6 +417,13 @@ class Session:
         (a :class:`Summary`) when simulating, otherwise the raw
         :class:`~repro.fleet.FleetSchedule`.  The session's tracer is
         threaded through scheduling and simulation.
+
+        ``objective="cost"`` makes the allocator pack by tokens/s per
+        rental $/hr; ``spot_types`` bills those GPU types at the default
+        price book's spot rate (they become preemptible via
+        :meth:`repro.fleet.FleetScheduler.preempt_spot`); ``price_book``
+        overrides pricing wholesale
+        (:class:`repro.costmodel.PriceBook`).
         """
         from .fleet import FleetScheduler, make_job_queue, simulate_schedule
         from .hardware.fleet import sample_fleet, schedulable_inventory
@@ -421,11 +441,16 @@ class Session:
                 config=fleet_config,
                 allocator=allocator,
                 parallelism=parallelism,
+                objective=objective,
+                spot_types=spot_types,
+                price_book=price_book,
             )
             schedule = scheduler.schedule(jobs)
             if not simulate:
                 return schedule
-            return simulate_schedule(schedule)
+            return simulate_schedule(
+                schedule, price_book=scheduler.price_book
+            )
 
     def fleet_stats(self, n_gpus: int = 10_000):
         """The seeded Fig. 1 fleet sample behind :meth:`schedule_fleet`.

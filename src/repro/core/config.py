@@ -59,6 +59,16 @@ class PlannerConfig:
     #: the solve loop serial.  The chosen plan is bit-identical either way
     #: (deterministic reduction on (score, enumeration index)).
     parallelism: int = 1
+    #: Planning objective: ``"throughput"`` (the paper's default),
+    #: ``"energy"`` (J/token) or ``"cost"`` ($/Mtoken).  Non-throughput
+    #: objectives re-rank the verified candidate frontier by the energy
+    #: model (:mod:`repro.costmodel.energy`); with a ``budget`` they
+    #: instead maximize throughput subject to the ceiling.
+    objective: str = "throughput"
+    #: Optional objective budget: a J/token ceiling under
+    #: ``objective="energy"``, a $/Mtoken ceiling under
+    #: ``objective="cost"``; ignored for ``"throughput"``.
+    budget: Optional[float] = None
     #: Skip candidates whose admissible lower bound proves they cannot
     #: enter the verified top-k.  Never changes the chosen plan.
     prune: bool = True
@@ -87,6 +97,12 @@ class PlannerConfig:
             )
         if self.tier not in ("auto", "exact", "dp"):
             raise ValueError("tier must be one of 'auto', 'exact', 'dp'")
+        if self.objective not in ("throughput", "energy", "cost"):
+            raise ValueError(
+                "objective must be one of 'throughput', 'energy', 'cost'"
+            )
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive when set")
         if self.auto_exact_max_devices <= 0:
             raise ValueError("auto_exact_max_devices must be positive")
         if self.dp_prefix_candidates <= 0:

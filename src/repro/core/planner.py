@@ -37,8 +37,14 @@ from .heuristic import bitwidth_transfer
 from .ilp import ILPSolution, solve_adabits, solve_partition_ilp
 from .search import CandidateSearchEngine, CandidateStat, SearchStats
 
+#: How deep into the ranked candidate frontier the objective re-rank
+#: looks (at least ``config.verify_top_k``): every scored candidate gets
+#: a full energy/cost-stamped simulation, so this bounds the sweep.
+OBJECTIVE_FRONTIER_K = 16
+
 __all__ = [
     "CandidateStat",
+    "OBJECTIVE_FRONTIER_K",
     "PlannerResult",
     "SplitQuantPlanner",
     "degrade_execution_plan",
@@ -224,6 +230,16 @@ class PlannerResult:
     #: The workload this result planned (incremental re-solve warm-starts
     #: from it); ``None`` on results restored from older caches.
     workload: Optional[BatchWorkload] = field(default=None, compare=False)
+    #: Provenance: the objective this plan optimized (``"throughput"``,
+    #: ``"energy"`` or ``"cost"``) and its optional budget ceiling
+    #: (J/token under ``"energy"``, $/Mtoken under ``"cost"``).
+    objective: str = field(default="throughput", compare=False)
+    budget: Optional[float] = field(default=None, compare=False)
+    #: Joules / dollars the chosen plan is predicted to draw on the
+    #: planning workload (from the objective re-rank's simulation sweep);
+    #: ``None`` on the default throughput path, which skips that sweep.
+    predicted_energy_j: Optional[float] = field(default=None, compare=False)
+    predicted_cost_usd: Optional[float] = field(default=None, compare=False)
 
     @property
     def predicted_throughput(self) -> float:
@@ -487,7 +503,12 @@ class SplitQuantPlanner:
         return "dp", f"auto: {n} devices > {limit}"
 
     def plan(
-        self, workload: BatchWorkload, *, tier: Optional[str] = None
+        self,
+        workload: BatchWorkload,
+        *,
+        tier: Optional[str] = None,
+        objective: Optional[str] = None,
+        budget: Optional[float] = None,
     ) -> Optional[PlannerResult]:
         """Plan serving of ``workload``; ``None`` when nothing fits.
 
@@ -499,10 +520,22 @@ class SplitQuantPlanner:
         scalable segment-DP planner (:mod:`repro.core.dp`), ``"auto"``
         picks by instance size.  :attr:`PlannerResult.tier` records the
         resolved tier.
+
+        ``objective`` / ``budget`` override ``config.objective`` /
+        ``config.budget`` for this call.  ``"energy"`` and ``"cost"``
+        re-rank the ranked candidate frontier through the energy model
+        (:mod:`repro.costmodel.energy`): with no budget they minimize
+        J/token (resp. $/Mtoken); with a budget they maximize throughput
+        subject to that ceiling, raising :class:`InfeasibleError` when
+        no candidate fits under it.  The default ``"throughput"``
+        objective with no budget leaves the search untouched — the
+        chosen plan is bit-identical to pre-energy planning.
         """
         resolved, reason = self.resolve_tier(tier)
         if resolved == "dp":
-            return self._plan_dp(workload, reason)
+            return self._plan_dp(
+                workload, reason, objective=objective, budget=budget
+            )
         t0 = time.perf_counter()
         with trace.span(
             "planner.plan",
@@ -526,6 +559,8 @@ class SplitQuantPlanner:
                 workload,
                 t0,
                 search=outcome.search,
+                objective=objective,
+                budget=budget,
             )
             if result is not None:
                 result = replace(result, tier="exact", tier_reason=reason)
@@ -540,7 +575,11 @@ class SplitQuantPlanner:
             return result
 
     def _plan_dp(
-        self, workload: BatchWorkload, reason: str
+        self,
+        workload: BatchWorkload,
+        reason: str,
+        objective: Optional[str] = None,
+        budget: Optional[float] = None,
     ) -> Optional[PlannerResult]:
         """The scalable tier: segment DP + flow relaxation, no MILP."""
         from .dp import dp_search
@@ -567,6 +606,8 @@ class SplitQuantPlanner:
                 workload,
                 t0,
                 search=outcome.search,
+                objective=objective,
+                budget=budget,
             )
             if result is not None:
                 result = replace(
@@ -788,24 +829,44 @@ class SplitQuantPlanner:
         workload: BatchWorkload,
         t0: float,
         search: Optional[SearchStats] = None,
+        objective: Optional[str] = None,
+        budget: Optional[float] = None,
     ) -> Optional[PlannerResult]:
         """Shared tail of both search paths: verify, expand, report."""
         cfg = self.config
+        objective = cfg.objective if objective is None else objective
+        budget = cfg.budget if budget is None else budget
+        if objective not in ("throughput", "energy", "cost"):
+            raise ValueError(
+                f"unknown objective {objective!r} "
+                "(expected 'throughput', 'energy' or 'cost')"
+            )
+        if objective == "throughput" and budget is not None:
+            raise ValueError(
+                "budget requires objective='energy' or objective='cost'"
+            )
         if not ranked:
             return None
-        best = ranked[0]
-        if cfg.verify_top_k > 1 and len(ranked) > 1:
-            best, verify_plans, verify_batches = self._verify_candidates(
-                ranked[: cfg.verify_top_k], workload
+        predicted_energy: Optional[float] = None
+        predicted_cost: Optional[float] = None
+        if objective != "throughput":
+            best, predicted_energy, predicted_cost = (
+                self._select_by_objective(ranked, workload, objective, budget)
             )
-            if search is not None and verify_batches:
-                search = replace(
-                    search,
-                    batches=search.batches + verify_batches,
-                    batched_plans_scored=(
-                        search.batched_plans_scored + verify_plans
-                    ),
+        else:
+            best = ranked[0]
+            if cfg.verify_top_k > 1 and len(ranked) > 1:
+                best, verify_plans, verify_batches = self._verify_candidates(
+                    ranked[: cfg.verify_top_k], workload
                 )
+                if search is not None and verify_batches:
+                    search = replace(
+                        search,
+                        batches=search.batches + verify_batches,
+                        batched_plans_scored=(
+                            search.batched_plans_scored + verify_plans
+                        ),
+                    )
         _, sol, ordering, group_sizes, eta, xi, bit_kv = best
         plan = solution_to_plan(
             self.spec, ordering, group_sizes, sol, eta, xi, bit_kv
@@ -823,4 +884,90 @@ class SplitQuantPlanner:
             stats=tuple(stats),
             search=search,
             workload=workload,
+            objective=objective,
+            budget=budget,
+            predicted_energy_j=predicted_energy,
+            predicted_cost_usd=predicted_cost,
         )
+
+    def _select_by_objective(
+        self,
+        ranked,
+        workload: BatchWorkload,
+        objective: str,
+        budget: Optional[float],
+    ) -> Tuple[Any, float, float]:
+        """Re-rank the candidate frontier through the energy model.
+
+        Every leading candidate is expanded and scored in one batched
+        fastsim sweep, which stamps joules and dollars on each result
+        (:func:`repro.pipeline.simulator.attach_energy`).  With no
+        budget the minimum-metric candidate wins (J/token under
+        ``"energy"``, $/Mtoken under ``"cost"``); with a budget the
+        fastest candidate under the ceiling wins.  Ties keep the search
+        ranking's order.  Returns ``(candidate, energy_j, cost_usd)``.
+        """
+        from ..pipeline.batchsim import PlanCase, evaluate_plans
+        from ..pipeline.simulator import simulate_plan
+        from ..pipeline.stage import CostModelTiming
+
+        top = ranked[: max(self.config.verify_top_k, OBJECTIVE_FRONTIER_K)]
+        with trace.span(
+            "planner.objective_rerank", objective=objective, k=len(top)
+        ):
+            cases: List[Tuple[Any, Any]] = []
+            for cand in top:
+                _, sol, ordering, group_sizes, eta, xi, bit_kv = cand
+                timing = CostModelTiming(
+                    cost_model=self.cost_model_for_kv(bit_kv), spec=self.spec
+                )
+                try:
+                    plan = solution_to_plan(
+                        self.spec, ordering, group_sizes, sol, eta, xi, bit_kv
+                    )
+                except (ValueError, RuntimeError):
+                    continue
+                cases.append(
+                    (cand, PlanCase(plan, self.cluster, self.spec,
+                                    workload, timing))
+                )
+            if not cases:
+                raise InfeasibleError(
+                    f"objective={objective!r}: no expandable candidates"
+                )
+            try:
+                results = evaluate_plans([pc for _, pc in cases])
+            except (ValueError, RuntimeError):
+                results = [
+                    simulate_plan(
+                        pc.plan, self.cluster, self.spec, workload,
+                        timing=pc.timing, check_memory=False,
+                    )
+                    for _, pc in cases
+                ]
+            scored = [
+                (
+                    cand,
+                    res,
+                    res.joules_per_token
+                    if objective == "energy"
+                    else res.usd_per_mtoken,
+                )
+                for (cand, _), res in zip(cases, results)
+            ]
+            pool = scored
+            if budget is not None:
+                pool = [s for s in scored if s[2] <= budget]
+                if not pool:
+                    unit = "J/token" if objective == "energy" else "$/Mtoken"
+                    raise InfeasibleError(
+                        f"no candidate within the {objective} budget "
+                        f"{budget:g} {unit} "
+                        f"(best achievable: {min(s[2] for s in scored):g})"
+                    )
+                chosen = min(pool, key=lambda s: s[1].makespan_s)
+            else:
+                chosen = min(pool, key=lambda s: s[2])
+            cand, res, _ = chosen
+            assert res.energy_j is not None and res.cost_usd is not None
+            return cand, res.energy_j, res.cost_usd

@@ -1,5 +1,14 @@
-"""Cost models: memory (Sec. IV-A) and phase-aware latency regression."""
+"""Cost models: memory (Sec. IV-A), latency regression, energy/$-cost."""
 
+from .energy import (
+    DEFAULT_ELECTRICITY_USD_PER_KWH,
+    GPUPrice,
+    PriceBook,
+    default_price_book,
+    plan_cost,
+    plan_energy,
+    stage_occupancies,
+)
 from .latency import (
     DECODE_GRID,
     PREFILL_GRID,
@@ -18,6 +27,13 @@ from .memory import (
 )
 
 __all__ = [
+    "DEFAULT_ELECTRICITY_USD_PER_KWH",
+    "GPUPrice",
+    "PriceBook",
+    "default_price_book",
+    "plan_cost",
+    "plan_energy",
+    "stage_occupancies",
     "DECODE_GRID",
     "PREFILL_GRID",
     "LatencyCostModel",

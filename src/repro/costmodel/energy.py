@@ -1,0 +1,268 @@
+"""Energy and dollar-cost accounting for simulated serving runs.
+
+Every simulation backend (event, fast, batched) reports bit-identical
+makespans, phase spans and per-stage busy times for the same plan; this
+module turns those into joules and dollars as a *pure post-pass* over
+exactly that shared state, so energy totals inherit the backends'
+bit-identity for free — no per-event power integration, no backend-
+specific accumulators.
+
+The power model is the standard linear idle/peak interpolation: a GPU
+draws ``idle_watts`` while holding the context and
+``idle + (peak - idle) * occupancy`` while a kernel runs, where the
+occupancy comes from the roofline decomposition
+(:func:`repro.simgpu.roofline.layer_occupancy`) at the plan's
+representative prefill/decode shapes.  Dollar cost is GPU rental
+(per-type $/hr, on-demand or spot tier) for the whole makespan plus
+electricity for the joules consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.cluster import ClusterSpec
+from ..hardware.gpus import GPUSpec
+from ..models.architectures import ModelSpec
+from ..plan import ExecutionPlan, StagePlan
+from ..simgpu.roofline import layer_occupancy
+from ..workloads.spec import BatchWorkload
+
+__all__ = [
+    "GPUPrice",
+    "PriceBook",
+    "default_price_book",
+    "plan_energy",
+    "plan_cost",
+    "stage_occupancies",
+    "DEFAULT_ELECTRICITY_USD_PER_KWH",
+]
+
+#: Grid electricity price used when a price book does not override it.
+DEFAULT_ELECTRICITY_USD_PER_KWH = 0.12
+
+#: Seconds per kWh-hour divisor: J -> kWh.
+_JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class GPUPrice:
+    """Hourly rental rates for one GPU model."""
+
+    on_demand_usd_hr: float
+    spot_usd_hr: float
+
+    def rate(self, tier: str) -> float:
+        if tier == "on_demand":
+            return self.on_demand_usd_hr
+        if tier == "spot":
+            return self.spot_usd_hr
+        raise ValueError(f"unknown price tier {tier!r}")
+
+
+#: Cloud-typical hourly rates (on-demand, spot) per registered GPU model.
+DEFAULT_PRICES: Dict[str, GPUPrice] = {
+    "A100-40G": GPUPrice(3.67, 1.47),
+    "V100-32G": GPUPrice(2.48, 0.99),
+    "T4-16G": GPUPrice(0.53, 0.21),
+    "P100-12G": GPUPrice(1.46, 0.58),
+}
+
+#: Rate applied to GPU models without a registered price.
+_FALLBACK_PRICE = GPUPrice(1.0, 0.4)
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Per-type $/hr price tiers plus the electricity rate.
+
+    ``spot_types`` lists GPU model names rented at the (cheaper,
+    preemptible) spot tier; everything else is billed on-demand.  Frozen
+    and tuple-backed so it can sit on planner/fleet configuration and in
+    cache keys.
+    """
+
+    prices: Tuple[Tuple[str, GPUPrice], ...]
+    electricity_usd_per_kwh: float = DEFAULT_ELECTRICITY_USD_PER_KWH
+    spot_types: Tuple[str, ...] = ()
+
+    def tier_of(self, gpu_name: str) -> str:
+        return "spot" if gpu_name in self.spot_types else "on_demand"
+
+    def price_of(self, gpu_name: str) -> GPUPrice:
+        for name, price in self.prices:
+            if name == gpu_name:
+                return price
+        return _FALLBACK_PRICE
+
+    def rate_usd_hr(self, gpu_name: str) -> float:
+        """Hourly rental rate for ``gpu_name`` at its configured tier."""
+        return self.price_of(gpu_name).rate(self.tier_of(gpu_name))
+
+
+def default_price_book(
+    spot_types: Sequence[str] = (),
+    electricity_usd_per_kwh: float = DEFAULT_ELECTRICITY_USD_PER_KWH,
+    prices: Optional[Mapping[str, GPUPrice]] = None,
+) -> PriceBook:
+    """The registry price book, optionally marking some types as spot."""
+    if prices is None:
+        return _default_price_book_cached(
+            tuple(spot_types), electricity_usd_per_kwh
+        )
+    return PriceBook(
+        prices=tuple(sorted(prices.items())),
+        electricity_usd_per_kwh=electricity_usd_per_kwh,
+        spot_types=tuple(spot_types),
+    )
+
+
+@lru_cache(maxsize=64)
+def _default_price_book_cached(
+    spot_types: Tuple[str, ...], electricity_usd_per_kwh: float
+) -> PriceBook:
+    return PriceBook(
+        prices=tuple(sorted(DEFAULT_PRICES.items())),
+        electricity_usd_per_kwh=electricity_usd_per_kwh,
+        spot_types=spot_types,
+    )
+
+
+@lru_cache(maxsize=4096)
+def _stage_gpus(
+    plan: ExecutionPlan, cluster: ClusterSpec
+) -> Tuple[GPUSpec, ...]:
+    """The GPU spec of each stage (TP groups are homogeneous)."""
+    by_id = {d.device_id: d.gpu for d in cluster.devices}
+    return tuple(by_id[st.device_ids[0]] for st in plan.stages)
+
+
+def stage_occupancies(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> Tuple[Tuple[float, float], ...]:
+    """Per-stage (prefill, decode) roofline occupancies for ``plan``.
+
+    Evaluated at the plan's representative shapes — one prefill chunk at
+    the prefill micro-batch size, one mid-context decode step at the
+    decode micro-batch size — and averaged over each stage's layers
+    weighted by their bitwidths.  A pure function of frozen inputs, so
+    every backend derives the identical numbers.
+    """
+    gpus = _stage_gpus(plan, cluster)
+    eta = max(min(plan.prefill_microbatch, workload.batch), 1)
+    xi = max(min(plan.decode_microbatch, workload.batch), 1)
+    chunk = max(workload.chunk_len, 1)
+    mid_ctx = workload.prompt_len + max(workload.output_len // 2, 1)
+    return tuple(
+        _stage_occupancy(st, gpu, spec, eta, xi, chunk, mid_ctx, plan.bit_kv)
+        for st, gpu in zip(plan.stages, gpus)
+    )
+
+
+@lru_cache(maxsize=8192)
+def _stage_occupancy(
+    st: StagePlan,
+    gpu: GPUSpec,
+    spec: ModelSpec,
+    eta: int,
+    xi: int,
+    chunk: int,
+    mid_ctx: int,
+    bit_kv: int,
+) -> Tuple[float, float]:
+    """One stage's (prefill, decode) occupancy pair.
+
+    Layers with the same bitwidth share one roofline evaluation
+    (weighted by multiplicity), and the whole pair is memoized on the
+    stage — this post-pass runs once per plan per simulation, so it has
+    to stay cheap next to the vectorized batched scorer.
+    """
+    counts: Dict[int, int] = {}
+    for bits in st.layer_bits:
+        counts[bits] = counts.get(bits, 0) + 1
+    pre = 0.0
+    dec = 0.0
+    for bits, cnt in counts.items():
+        pre += cnt * layer_occupancy(
+            gpu, spec, bits, "prefill", eta, chunk, bit_kv
+        )
+        dec += cnt * layer_occupancy(
+            gpu, spec, bits, "decode", xi, mid_ctx, bit_kv
+        )
+    n = len(st.layer_bits)
+    return pre / n, dec / n
+
+
+def plan_energy(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+    makespan_s: float,
+    prefill_span_s: float,
+    decode_span_s: float,
+    stage_busy_s: Sequence[float],
+) -> float:
+    """Joules drawn by the plan's GPUs over one simulated run.
+
+    Each stage's GPUs idle at ``idle_watts`` for the whole makespan and
+    add ``(peak - idle) * occupancy`` watts for their busy seconds, with
+    the occupancy blended between the prefill and decode operating
+    points by the phase-span split.  Every input is a field the event,
+    fast and batched backends already agree on bit-for-bit, so the sum
+    is bit-identical across them by construction.
+    """
+    if makespan_s <= 0.0:
+        return 0.0
+    gpus = _stage_gpus(plan, cluster)
+    occs = stage_occupancies(plan, cluster, spec, workload)
+    w_pre = prefill_span_s / makespan_s
+    w_dec = decode_span_s / makespan_s
+    total = 0.0
+    for st, gpu, (occ_pre, occ_dec), busy in zip(
+        plan.stages, gpus, occs, stage_busy_s
+    ):
+        occ = w_pre * occ_pre + w_dec * occ_dec
+        busy_clamped = min(max(busy, 0.0), makespan_s)
+        per_gpu = (
+            makespan_s * gpu.idle_watts
+            + busy_clamped * (gpu.peak_watts - gpu.idle_watts) * occ
+        )
+        total += st.tp_degree * per_gpu
+    return total
+
+
+def plan_cost(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    makespan_s: float,
+    energy_j: float,
+    price_book: Optional[PriceBook] = None,
+) -> float:
+    """Dollars for one simulated run: GPU rental plus electricity.
+
+    Rental bills every GPU the plan occupies for the full makespan at
+    its price-book tier; electricity converts ``energy_j`` at the
+    book's grid rate.  Pure arithmetic over backend-agreed fields, so it
+    shares the energy totals' cross-backend bit-identity.
+    """
+    if makespan_s <= 0.0:
+        return 0.0
+    book = price_book if price_book is not None else default_price_book()
+    rental = _plan_rate_usd_hr(plan, book) * makespan_s / 3600.0
+    electricity = energy_j / _JOULES_PER_KWH * book.electricity_usd_per_kwh
+    return rental + electricity
+
+
+@lru_cache(maxsize=4096)
+def _plan_rate_usd_hr(plan: ExecutionPlan, book: PriceBook) -> float:
+    """Aggregate $/hr of every GPU the plan occupies, at book tiers."""
+    rate = 0.0
+    for st in plan.stages:
+        rate += st.tp_degree * book.rate_usd_hr(st.gpu_name)
+    return rate

@@ -12,6 +12,7 @@ from . import (
     fig10_hetero_custom,
     fig11_theta_sensitivity,
     fig12_adabits_ablation,
+    pareto_frontier,
     tab01_layer_sensitivity,
     tab04_homogeneous,
     tab05_indicator,
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS = {
     "fig10": fig10_hetero_custom,
     "fig11": fig11_theta_sensitivity,
     "fig12": fig12_adabits_ablation,
+    "pareto": pareto_frontier,
     "tab01": tab01_layer_sensitivity,
     "tab04": tab04_homogeneous,
     "tab05": tab05_indicator,

@@ -1,0 +1,124 @@
+"""Pareto: the throughput-energy-cost frontier of objective planning.
+
+Plans the same (model, cluster, workload) case under each objective —
+throughput (the paper's default), energy (J/token) and cost ($/Mtoken) —
+then traces the trade-off curve by re-planning for maximum throughput
+under a ladder of energy budgets interpolated between the
+throughput-optimal and energy-optimal plans.  Every chosen plan is
+simulated once (the simulator stamps joules and dollars via the
+energy post-pass), so the reported points are the same numbers the
+cross-backend differential tests pin bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import PlannerConfig, SplitQuantPlanner
+from ..hardware.cluster import table_iii_cluster
+from ..models.architectures import get_model
+from ..pipeline.simulator import simulate_plan
+from ..plan import InfeasibleError
+from ..workloads.spec import BatchWorkload
+from .common import cost_model_for
+from .harness import ExperimentResult
+
+CASES: Tuple[Tuple[str, int], ...] = (("opt-30b", 5), ("opt-13b", 4))
+#: Interior points of the energy-budget ladder (fractions of the
+#: [energy-optimal, throughput-optimal] J/token span).
+BUDGET_STEPS: Tuple[float, ...] = (0.25, 0.5, 0.75)
+
+
+def _point(planner, cluster, spec, wl, objective, budget=None):
+    """Plan under one objective and measure the chosen plan's frontier
+    coordinates ``(tokens/s, J/token, $/Mtoken)``."""
+    res = planner.plan(wl, objective=objective, budget=budget)
+    if res is None:
+        return None
+    sim = simulate_plan(
+        res.plan, cluster, spec, wl, check_memory=False
+    )
+    return res, sim.throughput_tokens_s, sim.joules_per_token, sim.usd_per_mtoken
+
+
+def run(
+    cases: Sequence[Tuple[str, int]] = CASES,
+    budget_steps: Sequence[float] = BUDGET_STEPS,
+    max_orderings: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    rows: List[list] = []
+    summary: Dict[str, float] = {}
+    for model_name, cluster_idx in cases:
+        spec = get_model(model_name)
+        cluster = table_iii_cluster(cluster_idx)
+        wl = BatchWorkload(batch=32, prompt_len=512, output_len=100)
+        cfg = PlannerConfig(
+            group_size=2,
+            max_orderings=max_orderings,
+            microbatch_candidates=(8, 16),
+            time_limit_s=30.0,
+        )
+        planner = SplitQuantPlanner(
+            spec, cluster, cfg, cost_model=cost_model_for(spec, cluster)
+        )
+        anchors = {}
+        for objective in ("throughput", "energy", "cost"):
+            point = _point(planner, cluster, spec, wl, objective)
+            if point is None:
+                continue
+            _, tput, jpt, upm = point
+            anchors[objective] = (tput, jpt, upm)
+            rows.append(
+                [model_name, f"cluster-{cluster_idx}", objective, "",
+                 tput, jpt, upm]
+            )
+        # Budget ladder between the two energy extremes: each rung asks
+        # for the fastest plan no hungrier than its J/token ceiling.
+        if "throughput" in anchors and "energy" in anchors:
+            lo = anchors["energy"][1]
+            hi = anchors["throughput"][1]
+            for frac in budget_steps:
+                budget = lo + (hi - lo) * frac
+                try:
+                    point = _point(
+                        planner, cluster, spec, wl, "energy", budget=budget
+                    )
+                except InfeasibleError:
+                    continue
+                if point is None:
+                    continue
+                _, tput, jpt, upm = point
+                rows.append(
+                    [model_name, f"cluster-{cluster_idx}", "energy",
+                     f"{budget:.3f}", tput, jpt, upm]
+                )
+            # Frontier sanity: the energy objective can only improve
+            # J/token vs the throughput default, and budgeted points
+            # respect their ceilings (<= by construction).
+            summary[f"{model_name}_energy_improves"] = float(
+                anchors["energy"][1] <= anchors["throughput"][1] + 1e-9
+            )
+        if "throughput" in anchors and "cost" in anchors:
+            summary[f"{model_name}_cost_improves"] = float(
+                anchors["cost"][2] <= anchors["throughput"][2] + 1e-9
+            )
+        if "throughput" in anchors:
+            summary[f"{model_name}_tput_tokens_s"] = anchors["throughput"][0]
+            summary[f"{model_name}_tput_j_per_token"] = anchors["throughput"][1]
+            summary[f"{model_name}_tput_usd_per_mtoken"] = (
+                anchors["throughput"][2]
+            )
+    return ExperimentResult(
+        name="pareto",
+        title="Throughput-energy-cost Pareto frontier of objective planning",
+        headers=["model", "cluster", "objective", "budget",
+                 "tokens_per_s", "j_per_token", "usd_per_mtoken"],
+        rows=rows,
+        summary=summary,
+        notes=(
+            "Energy/cost objectives re-rank the planner's candidate "
+            "frontier; budget rungs maximize throughput under a J/token "
+            "ceiling interpolated between the energy extremes."
+        ),
+    )

@@ -31,6 +31,7 @@ from .allocator import (
     GroupSpec,
     PlannerPool,
     enumerate_groups,
+    group_rate_usd_hr,
     list_schedule,
 )
 from .jobs import DEADLINE_HOURS, FleetJob, make_job_queue
@@ -73,6 +74,7 @@ __all__ = [
     "compare_allocators",
     "default_fleet_config",
     "enumerate_groups",
+    "group_rate_usd_hr",
     "list_schedule",
     "make_job_queue",
     "simulate_schedule",

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import PlannerConfig, PlannerResult, SplitQuantPlanner
+from ..costmodel.energy import PriceBook, default_price_book
 from ..costmodel.latency import LatencyCostModel
 from ..hardware.cluster import ClusterSpec, make_cluster
 from ..models import get_model
@@ -51,8 +52,14 @@ __all__ = [
     "GroupSpec",
     "PlannerPool",
     "enumerate_groups",
+    "group_rate_usd_hr",
     "list_schedule",
 ]
+
+
+def group_rate_usd_hr(group: "GroupSpec", price_book: PriceBook) -> float:
+    """Rental rate of a whole group ($/hr at the book's tier prices)."""
+    return sum(n * price_book.rate_usd_hr(g) for g, n in group.counts)
 
 
 @dataclass(frozen=True)
@@ -177,6 +184,13 @@ class Assignment:
     @property
     def tokens_s_per_gpu(self) -> float:
         return self.tokens_s / self.group.total
+
+    def tokens_s_per_usd_hr(self, price_book: PriceBook) -> float:
+        """Cost-aware packing metric: output tokens/s per rental $/hr."""
+        rate = group_rate_usd_hr(self.group, price_book)
+        if rate <= 0:
+            return 0.0
+        return self.tokens_s / rate
 
     def describe(self) -> str:
         return (
@@ -603,11 +617,18 @@ class _BeamState:
     assignments: List[Assignment] = field(default_factory=list)
 
     def score(
-        self, inventory: Dict[str, int]
-    ) -> Tuple[float, float]:
-        """(makespan, -aggregate tokens/s): lexicographically smaller wins."""
+        self,
+        inventory: Dict[str, int],
+        price_book: Optional[PriceBook] = None,
+    ) -> Tuple[float, ...]:
+        """(makespan, -aggregate tokens/s): lexicographically smaller wins.
+
+        With a ``price_book`` (the cost objective) the allocated rental
+        dollars slot in between: among equal-makespan states the one
+        tying up cheaper GPU-hours wins.
+        """
         if not self.assignments:
-            return (0.0, 0.0)
+            return (0.0, 0.0) if price_book is None else (0.0, 0.0, 0.0)
         if any(a.sim_makespan_s is not None for a in self.assignments):
             _, _, makespan = list_schedule(
                 self.assignments,
@@ -618,17 +639,58 @@ class _BeamState:
             _, _, makespan = list_schedule(self.assignments, inventory)
         total_tokens = sum(a.job.total_output_tokens for a in self.assignments)
         agg = total_tokens / makespan if makespan > 0 else 0.0
-        return (makespan, -agg)
+        if price_book is None:
+            return (makespan, -agg)
+        usd = sum(
+            group_rate_usd_hr(a.group, price_book)
+            * (a.lookahead_duration_s / 3600.0)
+            for a in self.assignments
+        )
+        return (makespan, usd, -agg)
 
 
 class GreedyAllocator:
-    """Deadline-ordered bin packing, best tokens/s-per-GPU group first."""
+    """Deadline-ordered bin packing, best tokens/s-per-GPU group first.
+
+    ``objective="cost"`` swaps the packing metric for tokens/s per
+    rental $/hr (:meth:`Assignment.tokens_s_per_usd_hr`), preferring
+    cheap — e.g. spot-priced — GPU types at equal speed.
+    """
 
     name = "greedy"
 
-    def __init__(self, max_gpus: int = 4, max_types: int = 2) -> None:
+    def __init__(
+        self,
+        max_gpus: int = 4,
+        max_types: int = 2,
+        objective: str = "throughput",
+        price_book: Optional[PriceBook] = None,
+    ) -> None:
+        if objective not in ("throughput", "cost"):
+            raise ValueError(
+                f"unknown allocator objective {objective!r} "
+                "(expected 'throughput' or 'cost')"
+            )
         self.max_gpus = max_gpus
         self.max_types = max_types
+        self.objective = objective
+        self.price_book = (
+            default_price_book() if price_book is None else price_book
+        )
+
+    def _pick(self, feasible: Sequence[Assignment]) -> Assignment:
+        if self.objective == "cost":
+            return max(
+                feasible,
+                key=lambda a: (
+                    a.tokens_s_per_usd_hr(self.price_book),
+                    -a.group.total,
+                ),
+            )
+        return max(
+            feasible,
+            key=lambda a: (a.tokens_s_per_gpu, -a.group.total),
+        )
 
     def allocate(
         self, jobs: Sequence[FleetJob], pool: PlannerPool
@@ -652,10 +714,7 @@ class GreedyAllocator:
                     break
             if not feasible:
                 continue  # job is unschedulable on this pool
-            best = max(
-                feasible,
-                key=lambda a: (a.tokens_s_per_gpu, -a.group.total),
-            )
+            best = self._pick(feasible)
             if trace.enabled:
                 metrics.counter("fleet.alloc.greedy_commits").inc()
             out.append(best)
@@ -677,9 +736,16 @@ class BeamAllocator:
         max_gpus: int = 4,
         max_types: int = 2,
         sim_lookahead: bool = False,
+        objective: str = "throughput",
+        price_book: Optional[PriceBook] = None,
     ) -> None:
         if width <= 0 or top_groups <= 0:
             raise ValueError("width and top_groups must be positive")
+        if objective not in ("throughput", "cost"):
+            raise ValueError(
+                f"unknown allocator objective {objective!r} "
+                "(expected 'throughput' or 'cost')"
+            )
         self.width = width
         self.top_groups = top_groups
         self.max_gpus = max_gpus
@@ -687,6 +753,16 @@ class BeamAllocator:
         #: Score beam states with simulated (batched fastsim) batch
         #: makespans instead of the analytic cost-model prediction.
         self.sim_lookahead = sim_lookahead
+        #: ``"cost"`` makes beam states tie-break on allocated rental
+        #: dollars and seeds the beam with the cheapest-per-token group.
+        self.objective = objective
+        self.price_book = (
+            default_price_book() if price_book is None else price_book
+        )
+
+    @property
+    def _score_book(self) -> Optional[PriceBook]:
+        return self.price_book if self.objective == "cost" else None
 
     def _expansions(
         self, job: FleetJob, pool: PlannerPool, groups: Sequence[GroupSpec]
@@ -715,6 +791,16 @@ class BeamAllocator:
         )
         if greedy not in picks:
             picks.append(greedy)
+        if self.objective == "cost":
+            thrifty = max(
+                feasible,
+                key=lambda a: (
+                    a.tokens_s_per_usd_hr(self.price_book),
+                    -a.group.total,
+                ),
+            )
+            if thrifty not in picks:
+                picks.append(thrifty)
         return picks
 
     def allocate(
@@ -729,11 +815,14 @@ class BeamAllocator:
             picks = self._expansions(job, pool, groups)
             if not picks:
                 continue  # unschedulable job: every state skips it
-            nxt: List[Tuple[Tuple[float, float], int, _BeamState]] = []
+            nxt: List[Tuple[Tuple[float, ...], int, _BeamState]] = []
             for state in beam:
                 for a in picks:
                     cand = _BeamState(assignments=state.assignments + [a])
-                    nxt.append((cand.score(inventory), len(nxt), cand))
+                    nxt.append(
+                        (cand.score(inventory, self._score_book),
+                         len(nxt), cand)
+                    )
             nxt.sort(key=lambda t: (t[0], t[1]))
             beam = [s for _, _, s in nxt[: self.width]]
             if trace.enabled:
@@ -742,7 +831,10 @@ class BeamAllocator:
         # from the same memoized pool, so nearly free) competes as one
         # more final state under the beam's own objective.
         greedy_assignments = GreedyAllocator(
-            max_gpus=self.max_gpus, max_types=self.max_types
+            max_gpus=self.max_gpus,
+            max_types=self.max_types,
+            objective=self.objective,
+            price_book=self.price_book,
         ).allocate(jobs, pool)
         if self.sim_lookahead and greedy_assignments:
             scores = pool.score_assignments(greedy_assignments)
@@ -754,7 +846,7 @@ class BeamAllocator:
         finalists = beam + [greedy_state]
         best = min(
             enumerate(finalists),
-            key=lambda t: (t[1].score(inventory), t[0]),
+            key=lambda t: (t[1].score(inventory, self._score_book), t[0]),
         )[1]
         if trace.enabled:
             metrics.counter("fleet.alloc.beam_commits").inc(

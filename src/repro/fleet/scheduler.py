@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from ..core import PlannerConfig, SplitQuantPlanner
+from ..costmodel.energy import PriceBook, default_price_book
 from ..hardware.fleet import FleetStats, schedulable_inventory
 from ..models import get_model
 from ..obs import metrics, trace
@@ -162,6 +163,9 @@ class FleetScheduler:
         cross_node_link: str = "eth-800g",
         parallelism: int = 1,
         pool_gpus: int = 32,
+        objective: str = "throughput",
+        spot_types: Sequence[str] = (),
+        price_book: Optional[PriceBook] = None,
     ) -> None:
         if isinstance(inventory, FleetStats):
             inventory = schedulable_inventory(inventory, pool_gpus=pool_gpus)
@@ -169,9 +173,20 @@ class FleetScheduler:
             config = default_fleet_config()
         self.inventory = dict(inventory)
         self.config = config
+        # Spot-priced GPU types bill at the book's spot rate and are the
+        # preemptible ones (:meth:`preempt_spot`).
+        if price_book is None:
+            price_book = default_price_book(spot_types=tuple(spot_types))
+        elif spot_types:
+            raise ValueError(
+                "pass spot_types inside the price_book, not alongside it"
+            )
+        self.price_book = price_book
         if isinstance(allocator, str):
             try:
-                allocator = _ALLOCATORS[allocator]()
+                allocator = _ALLOCATORS[allocator](
+                    objective=objective, price_book=price_book
+                )
             except KeyError:
                 raise ValueError(
                     f"unknown allocator {allocator!r} "
@@ -312,6 +327,49 @@ class FleetScheduler:
                 schedule.unscheduled
             )
             return self._timeline(jobs, assignments, inventory=new_inventory)
+
+    def preempt_spot(
+        self,
+        schedule: FleetSchedule,
+        job_id: str,
+        gpu: Optional[str] = None,
+    ) -> FleetSchedule:
+        """A spot instance of a running job is reclaimed by the provider.
+
+        Spot GPUs trade the discounted rate in the price book for
+        preemptibility; losing one is operationally identical to an owner
+        reclaiming an idle GPU, so this validates that the reclaimed type
+        is actually spot-priced and then routes through
+        :meth:`reschedule_after_failure` — the victim job repairs its
+        plan via the incremental
+        :class:`~repro.core.replan.ClusterDelta` replan path.
+        """
+        victim = next(
+            (sj for sj in schedule.jobs if sj.job.job_id == job_id), None
+        )
+        if victim is None:
+            raise KeyError(f"job {job_id!r} is not in the schedule")
+        if gpu is None:
+            spot_held = [
+                g
+                for g, _ in victim.group.counts
+                if g in self.price_book.spot_types
+            ]
+            if not spot_held:
+                raise ValueError(
+                    f"job {job_id!r} holds no spot-priced GPUs "
+                    f"(group {victim.group.describe()}, spot types "
+                    f"{sorted(self.price_book.spot_types)})"
+                )
+            gpu = spot_held[0]
+        elif gpu not in self.price_book.spot_types:
+            raise ValueError(
+                f"{gpu!r} is not a spot-priced type "
+                f"(spot types {sorted(self.price_book.spot_types)})"
+            )
+        if trace.enabled:
+            metrics.counter("fleet.spot_preemptions").inc()
+        return self.reschedule_after_failure(schedule, job_id, dead_gpu=gpu)
 
     def _replan_reduced(
         self, assignment: Assignment, dead_gpu: str

@@ -19,9 +19,11 @@ to the full idle capacity of a sampled fleet
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from ..costmodel.energy import PriceBook, default_price_book
 from ..hardware.fleet import HOURS_PER_MONTH, FleetStats
+from ..hardware.gpus import get_gpu
 from ..models import get_model
 from ..obs import metrics, trace
 from ..pipeline.simulator import PipelineSimResult, simulate_plan
@@ -29,6 +31,8 @@ from .allocator import list_schedule
 from .scheduler import FleetSchedule, ScheduledJob
 
 __all__ = ["FleetSimResult", "JobSimRecord", "simulate_schedule"]
+
+_JOULES_PER_KWH = 3.6e6
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,27 @@ class FleetSimResult:
     makespan_s: float
     total_tokens: int
     allocator: str
+    #: Fleet-wide joules over the makespan: every job's per-batch energy
+    #: times its batch count, plus idle draw for unallocated inventory
+    #: GPU-seconds.  ``None`` on results predating energy accounting.
+    energy_j: Optional[float] = None
+    #: Fleet-wide dollars: the whole inventory rented for the makespan at
+    #: the price book's tier rates, plus electricity for ``energy_j``.
+    cost_usd: Optional[float] = None
+
+    @property
+    def joules_per_token(self) -> float:
+        """Energy efficiency headline (J per output token)."""
+        if self.energy_j is None or self.total_tokens <= 0:
+            return 0.0
+        return self.energy_j / self.total_tokens
+
+    @property
+    def usd_per_mtoken(self) -> float:
+        """Dollar efficiency headline ($ per million output tokens)."""
+        if self.cost_usd is None or self.total_tokens <= 0:
+            return 0.0
+        return self.cost_usd / (self.total_tokens / 1e6)
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -170,12 +195,16 @@ def simulate_schedule(
     cross_node_link: str = "eth-800g",
     check_memory: bool = True,
     sim_backend: str = "auto",
+    price_book: Optional[PriceBook] = None,
 ) -> FleetSimResult:
     """Simulate every scheduled job and compose the fleet timeline.
 
     ``sim_backend`` selects the per-job pipeline simulator engine
     (``"auto"`` takes the closed-form fast path whenever it is exact —
-    which, for fleet jobs' uniform batches, is always).
+    which, for fleet jobs' uniform batches, is always).  ``price_book``
+    prices the fleet's rental and electricity
+    (:func:`repro.costmodel.energy.default_price_book` when ``None``) —
+    GPU types listed in its ``spot_types`` bill at spot rates.
     """
     with trace.span(
         "fleet.simulate",
@@ -183,7 +212,7 @@ def simulate_schedule(
         allocator=schedule.allocator,
     ) as sp:
         result = _simulate_schedule(
-            schedule, cross_node_link, check_memory, sim_backend
+            schedule, cross_node_link, check_memory, sim_backend, price_book
         )
         sp.set(makespan_s=round(result.makespan_s, 3))
         if trace.enabled:
@@ -211,12 +240,50 @@ def _one_job_sim(
     )
 
 
+def _fleet_energy_cost(
+    inventory: Dict[str, int],
+    records: Tuple[JobSimRecord, ...],
+    makespan_s: float,
+    price_book: PriceBook,
+) -> Tuple[float, float]:
+    """Compose fleet joules and dollars from the per-job simulations.
+
+    Busy energy is each job's one-batch ``energy_j`` scaled by its batch
+    count (the job's GPUs draw that power for its whole slot).  Idle
+    energy covers the rest of the inventory: each type's un-allocated
+    GPU-seconds over the makespan at its idle wattage.  Cost rents the
+    whole inventory for the makespan (spot or on-demand per the price
+    book) and adds electricity for the total joules.
+    """
+    busy_j = sum(
+        (rec.batch_sim.energy_j or 0.0) * rec.num_batches for rec in records
+    )
+    allocated_s: Dict[str, float] = {g: 0.0 for g in inventory}
+    for rec in records:
+        for g, n in rec.group_counts:
+            allocated_s[g] = allocated_s.get(g, 0.0) + n * rec.duration_s
+    idle_j = 0.0
+    rental_usd = 0.0
+    for g, n in inventory.items():
+        idle_gpu_s = max(n * makespan_s - allocated_s.get(g, 0.0), 0.0)
+        idle_j += get_gpu(g).idle_watts * idle_gpu_s
+        rental_usd += n * price_book.rate_usd_hr(g) * (makespan_s / 3600.0)
+    energy = busy_j + idle_j
+    cost = rental_usd + (
+        energy / _JOULES_PER_KWH
+    ) * price_book.electricity_usd_per_kwh
+    return energy, cost
+
+
 def _simulate_schedule(
     schedule: FleetSchedule,
     cross_node_link: str,
     check_memory: bool,
     sim_backend: str = "auto",
+    price_book: Optional[PriceBook] = None,
 ) -> FleetSimResult:
+    if price_book is None:
+        price_book = default_price_book()
     batch_sims = [
         _one_job_sim(sj, cross_node_link, check_memory, sim_backend)
         for sj in schedule.jobs
@@ -242,10 +309,15 @@ def _simulate_schedule(
         )
         for sj, sim, s, e in zip(schedule.jobs, batch_sims, start, end)
     )
+    energy, cost = _fleet_energy_cost(
+        dict(schedule.inventory), records, makespan, price_book
+    )
     return FleetSimResult(
         inventory=dict(schedule.inventory),
         jobs=records,
         makespan_s=makespan,
         total_tokens=sum(r.total_tokens for r in records),
         allocator=schedule.allocator,
+        energy_j=energy,
+        cost_usd=cost,
     )

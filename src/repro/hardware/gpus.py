@@ -63,6 +63,10 @@ class GPUSpec:
     dequant_penalty: float
     #: Intra-node interconnect ("nvlink" or "pcie").
     intra_node_link: str = "nvlink"
+    #: Board power at idle (W): context held, no kernels in flight.
+    idle_watts: float = 50.0
+    #: Board power at full utilization (W): the TDP-class sustained draw.
+    peak_watts: float = 250.0
 
     @property
     def usable_mem_bytes(self) -> int:
@@ -112,6 +116,8 @@ def _make_registry() -> Dict[str, GPUSpec]:
             mem_bw_decode_gbps=900.0,
             kernel_overhead_s=4e-6,
             dequant_penalty=1.0,
+            idle_watts=55.0,
+            peak_watts=400.0,
         ),
         GPUSpec(
             name="V100-32G",
@@ -124,6 +130,8 @@ def _make_registry() -> Dict[str, GPUSpec]:
             mem_bw_decode_gbps=430.0,
             kernel_overhead_s=5e-6,
             dequant_penalty=1.3,
+            idle_watts=35.0,
+            peak_watts=300.0,
         ),
         GPUSpec(
             name="T4-16G",
@@ -136,6 +144,8 @@ def _make_registry() -> Dict[str, GPUSpec]:
             mem_bw_decode_gbps=180.0,
             kernel_overhead_s=6e-6,
             dequant_penalty=1.4,
+            idle_watts=17.0,
+            peak_watts=70.0,
         ),
         GPUSpec(
             name="P100-12G",
@@ -153,6 +163,8 @@ def _make_registry() -> Dict[str, GPUSpec]:
             mem_bw_decode_gbps=59.0,
             kernel_overhead_s=9e-6,
             dequant_penalty=1.8,
+            idle_watts=30.0,
+            peak_watts=250.0,
         ),
     ]
     return {s.name: s for s in specs}

@@ -110,6 +110,7 @@ def evaluate_plans(
     would.  The default skips it — frontier scoring is typically applied
     to already-validated candidates.
     """
+    from ..costmodel.energy import plan_cost, plan_energy
     from .simulator import (
         PipelineSimResult,
         check_plan_memory,
@@ -122,7 +123,9 @@ def evaluate_plans(
         return []
     with trace.span("batchsim.evaluate", plans=n) as sp:
         results: List[Optional[PipelineSimResult]] = [None] * n
-        lanes: List[Tuple[int, PlanTables, int, Tuple[int, ...]]] = []
+        lanes: List[
+            Tuple[int, PlanTables, int, Tuple[int, ...], PlanCase, BatchWorkload]
+        ] = []
         fallbacks = 0
         for i, case in enumerate(cases):
             plan, wl = case.plan, case.workload
@@ -174,26 +177,42 @@ def evaluate_plans(
                 plan, case.cluster, case.spec, uniform, timing,
                 share_components=True,
             )
-            lanes.append((i, tables, total_tokens, stage_mem))
+            lanes.append((i, tables, total_tokens, stage_mem, case, uniform))
 
         if lanes:
             prefill_span, decode_span, busy = _batched_core(
-                [t for _, t, _, _ in lanes]
+                [t for _, t, _, _, _, _ in lanes]
             )
-            for li, (i, tables, total_tokens, stage_mem) in enumerate(lanes):
+            for li, (i, tables, total_tokens, stage_mem, case, uniform) in (
+                enumerate(lanes)
+            ):
                 pre = float(prefill_span[li])
                 dec = float(decode_span[li])
+                stage_busy = tuple(
+                    float(busy[j, li]) for j in range(tables.n_stages)
+                )
+                # Same pure post-pass the per-plan wrappers apply
+                # (attach_energy), over the same bit-identical fields ->
+                # lane energy matches the event and fast backends
+                # exactly; folded into construction to keep the batched
+                # path's per-lane overhead minimal.
+                energy = plan_energy(
+                    case.plan, case.cluster, case.spec, uniform,
+                    pre + dec, pre, dec, stage_busy,
+                )
                 results[i] = PipelineSimResult(
                     makespan_s=pre + dec,
                     prefill_span_s=pre,
                     decode_span_s=dec,
                     total_tokens=total_tokens,
-                    stage_busy_s=tuple(
-                        float(busy[j, li]) for j in range(tables.n_stages)
-                    ),
+                    stage_busy_s=stage_busy,
                     stage_memory_bytes=stage_mem,
                     events_processed=tables.events,
                     sim_backend="fast",
+                    energy_j=energy,
+                    cost_usd=plan_cost(
+                        case.plan, case.cluster, pre + dec, energy
+                    ),
                 )
         sp.set(batched=len(lanes), fallbacks=fallbacks)
         if trace.enabled:

@@ -138,6 +138,11 @@ class OnlineSimResult:
     #: Provenance only (excluded from equality), like the offline result.
     sim_backend: str = field(default="event", compare=False)
     backend_reason: Optional[str] = field(default=None, compare=False)
+    #: Joules / dollars for the run, computed by the same pure post-pass
+    #: as the offline result (worst-case reference shapes), so the
+    #: degenerate online run matches offline energy bit-for-bit.
+    energy_j: Optional[float] = None
+    cost_usd: Optional[float] = None
 
     @property
     def rejected(self) -> int:
@@ -181,6 +186,20 @@ class OnlineSimResult:
 
     def latency_percentile(self, q: float) -> float:
         return _percentile(self.latency_s, q)
+
+    @property
+    def joules_per_token(self) -> float:
+        """Energy efficiency headline (J per output token)."""
+        if self.energy_j is None or self.total_tokens <= 0:
+            return 0.0
+        return self.energy_j / self.total_tokens
+
+    @property
+    def usd_per_mtoken(self) -> float:
+        """Dollar efficiency headline ($ per million output tokens)."""
+        if self.cost_usd is None or self.total_tokens <= 0:
+            return 0.0
+        return self.cost_usd / (self.total_tokens / 1e6)
 
     @property
     def ttft_slo_attainment(self) -> Optional[float]:
@@ -620,12 +639,30 @@ def _simulate_online(
         completion_t[i] - by_id[i].arrival_s for i in done_ids
     )
 
+    # Energy/cost post-pass at the worst-case reference shapes — the
+    # identical expression the degenerate-equivalence memory check uses,
+    # so a one-closed-batch stream reproduces the offline attach exactly.
+    from ..costmodel.energy import plan_cost, plan_energy
+
+    stage_busy = tuple(s.busy_time for s in servers)
+    energy_ref = BatchWorkload(
+        batch=arrivals.n_requests,
+        prompt_len=arrivals.max_prompt,
+        output_len=max_output,
+        chunk_tokens=config.chunk_tokens,
+    )
+    energy = plan_energy(
+        plan, cluster, spec, energy_ref,
+        makespan, prefill_span, decode_span, stage_busy,
+    )
+    cost = plan_cost(plan, cluster, makespan, energy)
+
     return OnlineSimResult(
         makespan_s=makespan,
         prefill_span_s=prefill_span,
         decode_span_s=decode_span,
         total_tokens=counts["tokens"],
-        stage_busy_s=tuple(s.busy_time for s in servers),
+        stage_busy_s=stage_busy,
         stage_memory_bytes=stage_mem,
         events_processed=loop.processed,
         arrived=counts["arrived"],
@@ -641,4 +678,6 @@ def _simulate_online(
         latency_s=latency,
         area_request_s=area["value"],
         ttft_slo_s=config.ttft_slo_s,
+        energy_j=energy,
+        cost_usd=cost,
     )

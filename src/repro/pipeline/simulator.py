@@ -70,6 +70,14 @@ class PipelineSimResult:
     #: batched evaluator) dropped this run to the event engine; ``None``
     #: when no fallback happened.  Provenance only, like ``sim_backend``.
     backend_reason: Optional[str] = field(default=None, compare=False)
+    #: Joules drawn by the plan's GPUs over the run
+    #: (:func:`repro.costmodel.energy.plan_energy`); ``None`` when the
+    #: result predates energy accounting.  Participates in equality, so
+    #: the event/fast/batched differential tests pin it bit-identical.
+    energy_j: Optional[float] = None
+    #: Dollars for the run: rental + electricity
+    #: (:func:`repro.costmodel.energy.plan_cost`).
+    cost_usd: Optional[float] = None
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -95,11 +103,55 @@ class PipelineSimResult:
         """Simulated wall-clock (the Summary-protocol duration)."""
         return self.makespan_s
 
+    @property
+    def joules_per_token(self) -> float:
+        """Energy efficiency headline (J per output token)."""
+        if self.energy_j is None or self.total_tokens <= 0:
+            return 0.0
+        return self.energy_j / self.total_tokens
+
+    @property
+    def usd_per_mtoken(self) -> float:
+        """Dollar efficiency headline ($ per million output tokens)."""
+        if self.cost_usd is None or self.total_tokens <= 0:
+            return 0.0
+        return self.cost_usd / (self.total_tokens / 1e6)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict via :mod:`repro.serialization` (round-trip)."""
         from ..serialization import sim_result_to_dict
 
         return sim_result_to_dict(self)
+
+
+def attach_energy(
+    result: PipelineSimResult,
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    workload: BatchWorkload,
+) -> PipelineSimResult:
+    """Stamp joules and dollars onto a finished simulation result.
+
+    A pure post-pass over fields every backend already agrees on
+    bit-for-bit (makespan, phase spans, per-stage busy times), so the
+    stamped totals are bit-identical across event, fast and batched
+    engines by construction.
+    """
+    from ..costmodel.energy import plan_cost, plan_energy
+
+    energy = plan_energy(
+        plan,
+        cluster,
+        spec,
+        workload,
+        result.makespan_s,
+        result.prefill_span_s,
+        result.decode_span_s,
+        result.stage_busy_s,
+    )
+    cost = plan_cost(plan, cluster, result.makespan_s, energy)
+    return replace(result, energy_j=energy, cost_usd=cost)
 
 
 # Historical location of the micro-batch splitter; the shared
@@ -187,6 +239,7 @@ def simulate_plan(
             )
             if sim_backend == "auto" and reason is not None:
                 result = replace(result, backend_reason=reason)
+        result = attach_energy(result, plan, cluster, spec, workload)
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs").inc()
@@ -588,6 +641,20 @@ def simulate_plan_variable(
             )
             if sim_backend == "auto" and reason is not None:
                 result = replace(result, backend_reason=reason)
+        # Energy references the worst-case uniform view, mirroring the
+        # engines' own memory/prefill treatment of variable batches.
+        result = attach_energy(
+            result,
+            plan,
+            cluster,
+            spec,
+            BatchWorkload(
+                batch=workload.batch,
+                prompt_len=workload.prompt_len,
+                output_len=workload.max_output,
+                chunk_tokens=workload.chunk_tokens,
+            ),
+        )
         sp.set(events=result.events_processed)
         if trace.enabled:
             metrics.counter("sim.runs_variable").inc()

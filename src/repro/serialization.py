@@ -221,6 +221,10 @@ def sim_result_to_dict(res: "PipelineSimResult") -> Dict[str, Any]:
     # byte-stable while round-tripping fallback provenance.
     if res.backend_reason is not None:
         out["backend_reason"] = res.backend_reason
+    if res.energy_j is not None:
+        out["energy_j"] = round_trace_float(res.energy_j)
+    if res.cost_usd is not None:
+        out["cost_usd"] = round_trace_float(res.cost_usd)
     return out
 
 
@@ -278,7 +282,14 @@ def sim_result_from_dict(data: Dict[str, Any]) -> "PipelineSimResult":
         events_processed=int(data["events_processed"]),
         sim_backend=str(data.get("sim_backend", "event")),
         backend_reason=data.get("backend_reason"),
+        energy_j=_opt_float(data.get("energy_j")),
+        cost_usd=_opt_float(data.get("cost_usd")),
     )
+
+
+def _opt_float(value: Any) -> Any:
+    """``None`` passes through; everything else becomes ``float``."""
+    return None if value is None else float(value)
 
 
 def degraded_result_from_dict(data: Dict[str, Any]) -> "DegradedSimResult":
@@ -402,6 +413,18 @@ def planner_result_to_dict(res: "PlannerResult") -> Dict[str, Any]:
         "workload": (
             None if res.workload is None else workload_to_dict(res.workload)
         ),
+        "objective": res.objective,
+        "budget": (
+            None if res.budget is None else round_trace_float(res.budget)
+        ),
+        "predicted_energy_j": (
+            None if res.predicted_energy_j is None
+            else round_trace_float(res.predicted_energy_j)
+        ),
+        "predicted_cost_usd": (
+            None if res.predicted_cost_usd is None
+            else round_trace_float(res.predicted_cost_usd)
+        ),
     }
 
 
@@ -432,6 +455,10 @@ def planner_result_from_dict(data: Dict[str, Any]) -> "PlannerResult":
         tier_reason=str(data.get("tier_reason", "")),
         gap_bound=None if gap is None else float(gap),
         workload=None if wl is None else workload_from_dict(wl),
+        objective=str(data.get("objective", "throughput")),
+        budget=_opt_float(data.get("budget")),
+        predicted_energy_j=_opt_float(data.get("predicted_energy_j")),
+        predicted_cost_usd=_opt_float(data.get("predicted_cost_usd")),
     )
 
 
@@ -486,7 +513,7 @@ def generation_result_from_dict(data: Dict[str, Any]) -> "GenerationResult":
 
 def fleet_result_to_dict(res: "FleetSimResult") -> Dict[str, Any]:
     """A JSON-safe dict of a fleet simulation (round-trip exact)."""
-    return {
+    out = {
         "schema_version": FLEET_SCHEMA_VERSION,
         "kind": "fleet_sim",
         "inventory": {g: int(n) for g, n in sorted(res.inventory.items())},
@@ -509,6 +536,11 @@ def fleet_result_to_dict(res: "FleetSimResult") -> Dict[str, Any]:
             for rec in res.jobs
         ],
     }
+    if res.energy_j is not None:
+        out["energy_j"] = round_trace_float(res.energy_j)
+    if res.cost_usd is not None:
+        out["cost_usd"] = round_trace_float(res.cost_usd)
+    return out
 
 
 def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetSimResult":
@@ -545,6 +577,8 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetSimResult":
         makespan_s=float(data["makespan_s"]),
         total_tokens=int(data["total_tokens"]),
         allocator=str(data["allocator"]),
+        energy_j=_opt_float(data.get("energy_j")),
+        cost_usd=_opt_float(data.get("cost_usd")),
     )
 
 
@@ -581,6 +615,10 @@ def online_result_to_dict(res: "OnlineSimResult") -> Dict[str, Any]:
     # Same convention as sim_result_to_dict: only serialized when set.
     if res.backend_reason is not None:
         out["backend_reason"] = res.backend_reason
+    if res.energy_j is not None:
+        out["energy_j"] = round_trace_float(res.energy_j)
+    if res.cost_usd is not None:
+        out["cost_usd"] = round_trace_float(res.cost_usd)
     return out
 
 
@@ -621,6 +659,8 @@ def online_result_from_dict(data: Dict[str, Any]) -> "OnlineSimResult":
         ttft_slo_s=None if ttft_slo is None else float(ttft_slo),
         sim_backend=str(data.get("sim_backend", "event")),
         backend_reason=data.get("backend_reason"),
+        energy_j=_opt_float(data.get("energy_j")),
+        cost_usd=_opt_float(data.get("cost_usd")),
     )
 
 

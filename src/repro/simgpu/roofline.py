@@ -125,6 +125,53 @@ def layer_time(
     return max(compute, memory) + overhead
 
 
+@lru_cache(maxsize=4096)
+def layer_occupancy(
+    gpu: GPUSpec,
+    spec: ModelSpec,
+    bits: int,
+    phase: str,
+    batch: int,
+    seq: int,
+    bit_kv: int = 16,
+) -> float:
+    """Power-relevant utilization fraction of one decoder layer in [0, 1].
+
+    Mirrors :func:`layer_time`'s roofline decomposition: the dominant
+    resource (compute or memory) is busy for the whole roofline window
+    while the other overlaps underneath it at half weight — a standard
+    linear power proxy.  Kernel-launch overhead counts as idle, which is
+    what makes tiny decode kernels on old parts draw near-idle power.
+
+    Pure function of frozen specs and workload shape, so every simulation
+    backend computes bit-identical occupancies from the same plan.
+    """
+    if batch <= 0 or seq < 0:
+        raise ValueError("batch must be positive and seq non-negative")
+    if phase == "prefill":
+        flops = L.prefill_flops(spec, batch, seq)
+        nbytes = L.prefill_bytes(spec, batch, seq, bits, bit_kv)
+        tokens = batch * seq
+    elif phase == "decode":
+        flops = L.decode_flops(spec, batch, seq)
+        nbytes = L.decode_bytes(spec, batch, seq, bits, bit_kv)
+        tokens = batch
+    else:
+        raise ValueError(f"unknown phase {phase!r}")
+    compute = flops / (gpu.compute_tflops(bits) * 1e12)
+    compute += _dequant_time(gpu, spec, bits)
+    compute += _act_quant_time(gpu, spec, bits, tokens)
+    if phase == "decode":
+        memory = nbytes / (gpu.mem_bw_decode_gbps * 1e9)
+    else:
+        memory = nbytes / (gpu.mem_bw_gbps * 1e9)
+    total = max(compute, memory) + KERNELS_PER_LAYER * gpu.kernel_overhead_s
+    if total <= 0.0:
+        return 0.0
+    occ = (max(compute, memory) + 0.5 * min(compute, memory)) / total
+    return min(occ, 1.0)
+
+
 def embedding_time(gpu: GPUSpec, spec: ModelSpec, tokens: int) -> float:
     """Token/position embedding lookup time (bandwidth-bound gather)."""
     nbytes = 2.0 * tokens * spec.embed_dim * L.FP16_BYTES

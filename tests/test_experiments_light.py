@@ -9,7 +9,7 @@ def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "fig01", "fig03", "fig04", "fig05", "fig07", "fig08", "fig09",
         "fig10", "fig11", "fig12", "tab01", "tab04", "tab05", "tab06",
-        "ablations",
+        "ablations", "pareto",
     }
 
 
