@@ -23,6 +23,12 @@ compares them against the records committed under ``benchmarks/``:
   Table-VI planner frontier and the 25-GPU fleet probe frontier.  Same
   same-machine ratio comparison, with a hard floor of 10x per frontier
   and bit-identical results as a structural invariant.
+* ``BENCH_online.json`` — the online serving simulator's
+  epoch-vectorized fast backend vs the discrete-event engine, on the
+  steady (150k req/day) and overload (2M req/day, SLO shedding)
+  streams.  Same same-machine ratio comparison, with a hard floor of
+  5x on the overload stream and bit-identical results as a structural
+  invariant.
 * ``BENCH_energy.json`` — the energy/cost accounting layer.  The
   numbers are deterministic cost-model outputs (no wall-clock), so the
   guard enforces hard ceilings: the fresh throughput-optimal plan's
@@ -186,6 +192,29 @@ def measure_batchsim() -> dict:
     return out
 
 
+def measure_online() -> dict:
+    """Fresh fast-vs-event online serving speedup on both streams."""
+    sys.path.insert(0, str(REPO))
+    from benchmarks.test_online_scaling import (  # noqa: E402
+        _bench_cases,
+        _measure_case,
+    )
+
+    out: dict = {"bench": "online_scaling"}
+    for name, plan, cluster, spec, arrivals, config in _bench_cases():
+        event_wall, fast_wall, event_res, fast_res = _measure_case(
+            plan, cluster, spec, arrivals, config
+        )
+        out[name] = {
+            "requests": arrivals.n_requests,
+            "event_wall_s": round(event_wall, 5),
+            "fast_wall_s": round(fast_wall, 5),
+            "speedup": round(event_wall / fast_wall, 2),
+            "results_identical": fast_res == event_res,
+        }
+    return out
+
+
 def measure_energy() -> dict:
     """Fresh energy parity + objective headlines from the energy bench."""
     sys.path.insert(0, str(REPO))
@@ -319,6 +348,7 @@ def main(argv=None) -> int:
     baseline_batchsim = _load_baseline("BENCH_batchsim.json")
     baseline_scale = _load_baseline("BENCH_planner_scale.json")
     baseline_energy = _load_baseline("BENCH_energy.json")
+    baseline_online = _load_baseline("BENCH_online.json")
 
     failures: list[str] = []
 
@@ -392,6 +422,31 @@ def main(argv=None) -> int:
             failures.append(
                 f"batchsim {frontier} speedup regressed: "
                 f"{fresh['speedup']:.2f}x < floor {batch_floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x)"
+            )
+
+    fresh_online = measure_online()
+    for stream in ("steady", "overload"):
+        fresh = fresh_online[stream]
+        base = baseline_online[stream]
+        ratio_floor = base["speedup"] * (1.0 - args.tolerance)
+        online_floor = (
+            max(ratio_floor, 5.0) if stream == "overload" else ratio_floor
+        )
+        print(
+            f"online {stream} fast-path speedup: fresh "
+            f"{fresh['speedup']:.2f}x vs baseline {base['speedup']:.2f}x "
+            f"(floor {online_floor:.2f}x)"
+        )
+        if not fresh["results_identical"]:
+            failures.append(
+                f"online fast backend diverged from the event engine "
+                f"on the {stream} stream"
+            )
+        if fresh["speedup"] < online_floor:
+            failures.append(
+                f"online {stream} fast-path speedup regressed: "
+                f"{fresh['speedup']:.2f}x < floor {online_floor:.2f}x "
                 f"(baseline {base['speedup']:.2f}x)"
             )
 
@@ -489,6 +544,11 @@ def main(argv=None) -> int:
         "batchsim_baseline_speedups": {
             f: baseline_batchsim[f]["speedup"]
             for f in ("planner_frontier", "fleet_frontier")
+        },
+        "online": fresh_online,
+        "online_baseline_speedups": {
+            s: baseline_online[s]["speedup"]
+            for s in ("steady", "overload")
         },
         "planner_scale": fresh_scale,
         "planner_scale_baseline": {

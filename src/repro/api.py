@@ -365,6 +365,7 @@ class Session:
         plan: Optional[Union[ExecutionPlan, PlannerResult]] = None,
         config: Optional["OnlineConfig"] = None,
         check_memory: bool = True,
+        sim_backend: str = "auto",
     ) -> "OnlineSimResult":
         """Simulate online serving of an arrival stream on this session.
 
@@ -375,7 +376,10 @@ class Session:
         :func:`~repro.workloads.closed_batch_trace`); ``plan`` defaults
         to the last :meth:`plan` result.  ``config`` is an
         :class:`~repro.pipeline.OnlineConfig` controlling chunking,
-        continuous-batching group size, and KV/SLO admission.  Returns an
+        continuous-batching group size, and KV/SLO admission.
+        ``sim_backend`` picks the engine (``"event"``, ``"fast"``, or
+        the default ``"auto"``) — the backends are bit-identical, so
+        this is a speed knob, not a fidelity one.  Returns an
         :class:`~repro.pipeline.OnlineSimResult` (a :class:`Summary`)
         with per-request TTFT/TPOT/latency percentiles.
         """
@@ -384,6 +388,7 @@ class Session:
             return simulate_online(
                 ex_plan, self.cluster, self.spec, arrivals,
                 config=config, check_memory=check_memory,
+                sim_backend=sim_backend,
             )
 
     def schedule_fleet(

@@ -127,6 +127,10 @@ class OnlineFleetResult:
     #: (like the simulator's provenance fields) it is excluded from
     #: equality.
     pool_stats: Dict[str, int] = field(default_factory=dict, compare=False)
+    #: Events the replay loop processed (arrivals + job finishes).
+    #: Provenance for the drain-queue regression tests; excluded from
+    #: equality like the pipeline result's provenance fields.
+    events_processed: int = field(default=0, compare=False)
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -221,6 +225,7 @@ class OnlineFleetScheduler:
         parallelism: int = 1,
         max_gpus: int = 4,
         max_types: int = 2,
+        index_queue: bool = True,
     ) -> None:
         if config is None:
             from .scheduler import default_fleet_config
@@ -236,25 +241,42 @@ class OnlineFleetScheduler:
         )
         self.max_gpus = max_gpus
         self.max_types = max_types
+        self.index_queue = index_queue
         self._all_groups = enumerate_groups(
             self.inventory, max_gpus=max_gpus, max_types=max_types
         )
         #: Waiting jobs as (job, arrival time), FIFO by arrival.
         self.queue: List[Tuple[FleetJob, float]] = []
+        #: Admissibility index: per waiting job, its planner-feasible
+        #: assignments over every inventory-fitting group (in group
+        #: enumeration order).  Planner feasibility depends only on the
+        #: (job, group) pair — never on the free budget — so a release
+        #: event just filters this list by ``fits(free)`` instead of
+        #: re-running the planner scan per waiting job.
+        self._feasible_cache: Dict[str, List[Assignment]] = {}
+
+    @staticmethod
+    def _place_key(a: Assignment) -> Tuple[float, int]:
+        return (a.tokens_s_per_gpu, -a.group.total)
+
+    def _feasible_on(
+        self, job: FleetJob, budget: Dict[str, int]
+    ) -> List[Assignment]:
+        """Planner-feasible assignments on budget-fitting groups, in
+        group enumeration order (the tie-break order of ``_best_on``)."""
+        candidates = [g for g in self._all_groups if g.fits(budget)]
+        if not candidates:
+            return []
+        evaluated = self.pool.evaluate_many([(job, g) for g in candidates])
+        return [a for a in evaluated if a is not None]
 
     def _best_on(
         self, job: FleetJob, budget: Dict[str, int]
     ) -> Optional[Assignment]:
-        candidates = [g for g in self._all_groups if g.fits(budget)]
-        if not candidates:
-            return None
-        evaluated = self.pool.evaluate_many([(job, g) for g in candidates])
-        feasible = [a for a in evaluated if a is not None]
+        feasible = self._feasible_on(job, budget)
         if not feasible:
             return None
-        return max(
-            feasible, key=lambda a: (a.tokens_s_per_gpu, -a.group.total)
-        )
+        return max(feasible, key=self._place_key)
 
     def _reserve(self, group: GroupSpec) -> None:
         for g, n in group.counts:
@@ -277,7 +299,10 @@ class OnlineFleetScheduler:
         if assignment is not None:
             self._reserve(assignment.group)
             return "started", assignment
-        if self._best_on(job, self.inventory) is not None:
+        feasible = self._feasible_on(job, self.inventory)
+        if feasible:
+            if self.index_queue:
+                self._feasible_cache[job.job_id] = feasible
             self.queue.append((job, now))
             return "queued", None
         return "dropped", None
@@ -288,16 +313,33 @@ class OnlineFleetScheduler:
         """Start every waiting job that now fits (FIFO, with backfill).
 
         Called after a release; returns the started
-        ``(job, arrival, assignment)`` triples in start order.
+        ``(job, arrival, assignment)`` triples in start order.  With
+        ``index_queue`` (default) the pick filters each job's cached
+        admissibility index by the free budget — zero planner calls —
+        and is decision-identical to the legacy per-job planner rescan:
+        free-fitting groups are a subset of inventory-fitting ones, the
+        cached list preserves group enumeration order, and the max key
+        is the same, so the same assignment wins every tie.
         """
         started: List[Tuple[FleetJob, float, Assignment]] = []
         remaining: List[Tuple[FleetJob, float]] = []
         for job, arrival in self.queue:
-            assignment = self._best_on(job, self.free)
+            if self.index_queue:
+                fits = [
+                    a
+                    for a in self._feasible_cache[job.job_id]
+                    if a.group.fits(self.free)
+                ]
+                assignment = (
+                    max(fits, key=self._place_key) if fits else None
+                )
+            else:
+                assignment = self._best_on(job, self.free)
             if assignment is None:
                 remaining.append((job, arrival))
                 continue
             self._reserve(assignment.group)
+            self._feasible_cache.pop(job.job_id, None)
             started.append((job, arrival, assignment))
         self.queue = remaining
         return started
@@ -310,6 +352,8 @@ def simulate_online_fleet(
     cross_node_link: str = "eth-800g",
     parallelism: int = 1,
     use_sim_durations: bool = True,
+    index_queue: bool = True,
+    prewarm: Optional[bool] = None,
 ) -> OnlineFleetResult:
     """Replay an arrival stream of fleet jobs through the online scheduler.
 
@@ -318,6 +362,14 @@ def simulate_online_fleet(
     is set — the same measured per-batch makespans the offline
     :func:`~repro.fleet.simulator.simulate_schedule` composes — falling
     back to the planner's analytic prediction where scoring declines.
+
+    ``index_queue`` keeps a per-job admissibility index so queue drains
+    filter cached feasible assignments instead of re-running the planner
+    scan; decisions are identical either way.  ``prewarm`` (default: on
+    when ``parallelism > 1``) evaluates every (job, fitting-group) pair
+    across the planner pool's workers *before* the serial replay, so the
+    replay itself only hits memoized results — the reduction stays in
+    arrival order and the outcome is bit-identical to a cold run.
     """
     if not arrivals:
         raise ValueError("arrival stream is empty")
@@ -337,7 +389,7 @@ def simulate_online_fleet(
     ) as sp:
         result = _simulate_online_fleet(
             inventory, stream, config, cross_node_link, parallelism,
-            use_sim_durations,
+            use_sim_durations, index_queue, prewarm,
         )
         sp.set(
             served=len(result.jobs),
@@ -358,13 +410,35 @@ def _simulate_online_fleet(
     cross_node_link: str,
     parallelism: int,
     use_sim_durations: bool,
+    index_queue: bool,
+    prewarm: Optional[bool],
 ) -> OnlineFleetResult:
     sched = OnlineFleetScheduler(
         inventory,
         config=config,
         cross_node_link=cross_node_link,
         parallelism=parallelism,
+        index_queue=index_queue,
     )
+    if prewarm is None:
+        prewarm = parallelism > 1
+    if prewarm:
+        # Evaluate the whole (job, fitting-group) grid upfront: with a
+        # parallel pool the pairs fan out across workers, and the serial
+        # replay below only hits memoized results.  Evaluation order
+        # never affects decisions (results are keyed per pair), so this
+        # is bit-identical to the cold replay.
+        pairs = [
+            (ja.job, g)
+            for ja in stream
+            for g in sched._all_groups
+            if g.fits(sched.inventory)
+        ]
+        evaluated = sched.pool.evaluate_many(pairs)
+        if use_sim_durations:
+            sched.pool.score_assignments(
+                [a for a in evaluated if a is not None]
+            )
     loop = EventLoop()
     records: List[OnlineJobRecord] = []
     dropped: List[str] = []
@@ -419,4 +493,5 @@ def _simulate_online_fleet(
         makespan_s=makespan,
         total_tokens=sum(r.total_tokens for r in records),
         pool_stats=sched.pool.stats(),
+        events_processed=loop.processed,
     )

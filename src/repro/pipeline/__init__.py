@@ -14,8 +14,12 @@ from .online import (
     ADMISSION_POLICIES,
     OnlineConfig,
     OnlineSimResult,
+    OnlineTables,
+    clear_online_caches,
+    online_tables,
     simulate_online,
 )
+from .online_fast import fast_online_eligibility
 from .simulator import (
     DegradedSimResult,
     PipelineSimResult,
@@ -42,17 +46,21 @@ __all__ = [
     "DegradedSimResult",
     "OnlineConfig",
     "OnlineSimResult",
+    "OnlineTables",
     "PipelineSimResult",
     "PipelineTopology",
     "SIM_BACKENDS",
     "check_plan_memory",
+    "clear_online_caches",
     "microbatch_sizes",
+    "online_tables",
     "simulate_online",
     "PlanCase",
     "build_plan_tables",
     "clear_table_caches",
     "evaluate_plans",
     "fast_eligibility",
+    "fast_online_eligibility",
     "fast_eligibility_variable",
     "fast_eligible",
     "fast_eligible_variable",

@@ -98,6 +98,7 @@ def test_online_equals_offline_grid(
     online = simulate_online(
         plan, cluster, spec, closed_batch_trace(wl),
         config=OnlineConfig(chunk_tokens=chunk, admission="none"),
+        sim_backend="event",
     )
     _assert_identical(offline, online)
     # The degenerate trace is exactly one closed batch, fully served.
@@ -119,6 +120,7 @@ def test_degenerate_event_count_matches_offline(cluster5, opt13b):
     online = simulate_online(
         plan, cluster5, opt13b, closed_batch_trace(wl),
         config=OnlineConfig(chunk_tokens=512, admission="none"),
+        sim_backend="event",
     )
     assert online.events_processed == offline.events_processed
 
@@ -168,6 +170,7 @@ def test_provenance_excluded_from_equality(cluster5, opt13b):
     res = simulate_online(
         plan, cluster5, opt13b, closed_batch_trace(wl),
         config=OnlineConfig(chunk_tokens=512, admission="none"),
+        sim_backend="event",
     )
     assert res.sim_backend == "event"
     assert res.backend_reason is None
@@ -175,6 +178,14 @@ def test_provenance_excluded_from_equality(cluster5, opt13b):
         res, sim_backend="other", backend_reason="why-not"
     )
     assert relabeled == res  # provenance fields carry compare=False
+    # The default dispatch routes every eligible run to the fast path.
+    auto = simulate_online(
+        plan, cluster5, opt13b, closed_batch_trace(wl),
+        config=OnlineConfig(chunk_tokens=512, admission="none"),
+    )
+    assert auto.sim_backend == "fast"
+    assert auto.backend_reason is None
+    assert auto == res
 
 
 def test_oom_parity_with_offline(small_cluster, opt30b, small_workload):
@@ -329,7 +340,16 @@ def test_session_serve_online_facade(small_cluster):
     res = sess.serve_online(
         closed_batch_trace(wl),
         config=OnlineConfig(chunk_tokens=512, admission="none"),
+        sim_backend="event",
     )
     assert isinstance(res, Summary)
     sim = sess.simulate(sim_backend="event")
     _assert_identical(sim, res)
+    # The default (auto) backend dispatches to the fast driver and must
+    # agree with the event run on every compared field.
+    fast = sess.serve_online(
+        closed_batch_trace(wl),
+        config=OnlineConfig(chunk_tokens=512, admission="none"),
+    )
+    assert fast.sim_backend == "fast"
+    assert fast == res
